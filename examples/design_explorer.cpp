@@ -1,0 +1,80 @@
+// Design-space exploration: choosing a testing-block configuration.
+//
+// "As with most practical implementations, there is no golden way to the
+// perfect system in a generic way, and different applications demand
+// different design trade-offs."  This example walks the paper's eight
+// design points plus fully custom lengths (the paper's future-work
+// flexibility: software-selectable sequence length and parameters) and
+// prints the trade-off table a designer would choose from: hardware area,
+// maximum bit rate, number of tests, software latency, and the
+// HW->SW interface width.
+#include "core/design_config.hpp"
+#include "core/monitor.hpp"
+#include "trng/sources.hpp"
+
+#include <cstdio>
+
+using namespace otf;
+
+namespace {
+
+void print_row(const hw::block_config& cfg)
+{
+    const hw::testing_block block(cfg);
+    const auto fpga = rtl::estimate_spartan6(block.cost());
+    const auto asic = rtl::estimate_umc130(block.cost());
+
+    core::monitor mon(cfg, 0.01);
+    trng::ideal_source src(1);
+    const auto rep = mon.test_window(src);
+
+    std::printf("%-20s %5u %7u %7u %8.0f %7u %8u %9llu %10s\n",
+                cfg.name.c_str(), cfg.tests.count(), fpga.slices,
+                fpga.luts, fpga.max_freq_mhz, asic.gate_equivalents,
+                block.registers().total_words(),
+                static_cast<unsigned long long>(rep.sw_cycles),
+                rep.sw_cycles < cfg.n() ? "gap-free" : "duty-cycled");
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("design-space exploration (alpha = 0.01, openMSP430 "
+                "software platform)\n\n");
+    std::printf("%-20s %5s %7s %7s %8s %7s %8s %9s %10s\n", "design",
+                "tests", "slices", "LUTs", "MHz", "GE", "bus-w16",
+                "sw-cycles", "testing");
+
+    std::printf("-- the paper's eight design points --\n");
+    for (const auto& cfg : core::all_paper_designs()) {
+        print_row(cfg);
+    }
+
+    std::printf("\n-- custom lengths (future-work flexibility: any "
+                "power-of-two n) --\n");
+    const auto all = hw::test_set{}
+                         .with(hw::test_id::frequency)
+                         .with(hw::test_id::block_frequency)
+                         .with(hw::test_id::runs)
+                         .with(hw::test_id::longest_run)
+                         .with(hw::test_id::non_overlapping_template)
+                         .with(hw::test_id::overlapping_template)
+                         .with(hw::test_id::serial)
+                         .with(hw::test_id::approximate_entropy)
+                         .with(hw::test_id::cumulative_sums);
+    for (const unsigned log2_n : {13u, 14u, 18u}) {
+        print_row(core::custom_design(log2_n, all));
+    }
+
+    std::printf("\nreading the table:\n");
+    std::printf("  - 'gap-free' means the software pass finishes before "
+                "the TRNG fills the\n    next window (1 bit/cycle), so "
+                "testing never pauses generation;\n");
+    std::printf("  - the light tiers are the always-on watchdogs; the "
+                "high tiers the\n    long-term evaluators -- the paper's "
+                "quick-vs-slow test split;\n");
+    std::printf("  - bus-w16 is the interface pressure: how many 16-bit "
+                "reads one software\n    collection pass issues.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: wire a TRNG to the on-the-fly testing platform and check one
+// window of output.
+//
+//   $ ./quickstart
+//
+// Builds the paper's 65536-bit high-tier design (all nine tests), streams
+// one window from a simulated healthy TRNG through the hardware model,
+// runs the embedded software pass, and prints the verdicts with the
+// instruction/latency accounting.
+#include "core/design_config.hpp"
+#include "core/monitor.hpp"
+#include "core/report.hpp"
+#include "trng/sources.hpp"
+
+#include <cstdio>
+
+int main()
+{
+    using namespace otf;
+
+    // 1. Pick a design point: sequence length 2^16, all nine tests.
+    const hw::block_config design =
+        core::paper_design(16, core::tier::high);
+
+    // 2. Build the monitor: hardware testing block + software platform
+    //    with precomputed critical values at the chosen significance.
+    const double alpha = 0.01;
+    core::monitor monitor(design, alpha);
+
+    // 3. Attach an entropy source (here: a healthy simulated TRNG).
+    trng::ideal_source trng(2025);
+
+    // 4. Test one window of TRNG output on the fly.
+    const core::window_report report = monitor.test_window(trng);
+
+    // 5. Inspect the result: per-test numeric verdicts, no alarm wire.
+    std::printf("design: %s, alpha = %.2f\n\n", design.name.c_str(),
+                alpha);
+    std::printf("%s\n", core::format_window(report).c_str());
+
+    // The same object also answers area questions about the hardware:
+    std::printf("hardware cost: %s\n",
+                core::format_area(monitor.block()).c_str());
+    return report.software.all_pass ? 0 : 1;
+}

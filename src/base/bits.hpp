@@ -1,0 +1,109 @@
+// Bit-sequence container shared by every layer of the platform.
+//
+// The TRNG delivers one bit per clock; the hardware models consume bits one
+// at a time; the reference NIST implementations and the golden models in the
+// test suite work on whole sequences.  `bit_sequence` is the common currency:
+// a simple dynamic array of bits with the few bulk operations the statistical
+// tests need (population count, slicing, parsing from ASCII).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace otf {
+
+class bit_sequence {
+public:
+    bit_sequence() = default;
+    explicit bit_sequence(std::size_t n, bool value = false)
+        : bits_(n, value ? 1 : 0)
+    {
+    }
+
+    /// Parse from ASCII; accepts '0'/'1' and ignores whitespace.
+    static bit_sequence from_string(std::string_view text)
+    {
+        bit_sequence seq;
+        seq.bits_.reserve(text.size());
+        for (const char c : text) {
+            if (c == '0' || c == '1') {
+                seq.bits_.push_back(c == '1' ? 1 : 0);
+            } else if (c == ' ' || c == '\n' || c == '\t' || c == '\r') {
+                continue;
+            } else {
+                throw std::invalid_argument(
+                    "bit_sequence: invalid character in bit string");
+            }
+        }
+        return seq;
+    }
+
+    void push_back(bool bit) { bits_.push_back(bit ? 1 : 0); }
+    void reserve(std::size_t n) { bits_.reserve(n); }
+    void clear() { bits_.clear(); }
+
+    bool operator[](std::size_t i) const { return bits_[i] != 0; }
+    bool at(std::size_t i) const { return bits_.at(i) != 0; }
+    void set(std::size_t i, bool v) { bits_.at(i) = v ? 1 : 0; }
+
+    std::size_t size() const { return bits_.size(); }
+    bool empty() const { return bits_.empty(); }
+
+    /// Number of ones in the whole sequence.
+    std::size_t count_ones() const
+    {
+        std::size_t total = 0;
+        for (const std::uint8_t b : bits_) {
+            total += b;
+        }
+        return total;
+    }
+
+    /// Copy of bits [first, first + length).
+    bit_sequence slice(std::size_t first, std::size_t length) const
+    {
+        if (first + length > bits_.size()) {
+            throw std::out_of_range("bit_sequence::slice out of range");
+        }
+        bit_sequence out;
+        out.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(first),
+                         bits_.begin()
+                             + static_cast<std::ptrdiff_t>(first + length));
+        return out;
+    }
+
+    /// The m-bit pattern value starting at `pos`, reading the sequence
+    /// cyclically (NIST serial / approximate-entropy convention), MSB first.
+    std::uint32_t cyclic_window(std::size_t pos, unsigned m) const
+    {
+        std::uint32_t v = 0;
+        for (unsigned j = 0; j < m; ++j) {
+            v = (v << 1) | ((*this)[(pos + j) % size()] ? 1u : 0u);
+        }
+        return v;
+    }
+
+    std::string to_string() const
+    {
+        std::string s;
+        s.reserve(bits_.size());
+        for (const std::uint8_t b : bits_) {
+            s.push_back(b ? '1' : '0');
+        }
+        return s;
+    }
+
+    friend bool operator==(const bit_sequence&, const bit_sequence&) = default;
+
+    auto begin() const { return bits_.begin(); }
+    auto end() const { return bits_.end(); }
+
+private:
+    std::vector<std::uint8_t> bits_;
+};
+
+} // namespace otf

@@ -1,0 +1,173 @@
+#include "core/consistency.hpp"
+
+#include <functional>
+
+namespace otf::core {
+
+using hw::test_id;
+using sw16::reg;
+using sw16::soft_cpu;
+
+namespace {
+
+std::string i64(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+std::vector<consistency_violation>
+verify_counter_consistency(const hw::block_config& cfg,
+                           const hw::register_map& map, soft_cpu& cpu)
+{
+    std::vector<consistency_violation> violations;
+    const auto n = static_cast<std::int64_t>(cfg.n());
+    const auto fail = [&](std::string check, std::string detail) {
+        violations.push_back({std::move(check), std::move(detail)});
+    };
+    const auto value = [&](const std::string& name) {
+        const std::size_t i = map.index_of(name);
+        return reg{map.read_value(i), map.entry(i).width};
+    };
+    const auto sum_group = [&](const std::string& prefix, unsigned count) {
+        reg acc = soft_cpu::constant(0, 1);
+        for (unsigned i = 0; i < count; ++i) {
+            acc = cpu.add(acc,
+                          value(prefix + "[" + std::to_string(i) + "]"));
+        }
+        return acc;
+    };
+
+    // ---- walk invariants: S_min <= 0 <= S_max, S_min <= S_final <= S_max,
+    // and S_final + n must be even and within [0, 2n].
+    const reg s_final = value("cusum.s_final");
+    const reg s_max = value("cusum.s_max");
+    const reg s_min = value("cusum.s_min");
+    const reg zero = soft_cpu::constant(0, 1);
+    if (cpu.less(s_max, zero) || cpu.greater(s_min, zero)) {
+        fail("walk extrema sign",
+             "S_max=" + i64(s_max.value) + " S_min=" + i64(s_min.value));
+    }
+    if (cpu.greater(s_final, s_max) || cpu.less(s_final, s_min)) {
+        fail("walk extrema bound S_final",
+             "S_final=" + i64(s_final.value) + " outside ["
+                 + i64(s_min.value) + ", " + i64(s_max.value) + "]");
+    }
+    const reg shifted =
+        cpu.add(s_final, soft_cpu::constant(n, sw16::bits_for_signed(n)));
+    if ((shifted.value & 1) != 0 || shifted.value < 0
+        || shifted.value > 2 * n) {
+        fail("derived N_ones range",
+             "S_final + n = " + i64(shifted.value));
+    }
+
+    // ---- runs: 1 <= N_runs <= n, and N_runs <= 2 min(ones, zeros) + 1.
+    if (cfg.tests.has(test_id::runs)) {
+        const reg n_runs = value("runs.n_runs");
+        if (cpu.less(n_runs, soft_cpu::constant(1, 1))
+            || cpu.greater(n_runs,
+                           soft_cpu::constant(n, sw16::bits_for_signed(n)))) {
+            fail("runs range", "N_runs=" + i64(n_runs.value));
+        } else {
+            const std::int64_t ones = shifted.value / 2;
+            const std::int64_t minority = std::min(ones, n - ones);
+            const std::int64_t bound = 2 * minority + 1;
+            if (cpu.greater(n_runs,
+                            soft_cpu::constant(
+                                bound, sw16::bits_for_signed(bound)))) {
+                fail("runs vs ones bound",
+                     "N_runs=" + i64(n_runs.value) + " > 2 min(N1, N0) + 1 = "
+                         + i64(bound));
+            }
+        }
+    }
+
+    // ---- block frequency: each eps_i <= M and sum eps_i == N_ones.
+    if (cfg.tests.has(test_id::block_frequency)) {
+        const unsigned blocks = 1u << (cfg.log2_n - cfg.bf_log2_m);
+        const std::int64_t m = std::int64_t{1} << cfg.bf_log2_m;
+        bool in_range = true;
+        for (unsigned i = 0; i < blocks; ++i) {
+            const reg eps =
+                value("block_frequency.eps[" + std::to_string(i) + "]");
+            if (cpu.greater(eps, soft_cpu::constant(
+                                     m, sw16::bits_for_signed(m)))) {
+                in_range = false;
+            }
+        }
+        if (!in_range) {
+            fail("block frequency eps range", "eps_i > M");
+        }
+        const reg total = sum_group("block_frequency.eps", blocks);
+        const std::int64_t ones = shifted.value / 2;
+        if (total.value != ones) {
+            fail("block frequency partition",
+                 "sum eps = " + i64(total.value) + " but N_ones = "
+                     + i64(ones));
+        }
+    }
+
+    // ---- longest run: category counters partition the block count.
+    if (cfg.tests.has(test_id::longest_run)) {
+        const unsigned blocks = 1u << (cfg.log2_n - cfg.lr_log2_m);
+        const unsigned categories = cfg.lr_v_hi - cfg.lr_v_lo + 1;
+        const reg total = sum_group("longest_run.nu", categories);
+        if (total.value != static_cast<std::int64_t>(blocks)) {
+            fail("longest run partition",
+                 "sum nu = " + i64(total.value) + " but N = "
+                     + i64(blocks));
+        }
+    }
+
+    // ---- overlapping template: categories partition the block count.
+    if (cfg.tests.has(test_id::overlapping_template)) {
+        const unsigned blocks = 1u << (cfg.log2_n - cfg.t8_log2_m);
+        const reg total =
+            sum_group("overlapping.nu_temp", cfg.t8_max_count + 1);
+        if (total.value != static_cast<std::int64_t>(blocks)) {
+            fail("overlapping template partition",
+                 "sum nu_temp = " + i64(total.value) + " but N = "
+                     + i64(blocks));
+        }
+    }
+
+    // ---- serial: every file sums to n (cyclic positions), and when the
+    // marginal files are transferred they must equal the 4-bit marginals.
+    if (cfg.tests.has(test_id::serial)) {
+        const unsigned m = cfg.serial_m;
+        const reg total_m = sum_group("serial.nu_m", 1u << m);
+        if (total_m.value != n) {
+            fail("serial m-bit partition",
+                 "sum nu_m = " + i64(total_m.value) + " but n = " + i64(n));
+        }
+        if (!cfg.serial_transfer_marginals) {
+            const reg total_m1 = sum_group("serial.nu_m1", 1u << (m - 1));
+            if (total_m1.value != n) {
+                fail("serial (m-1)-bit partition",
+                     "sum nu_m1 = " + i64(total_m1.value));
+            }
+            bool marginals_ok = true;
+            for (unsigned p = 0; p < (1u << (m - 1)); ++p) {
+                const reg even = value("serial.nu_m["
+                                       + std::to_string(2 * p) + "]");
+                const reg odd = value("serial.nu_m["
+                                      + std::to_string(2 * p + 1) + "]");
+                const reg marginal =
+                    value("serial.nu_m1[" + std::to_string(p) + "]");
+                const reg derived = cpu.add(even, odd);
+                if (derived.value != marginal.value) {
+                    marginals_ok = false;
+                }
+            }
+            if (!marginals_ok) {
+                fail("serial marginal identity",
+                     "nu_m1[p] != nu_m[2p] + nu_m[2p+1]");
+            }
+        }
+    }
+
+    return violations;
+}
+
+} // namespace otf::core

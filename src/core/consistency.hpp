@@ -1,0 +1,36 @@
+// Cross-consistency verification of the hardware counter values.
+//
+// The paper's fault-attack argument (Section I-B): a single alarm wire can
+// be grounded, but this platform transmits "a set of numerical values".
+// This module turns that argument into executable checks: the counter
+// values are mutually redundant (pattern counts partition n, category
+// counts partition the block count, the walk's final value bounds its
+// extrema...), so a forged or stuck bus value is detectable by arithmetic
+// the microcontroller can afford.  An attacker must now forge a complete,
+// mutually consistent counter set in real time instead of cutting one
+// wire.
+#pragma once
+
+#include "hw/config.hpp"
+#include "hw/register_map.hpp"
+#include "sw16/cpu.hpp"
+
+#include <string>
+#include <vector>
+
+namespace otf::core {
+
+struct consistency_violation {
+    std::string check;   ///< which invariant failed
+    std::string detail;  ///< the observed inconsistency
+};
+
+/// Run every applicable invariant over the mapped values, charging the
+/// instruction costs to `cpu` (the checks are adds and compares only).
+/// An empty result means the counter set is internally consistent.
+std::vector<consistency_violation>
+verify_counter_consistency(const hw::block_config& cfg,
+                           const hw::register_map& map,
+                           sw16::soft_cpu& cpu);
+
+} // namespace otf::core

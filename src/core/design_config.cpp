@@ -1,0 +1,162 @@
+#include "core/design_config.hpp"
+
+#include <stdexcept>
+
+namespace otf::core {
+
+std::string to_string(tier t)
+{
+    switch (t) {
+    case tier::light:
+        return "light";
+    case tier::medium:
+        return "medium";
+    case tier::high:
+        return "high";
+    }
+    throw std::logic_error("to_string(tier): invalid tier");
+}
+
+namespace {
+
+using hw::test_id;
+using hw::test_set;
+
+test_set light_tests()
+{
+    return test_set{}
+        .with(test_id::frequency)
+        .with(test_id::block_frequency)
+        .with(test_id::runs)
+        .with(test_id::longest_run)
+        .with(test_id::cumulative_sums);
+}
+
+test_set all_tests()
+{
+    return light_tests()
+        .with(test_id::non_overlapping_template)
+        .with(test_id::overlapping_template)
+        .with(test_id::serial)
+        .with(test_id::approximate_entropy);
+}
+
+/// Per-length NIST parameters, all blocks powers of two.
+void apply_length_parameters(hw::block_config& cfg)
+{
+    switch (cfg.log2_n) {
+    case 7: // n = 128
+        cfg.bf_log2_m = 5;  // M = 32,  N = 4
+        cfg.lr_log2_m = 3;  // M = 8,   N = 16, categories {<=1, 2, 3, >=4}
+        cfg.lr_v_lo = 1;
+        cfg.lr_v_hi = 4;
+        break;
+    case 16: // n = 65536
+        cfg.bf_log2_m = 12; // M = 4096, N = 16
+        cfg.lr_log2_m = 7;  // M = 128,  N = 512, categories {<=4 .. >=9}
+        cfg.lr_v_lo = 4;
+        cfg.lr_v_hi = 9;
+        cfg.t7_log2_m = 13; // M = 8192, N = 8 (the sts partition count)
+        cfg.t8_log2_m = 10; // M = 1024, N = 64, lambda ~= 1.98
+        break;
+    case 20: // n = 1048576
+        cfg.bf_log2_m = 17; // M = 131072, N = 8
+        cfg.lr_log2_m = 13; // M = 8192, N = 128, categories {<=10 .. >=16}
+        cfg.lr_v_lo = 10;
+        cfg.lr_v_hi = 16;
+        cfg.t7_log2_m = 17; // M = 131072, N = 8
+        cfg.t8_log2_m = 10; // M = 1024,   N = 1024
+        break;
+    default:
+        throw std::invalid_argument(
+            "paper_design: log2_n must be 7, 16 or 20");
+    }
+}
+
+} // namespace
+
+hw::block_config paper_design(unsigned log2_n, tier t)
+{
+    hw::block_config cfg;
+    cfg.log2_n = log2_n;
+    apply_length_parameters(cfg);
+
+    switch (t) {
+    case tier::light:
+        cfg.tests = light_tests();
+        break;
+    case tier::medium:
+        if (log2_n == 7) {
+            // The "seven tests in 52..149 slices" lightweight build: the
+            // serial/approximate-entropy counters are cheap at n = 128.
+            cfg.tests = light_tests()
+                            .with(test_id::serial)
+                            .with(test_id::approximate_entropy);
+        } else {
+            cfg.tests =
+                light_tests().with(test_id::non_overlapping_template);
+        }
+        break;
+    case tier::high:
+        if (log2_n == 7) {
+            throw std::invalid_argument(
+                "paper_design: the paper has no high tier at n = 128");
+        }
+        cfg.tests = all_tests();
+        break;
+    }
+    cfg.name = "n=" + std::to_string(std::uint64_t{1} << log2_n) + " "
+        + to_string(t);
+    cfg.validate();
+    return cfg;
+}
+
+std::vector<hw::block_config> all_paper_designs()
+{
+    return {
+        paper_design(7, tier::light),   paper_design(7, tier::medium),
+        paper_design(16, tier::light),  paper_design(16, tier::medium),
+        paper_design(16, tier::high),   paper_design(20, tier::light),
+        paper_design(20, tier::medium), paper_design(20, tier::high),
+    };
+}
+
+hw::block_config custom_design(unsigned log2_n, hw::test_set tests)
+{
+    if (log2_n < 5 || log2_n > 24) {
+        throw std::invalid_argument("custom_design: log2_n out of [5, 24]");
+    }
+    hw::block_config cfg;
+    cfg.log2_n = log2_n;
+    cfg.tests = tests;
+    cfg.name = "custom n=2^" + std::to_string(log2_n);
+
+    // Block-frequency: the largest power-of-two M with at least 4 blocks
+    // that satisfies M > 0.01 n -- few wide blocks keep the bank small.
+    cfg.bf_log2_m = (log2_n >= 10) ? log2_n - 3 : log2_n - 2;
+
+    // Longest-run: the NIST ladder (8 / 128 / 8192), as large as fits.
+    if (log2_n >= 17) {
+        cfg.lr_log2_m = 13;
+        cfg.lr_v_lo = 10;
+        cfg.lr_v_hi = 16;
+    } else if (log2_n >= 10) {
+        cfg.lr_log2_m = 7;
+        cfg.lr_v_lo = 4;
+        cfg.lr_v_hi = 9;
+    } else {
+        cfg.lr_log2_m = 3;
+        cfg.lr_v_lo = 1;
+        cfg.lr_v_hi = 4;
+    }
+
+    // Templates: eight blocks for the non-overlapping test (the sts
+    // partition), ~1024-bit blocks for the overlapping test.
+    cfg.t7_log2_m = log2_n - 3;
+    cfg.t8_log2_m = (log2_n >= 13) ? 10 : log2_n - 3;
+
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace otf::core

@@ -1,0 +1,41 @@
+// The eight design points of the paper (Table III columns).
+//
+// Three sequence lengths (128 / 65536 / 1048576 bits) times up to three
+// tiers.  The tier test sets follow the dot matrix of Table III (column
+// sums reproduce the paper's "5 tests ... 9 tests" and the abstract's "52
+// slices (5 tests) to 552 slices (9 tests)"):
+//
+//   light  = tests 1, 2, 3, 4, 13          (all lengths)
+//   medium = light + serial + approximate entropy    (n = 128)
+//   medium = light + non-overlapping template        (n = 65536, 1048576)
+//   high   = all nine                                (n = 65536, 1048576)
+//
+// Every block length is a power of two (sharing trick 2); category
+// probabilities for the non-tabulated lengths are recomputed exactly by
+// otf_nist at critical-value generation time.
+#pragma once
+
+#include "hw/config.hpp"
+
+#include <string>
+#include <vector>
+
+namespace otf::core {
+
+enum class tier { light, medium, high };
+
+/// Human-readable tier name ("light" / "medium" / "high").
+std::string to_string(tier t);
+
+/// The paper's design point for sequence length 2^log2_n and tier `t`.
+/// Valid log2_n values are 7, 16 and 20; tier high requires log2_n >= 16.
+hw::block_config paper_design(unsigned log2_n, tier t);
+
+/// All eight paper design points in Table III order.
+std::vector<hw::block_config> all_paper_designs();
+
+/// Fully parametric designs (the paper's future-work flexibility): any
+/// log2_n in [7, 24] with sensible auto-derived block parameters.
+hw::block_config custom_design(unsigned log2_n, hw::test_set tests);
+
+} // namespace otf::core

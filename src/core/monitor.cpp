@@ -1,0 +1,117 @@
+#include "core/monitor.hpp"
+
+#include "core/sp80090b.hpp"
+
+namespace otf::core {
+
+monitor::monitor(hw::block_config cfg, double alpha, sw16::cycle_model mcu)
+    : block_(cfg),
+      runner_(cfg, compute_critical_values(cfg, alpha)),
+      cpu_(16), mcu_(std::move(mcu))
+{
+}
+
+window_report monitor::finish_window()
+{
+    block_.finish();
+
+    window_report report;
+    report.window_index = windows_;
+    report.generation_cycles = block_.config().n();
+
+    const sw16::op_counts before = cpu_.counts();
+    report.software = runner_.run(block_.registers(), cpu_);
+    const sw16::op_counts spent = cpu_.counts() - before;
+    report.sw_cycles = mcu_.cycles(spent);
+
+    ++windows_;
+    block_.restart();
+    return report;
+}
+
+window_report monitor::test_window(trng::entropy_source& source)
+{
+    const std::uint64_t n = block_.config().n();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        block_.feed(source.next_bit());
+    }
+    return finish_window();
+}
+
+window_report monitor::test_sequence(const bit_sequence& seq)
+{
+    if (seq.size() != block_.config().n()) {
+        throw std::invalid_argument(
+            "monitor: sequence length must equal the design's n");
+    }
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        block_.feed(seq[i]);
+    }
+    return finish_window();
+}
+
+health_monitor::health_monitor(hw::block_config cfg, double alpha, policy p,
+                               sw16::cycle_model mcu)
+    : mon_(std::move(cfg), alpha, std::move(mcu)), policy_(p)
+{
+    if (policy_.fail_threshold == 0 || policy_.window == 0
+        || policy_.fail_threshold > policy_.window) {
+        throw std::invalid_argument(
+            "health_monitor: need 0 < fail_threshold <= window");
+    }
+    if (policy_.sp800_90b) {
+        rct_ = std::make_unique<hw::repetition_count_hw>(
+            rct_cutoff(policy_.entropy_claim));
+        apt_ = std::make_unique<hw::adaptive_proportion_hw>(
+            policy_.apt_log2_window,
+            apt_cutoff(1u << policy_.apt_log2_window,
+                       policy_.entropy_claim));
+    }
+}
+
+bool health_monitor::alarm() const
+{
+    return alarm_ || (rct_ && rct_->alarm()) || (apt_ && apt_->alarm());
+}
+
+window_report health_monitor::observe(trng::entropy_source& source)
+{
+    window_report report;
+    if (policy_.sp800_90b) {
+        // The continuous tests see every raw bit on its way into the
+        // window; their alarms are immediate, not end-of-window.
+        const bit_sequence window =
+            source.generate(mon_.config().n());
+        for (std::size_t i = 0; i < window.size(); ++i) {
+            rct_->consume(window[i], health_bit_index_);
+            apt_->consume(window[i], health_bit_index_);
+            ++health_bit_index_;
+        }
+        report = mon_.test_sequence(window);
+    } else {
+        report = mon_.test_window(source);
+    }
+    const bool failed = !report.software.all_pass;
+    if (failed) {
+        ++failed_;
+        for (const test_verdict& v : report.software.verdicts) {
+            if (!v.pass) {
+                ++failures_by_test_[v.name];
+            }
+        }
+    }
+    recent_.push_back(failed);
+    if (recent_.size() > policy_.window) {
+        recent_.pop_front();
+    }
+    unsigned recent_failures = 0;
+    for (const bool f : recent_) {
+        recent_failures += f ? 1 : 0;
+    }
+    if (recent_failures >= policy_.fail_threshold) {
+        alarm_ = true;
+    }
+    return report;
+}
+
+} // namespace otf::core

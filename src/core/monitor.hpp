@@ -1,0 +1,123 @@
+// On-the-fly monitor: the full embedded system of Fig. 1.
+//
+// Wires an entropy source, the hardware testing block and the software
+// platform together and runs them the way the deployed system would: the
+// hardware analyses every bit while the TRNG is producing; at the end of
+// each n-bit window the microcontroller reads the counters and verifies the
+// randomness hypothesis; the hardware restarts and the next window streams
+// while telemetry accumulates.  The tests run continuously -- the paper's
+// answer to the "tests change the chip's noise environment" objection --
+// and report numeric per-test verdicts rather than one alarm wire.
+//
+// `health_monitor` adds an AIS-31-flavoured decision policy on top: a
+// sliding window of recent verdicts, a noise-alarm threshold (k failures in
+// the last w windows), and failure counters per test.
+#pragma once
+
+#include "core/critical_values.hpp"
+#include "core/sw_routines.hpp"
+#include "hw/health_tests.hpp"
+#include "hw/testing_block.hpp"
+#include "sw16/cycle_model.hpp"
+#include "trng/entropy_source.hpp"
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+namespace otf::core {
+
+struct window_report {
+    std::uint64_t window_index = 0;
+    software_result software;
+    /// Cycles the software routine took on the configured MCU model.
+    std::uint64_t sw_cycles = 0;
+    /// Cycles the TRNG needed to produce the window (1 bit/cycle), i.e. the
+    /// budget the software latency must stay under for gap-free testing.
+    std::uint64_t generation_cycles = 0;
+};
+
+class monitor {
+public:
+    monitor(hw::block_config cfg, double alpha,
+            sw16::cycle_model mcu = sw16::msp430_model());
+
+    const hw::block_config& config() const { return block_.config(); }
+    const critical_values& bounds() const { return runner_.bounds(); }
+    const hw::testing_block& block() const { return block_; }
+    const sw16::cycle_model& mcu() const { return mcu_; }
+
+    /// Stream one n-bit window from `source` through the hardware, then
+    /// run the software pass and return the verdicts.
+    window_report test_window(trng::entropy_source& source);
+
+    /// Same, for a pre-recorded sequence (length must equal n).
+    window_report test_sequence(const bit_sequence& seq);
+
+    /// Cumulative instruction counts across all windows so far.
+    const sw16::op_counts& lifetime_ops() const { return cpu_.counts(); }
+    std::uint64_t windows_tested() const { return windows_; }
+
+private:
+    hw::testing_block block_;
+    software_runner runner_;
+    sw16::soft_cpu cpu_;
+    sw16::cycle_model mcu_;
+    std::uint64_t windows_ = 0;
+
+    window_report finish_window();
+};
+
+/// AIS-31-style supervision: windowed failure counting with an alarm
+/// threshold, on top of the per-window verdicts.
+class health_monitor {
+public:
+    struct policy {
+        /// Raise the alarm when at least `fail_threshold` of the last
+        /// `window` window verdicts failed (any test).
+        unsigned fail_threshold = 2;
+        unsigned window = 8;
+        /// Also run the SP 800-90B continuous health tests (repetition
+        /// count + adaptive proportion) on the raw stream; their sticky
+        /// alarms OR into alarm().  The standard's false-alarm rate
+        /// (2^-20) and the entropy claim parameterize the cutoffs.
+        bool sp800_90b = false;
+        unsigned apt_log2_window = 10;
+        double entropy_claim = 1.0;
+    };
+
+    health_monitor(hw::block_config cfg, double alpha, policy p,
+                   sw16::cycle_model mcu = sw16::msp430_model());
+
+    /// Test one window; returns the report and updates the alarm state.
+    window_report observe(trng::entropy_source& source);
+
+    /// Policy alarm OR either SP 800-90B sticky alarm.
+    bool alarm() const;
+    /// The windowed-policy alarm alone.
+    bool policy_alarm() const { return alarm_; }
+    /// The continuous health-test engines (null unless enabled).
+    const hw::repetition_count_hw* rct() const { return rct_.get(); }
+    const hw::adaptive_proportion_hw* apt() const { return apt_.get(); }
+    std::uint64_t windows_failed() const { return failed_; }
+    std::uint64_t windows_total() const { return mon_.windows_tested(); }
+    /// Failure count per test name across the whole run.
+    const std::map<std::string, std::uint64_t>& failures_by_test() const
+    {
+        return failures_by_test_;
+    }
+    monitor& inner() { return mon_; }
+
+private:
+    monitor mon_;
+    policy policy_;
+    std::deque<bool> recent_;
+    std::uint64_t failed_ = 0;
+    bool alarm_ = false;
+    std::map<std::string, std::uint64_t> failures_by_test_;
+    std::unique_ptr<hw::repetition_count_hw> rct_;
+    std::unique_ptr<hw::adaptive_proportion_hw> apt_;
+    std::uint64_t health_bit_index_ = 0;
+};
+
+} // namespace otf::core

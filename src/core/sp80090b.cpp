@@ -1,0 +1,69 @@
+#include "core/sp80090b.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otf::core {
+
+unsigned rct_cutoff(double entropy_per_sample, double alpha_exponent)
+{
+    if (entropy_per_sample <= 0.0 || entropy_per_sample > 1.0) {
+        throw std::invalid_argument(
+            "rct_cutoff: binary entropy claim must be in (0, 1]");
+    }
+    return 1u
+        + static_cast<unsigned>(
+               std::ceil(alpha_exponent / entropy_per_sample));
+}
+
+double binomial_survival(unsigned n, double p, unsigned k)
+{
+    if (!(p > 0.0 && p < 1.0)) {
+        throw std::invalid_argument("binomial_survival: p in (0, 1)");
+    }
+    if (k == 0) {
+        return 1.0;
+    }
+    if (k > n) {
+        return 0.0;
+    }
+    // Sum pmf(i) for i = k..n in log space: log pmf(i) =
+    // lchoose(n, i) + i log p + (n - i) log(1 - p).
+    double total = 0.0;
+    for (unsigned i = k; i <= n; ++i) {
+        const double log_pmf = std::lgamma(n + 1.0) - std::lgamma(i + 1.0)
+            - std::lgamma(static_cast<double>(n) - i + 1.0)
+            + i * std::log(p)
+            + (static_cast<double>(n) - i) * std::log1p(-p);
+        total += std::exp(log_pmf);
+        // pmf decays geometrically past the mode; stop when negligible.
+        if (log_pmf < -60.0 && i > static_cast<unsigned>(p * n) + 1) {
+            break;
+        }
+    }
+    return total;
+}
+
+unsigned apt_cutoff(unsigned window, double entropy_per_sample,
+                    double alpha_exponent)
+{
+    if (window < 2) {
+        throw std::invalid_argument("apt_cutoff: window too small");
+    }
+    const double p = std::pow(2.0, -entropy_per_sample);
+    const double alpha = std::pow(2.0, -alpha_exponent);
+    // Binary search the smallest c with survival(c) <= alpha.
+    unsigned lo = 1;
+    unsigned hi = window;
+    while (lo < hi) {
+        const unsigned mid = lo + (hi - lo) / 2;
+        if (binomial_survival(window, p, mid) <= alpha) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return lo;
+}
+
+} // namespace otf::core

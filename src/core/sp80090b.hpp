@@ -1,0 +1,27 @@
+// SP 800-90B health-test parameterization.
+//
+// Cutoff computation for the two continuous health tests (offline, like
+// every precomputed constant in the platform): the repetition-count cutoff
+// from the entropy claim, and the adaptive-proportion cutoff as an exact
+// binomial quantile at the standard's 2^-20 false-alarm rate.
+#pragma once
+
+#include <cstdint>
+
+namespace otf::core {
+
+/// Repetition Count Test cutoff: C = 1 + ceil(a / H) where H is the
+/// claimed entropy per sample (bits) and the false-alarm rate is 2^-a.
+unsigned rct_cutoff(double entropy_per_sample, double alpha_exponent = 20.0);
+
+/// Adaptive Proportion Test cutoff: the smallest c such that
+/// P[Binomial(window, p) >= c] <= 2^-alpha_exponent, with p = 2^-H the
+/// most-likely-value probability under the entropy claim.
+unsigned apt_cutoff(unsigned window, double entropy_per_sample = 1.0,
+                    double alpha_exponent = 20.0);
+
+/// Exact binomial survival P[Binomial(n, p) >= k] (log-space summation;
+/// exposed for the health-test property tests).
+double binomial_survival(unsigned n, double p, unsigned k);
+
+} // namespace otf::core

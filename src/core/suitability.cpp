@@ -1,0 +1,143 @@
+#include "core/suitability.hpp"
+
+#include "core/design_config.hpp"
+#include "hw/testing_block.hpp"
+
+#include <stdexcept>
+
+namespace otf::core {
+
+std::string to_string(sw_complexity c)
+{
+    switch (c) {
+    case sw_complexity::comparisons:
+        return "comparisons";
+    case sw_complexity::basic_arith:
+        return "add/mul/sqr";
+    case sw_complexity::table_lookup:
+        return "arith + LUT";
+    case sw_complexity::heavy:
+        return "heavy (FFT/rank/BM)";
+    }
+    throw std::logic_error("to_string(sw_complexity)");
+}
+
+namespace {
+
+/// FF bits and transfer words of one engine inside a full testing block.
+struct engine_quote {
+    std::uint64_t storage_bits;
+    std::uint64_t transfer_words;
+};
+
+engine_quote quote(const hw::testing_block& block, const rtl::component* c,
+                   const std::string& register_prefix)
+{
+    engine_quote q{0, 0};
+    if (c != nullptr) {
+        q.storage_bits = c->cost().ffs;
+    }
+    for (const hw::map_entry& e : block.registers().entries()) {
+        if (e.name.rfind(register_prefix, 0) == 0) {
+            q.transfer_words += (e.width + 15) / 16;
+        }
+    }
+    return q;
+}
+
+} // namespace
+
+std::vector<suitability_row> nist_suitability(unsigned log2_n)
+{
+    // Build the all-tests design at this length to measure the real
+    // engines.  (The 9 supported tests exist at every paper length >= 2^16;
+    // for shorter sequences fall back to the 2^16 design for the per-test
+    // quotes -- the classification itself does not change.)
+    const unsigned quote_log2_n = (log2_n >= 16) ? log2_n : 16;
+    const hw::block_config cfg = paper_design(
+        (quote_log2_n >= 20) ? 20u : 16u, tier::high);
+    const hw::testing_block block(cfg);
+    const double n = static_cast<double>(std::uint64_t{1} << log2_n);
+
+    const engine_quote q_cusum = quote(block, block.cusum(), "cusum.");
+    const engine_quote q_runs = quote(block, block.runs(), "runs.");
+    const engine_quote q_bf =
+        quote(block, block.block_frequency(), "block_frequency.");
+    const engine_quote q_lr = quote(block, block.longest_run(),
+                                    "longest_run.");
+    const engine_quote q_t7 =
+        quote(block, block.non_overlapping(), "non_overlapping.");
+    const engine_quote q_t8 = quote(block, block.overlapping(),
+                                    "overlapping.");
+    const engine_quote q_serial = quote(block, block.serial(), "serial.");
+
+    std::vector<suitability_row> rows;
+    rows.push_back({1, "Frequency (monobit)",
+                    0, // shares the cusum walk: no hardware of its own
+                    1, sw_complexity::comparisons, true,
+                    "derived from the cusum walk's final value"});
+    rows.push_back({2, "Frequency within a block", q_bf.storage_bits,
+                    q_bf.transfer_words, sw_complexity::basic_arith, true,
+                    "one counter plus a block-result bank"});
+    rows.push_back({3, "Runs", q_runs.storage_bits, q_runs.transfer_words,
+                    sw_complexity::comparisons, true,
+                    "one counter; interval constants stored in software"});
+    rows.push_back({4, "Longest run of ones in a block", q_lr.storage_bits,
+                    q_lr.transfer_words, sw_complexity::basic_arith, true,
+                    "run tracker plus category counters"});
+    rows.push_back({5, "Binary matrix rank",
+                    static_cast<std::uint64_t>(1024),
+                    static_cast<std::uint64_t>(n / 1024.0 + 1),
+                    sw_complexity::heavy, false,
+                    "must buffer 32x32 matrices and run GF(2) elimination"});
+    rows.push_back({6, "Discrete Fourier transform",
+                    static_cast<std::uint64_t>(n),
+                    static_cast<std::uint64_t>(n / 16.0),
+                    sw_complexity::heavy, false,
+                    "needs the whole sequence and an n-point FFT"});
+    rows.push_back({7, "Non-overlapping template matching",
+                    q_t7.storage_bits, q_t7.transfer_words,
+                    sw_complexity::basic_arith, true,
+                    "shared shift register + per-block match counter"});
+    rows.push_back({8, "Overlapping template matching", q_t8.storage_bits,
+                    q_t8.transfer_words, sw_complexity::basic_arith, true,
+                    "same shift register, category counters"});
+    rows.push_back({9, "Maurer's universal statistical",
+                    static_cast<std::uint64_t>((1u << 7)
+                                               * (log2_n + 1)),
+                    static_cast<std::uint64_t>(1u << 7),
+                    sw_complexity::heavy, false,
+                    "last-occurrence table of 2^L entries plus per-step "
+                    "log2 accumulation"});
+    rows.push_back({10, "Linear complexity",
+                    static_cast<std::uint64_t>(2 * 500),
+                    static_cast<std::uint64_t>(n / 500.0 + 1),
+                    sw_complexity::heavy, false,
+                    "Berlekamp-Massey needs two M-bit polynomials per "
+                    "block and O(M^2) updates"});
+    rows.push_back({11, "Serial", q_serial.storage_bits,
+                    q_serial.transfer_words, sw_complexity::basic_arith,
+                    true, "pattern counter files, shared with test 12"});
+    rows.push_back({12, "Approximate entropy",
+                    0, // reuses the serial counter files entirely
+                    0, sw_complexity::table_lookup, true,
+                    "no own hardware (sharing trick 3); PWL x log x in "
+                    "software"});
+    rows.push_back({13, "Cumulative sums", q_cusum.storage_bits,
+                    q_cusum.transfer_words, sw_complexity::comparisons,
+                    true, "up/down counter with extrema registers"});
+    rows.push_back({14, "Random excursions",
+                    static_cast<std::uint64_t>(8 * 6 * (log2_n + 1)),
+                    static_cast<std::uint64_t>(48),
+                    sw_complexity::heavy, false,
+                    "statistic is conditioned on the cycle count J, known "
+                    "only after buffering all cycle boundaries"});
+    rows.push_back({15, "Random excursions variant",
+                    static_cast<std::uint64_t>(18 * (log2_n + 1)),
+                    static_cast<std::uint64_t>(18),
+                    sw_complexity::heavy, false,
+                    "same cycle-structure dependency as test 14"});
+    return rows;
+}
+
+} // namespace otf::core

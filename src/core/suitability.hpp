@@ -1,0 +1,43 @@
+// Quantified reproduction of Table I: which NIST tests suit hardware.
+//
+// The paper keeps 9 of the 15 SP 800-22 tests and drops 6 because they
+// "either require too much data storage in the HW module, too complex
+// operations in the software part, or too much data to be transferred".
+// This module makes that judgement quantitative for a given sequence
+// length: for each test it estimates the hardware storage (bits of state
+// that must live next to the TRNG), the HW-to-SW transfer volume (16-bit
+// words) and the software operation class, then applies the paper's
+// criteria.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace otf::core {
+
+enum class sw_complexity {
+    comparisons,     ///< stored-constant comparisons only
+    basic_arith,     ///< add / multiply / square
+    table_lookup,    ///< + PWL table evaluations
+    heavy,           ///< FFT, matrix rank, log2 over large domains...
+};
+
+std::string to_string(sw_complexity c);
+
+struct suitability_row {
+    unsigned test_number;     ///< NIST numbering, 1..15
+    std::string name;
+    std::uint64_t hw_storage_bits;  ///< state required during generation
+    std::uint64_t transfer_words;   ///< 16-bit words moved to software
+    sw_complexity software;
+    bool hw_suitable;               ///< the paper's verdict (Table I)
+    std::string reason;             ///< why (not) suitable
+};
+
+/// The full 15-row table for a sequence of 2^log2_n bits.  The nine
+/// suitable rows use the actual engine inventories of this library; the
+/// six unsuitable rows use the storage the test's definition forces.
+std::vector<suitability_row> nist_suitability(unsigned log2_n);
+
+} // namespace otf::core

@@ -1,0 +1,439 @@
+#include "core/sw_routines.hpp"
+
+#include "sw16/pwl_xlogx.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace otf::core {
+
+using sw16::bits_for_signed;
+using sw16::bits_for_unsigned;
+using sw16::reg;
+using sw16::soft_cpu;
+
+const test_verdict* software_result::find(hw::test_id id) const
+{
+    for (const test_verdict& v : verdicts) {
+        if (v.id == id) {
+            return &v;
+        }
+    }
+    return nullptr;
+}
+
+software_runner::software_runner(hw::block_config cfg, critical_values cv)
+    : cfg_(std::move(cfg)), cv_(std::move(cv))
+{
+    cfg_.validate();
+}
+
+const reg& software_runner::fetched::get(const std::string& name) const
+{
+    const auto it = values.find(name);
+    if (it == values.end()) {
+        throw std::out_of_range("software_runner: value not collected: "
+                                + name);
+    }
+    return it->second;
+}
+
+software_runner::fetched
+software_runner::collect(const hw::register_map& map, soft_cpu& cpu) const
+{
+    // The collection pass: one multi-word peripheral read per mapped value.
+    fetched store;
+    for (std::size_t i = 0; i < map.size(); ++i) {
+        const hw::map_entry& e = map.entry(i);
+        cpu.charge_read(e.width);
+        store.values[e.name] = reg{map.read_value(i), e.width};
+    }
+
+    // Interface-reduction option: the hardware only transfers the m-bit
+    // pattern counts; the shorter counts are their cyclic marginals,
+    // nu_{k-1}[p] = nu_k[2p] + nu_k[2p+1], derived here at one ADD each.
+    if (cfg_.serial_transfer_marginals
+        && (cfg_.tests.has(hw::test_id::serial)
+            || cfg_.tests.has(hw::test_id::approximate_entropy))) {
+        const auto derive = [&](const char* from, const char* to,
+                                unsigned patterns) {
+            for (unsigned p = 0; p < patterns; ++p) {
+                const reg lo = store.get(std::string{from} + "["
+                                         + std::to_string(2 * p) + "]");
+                const reg hi = store.get(std::string{from} + "["
+                                         + std::to_string(2 * p + 1)
+                                         + "]");
+                store.values[std::string{to} + "[" + std::to_string(p)
+                             + "]"] = cpu.add(lo, hi);
+            }
+        };
+        derive("serial.nu_m", "serial.nu_m1", 1u << (cfg_.serial_m - 1));
+        derive("serial.nu_m1", "serial.nu_m2", 1u << (cfg_.serial_m - 2));
+    }
+    return store;
+}
+
+software_result software_runner::run(const hw::register_map& map,
+                                     soft_cpu& cpu) const
+{
+    software_result result;
+
+    const sw16::op_counts before_collect = cpu.counts();
+    const fetched values = collect(map, cpu);
+    result.collection_ops = cpu.counts() - before_collect;
+
+    const auto run_one = [&](const char* name, auto&& routine) {
+        const sw16::op_counts before = cpu.counts();
+        test_verdict verdict = routine();
+        verdict.name = name;
+        result.per_test_ops[name] = cpu.counts() - before;
+        result.all_pass = result.all_pass && verdict.pass;
+        result.verdicts.push_back(std::move(verdict));
+    };
+
+    using hw::test_id;
+    if (cfg_.tests.has(test_id::frequency)) {
+        run_one("frequency", [&] { return run_frequency(cpu, values); });
+    }
+    if (cfg_.tests.has(test_id::block_frequency)) {
+        run_one("block_frequency",
+                [&] { return run_block_frequency(cpu, values); });
+    }
+    if (cfg_.tests.has(test_id::runs)) {
+        run_one("runs", [&] { return run_runs(cpu, values); });
+    }
+    if (cfg_.tests.has(test_id::longest_run)) {
+        run_one("longest_run", [&] { return run_longest_run(cpu, values); });
+    }
+    if (cfg_.tests.has(test_id::non_overlapping_template)) {
+        run_one("non_overlapping_template",
+                [&] { return run_non_overlapping(cpu, values); });
+    }
+    if (cfg_.tests.has(test_id::overlapping_template)) {
+        run_one("overlapping_template",
+                [&] { return run_overlapping(cpu, values); });
+    }
+    if (cfg_.tests.has(test_id::serial)) {
+        run_one("serial", [&] { return run_serial(cpu, values); });
+    }
+    if (cfg_.tests.has(test_id::approximate_entropy)) {
+        run_one("approximate_entropy",
+                [&] { return run_approximate_entropy(cpu, values); });
+    }
+    if (cfg_.tests.has(test_id::cumulative_sums)) {
+        run_one("cumulative_sums",
+                [&] { return run_cumulative_sums(cpu, values); });
+    }
+
+    result.total_ops = result.collection_ops;
+    for (const auto& entry : result.per_test_ops) {
+        result.total_ops += entry.second;
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------- test 1 --
+test_verdict software_runner::run_frequency(soft_cpu& cpu,
+                                            const fetched& v) const
+{
+    // |S_final| <= precomputed sqrt(2n) erfc^-1(alpha).  S_final comes from
+    // the cusum walk (sharing trick 1: no ones-counter exists in hardware).
+    const reg s = v.get("cusum.s_final");
+    const reg magnitude = cpu.abs(s);
+    const reg bound = soft_cpu::constant(
+        cv_.t1_max_deviation, bits_for_signed(cv_.t1_max_deviation));
+    test_verdict verdict;
+    verdict.id = hw::test_id::frequency;
+    verdict.statistic = magnitude.value;
+    verdict.bound = cv_.t1_max_deviation;
+    verdict.pass = cpu.less_equal(magnitude, bound);
+    return verdict;
+}
+
+// ---------------------------------------------------------------- test 2 --
+test_verdict software_runner::run_block_frequency(soft_cpu& cpu,
+                                                  const fetched& v) const
+{
+    // sum (2 eps_i - M)^2 <= M * chi2_crit(N dof).
+    const unsigned blocks = 1u << (cfg_.log2_n - cfg_.bf_log2_m);
+    const std::int64_t m_value = std::int64_t{1} << cfg_.bf_log2_m;
+    const reg m_const =
+        soft_cpu::constant(m_value, bits_for_signed(m_value));
+    reg acc = soft_cpu::constant(0, 1);
+    for (unsigned i = 0; i < blocks; ++i) {
+        const reg eps =
+            v.get("block_frequency.eps[" + std::to_string(i) + "]");
+        reg d = cpu.shift_left(eps, 1);
+        d = cpu.sub(d, m_const);
+        d = cpu.abs(d);
+        const reg square = cpu.sqr(d);
+        acc = cpu.add(acc, square);
+    }
+    const reg bound = soft_cpu::constant(
+        cv_.t2_sum_bound, bits_for_signed(cv_.t2_sum_bound));
+    test_verdict verdict;
+    verdict.id = hw::test_id::block_frequency;
+    verdict.statistic = acc.value;
+    verdict.bound = cv_.t2_sum_bound;
+    verdict.pass = cpu.less_equal(acc, bound);
+    return verdict;
+}
+
+// ---------------------------------------------------------------- test 3 --
+test_verdict software_runner::run_runs(soft_cpu& cpu, const fetched& v) const
+{
+    test_verdict verdict;
+    verdict.id = hw::test_id::runs;
+
+    // Frequency prerequisite on the walk's final value.
+    const reg s = v.get("cusum.s_final");
+    const reg magnitude = cpu.abs(s);
+    const reg prereq = soft_cpu::constant(
+        cv_.t3_prereq_deviation, bits_for_signed(cv_.t3_prereq_deviation));
+    if (cpu.greater_equal(magnitude, prereq)) {
+        verdict.statistic = magnitude.value;
+        verdict.bound = cv_.t3_prereq_deviation;
+        verdict.pass = false;
+        return verdict;
+    }
+
+    // N_ones = (S_final + n) / 2 -- derived, not counted (trick 1).
+    const std::int64_t n_value =
+        static_cast<std::int64_t>(cfg_.n());
+    reg ones = cpu.add(s, soft_cpu::constant(n_value,
+                                             bits_for_signed(n_value)));
+    ones = cpu.shift_right(ones, 1);
+
+    // Binary search for the stored N_ones interval (the paper: "first
+    // checks the interval where N_ones belongs").
+    std::size_t lo = 0;
+    std::size_t hi = cv_.t3_intervals.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        const runs_interval& iv = cv_.t3_intervals[mid];
+        const reg upper = soft_cpu::constant(
+            iv.ones_hi, bits_for_signed(iv.ones_hi));
+        if (cpu.greater(ones, upper)) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    const runs_interval& iv = cv_.t3_intervals[lo];
+
+    const reg runs = v.get("runs.n_runs");
+    const reg lo_bound =
+        soft_cpu::constant(iv.runs_lo, bits_for_signed(iv.runs_lo));
+    const reg hi_bound =
+        soft_cpu::constant(iv.runs_hi, bits_for_signed(iv.runs_hi));
+    const bool above = cpu.greater_equal(runs, lo_bound);
+    const bool below = cpu.less_equal(runs, hi_bound);
+    verdict.statistic = runs.value;
+    verdict.bound = iv.runs_hi;
+    verdict.pass = above && below;
+    return verdict;
+}
+
+// ---------------------------------------------------------------- test 4 --
+test_verdict software_runner::run_longest_run(soft_cpu& cpu,
+                                              const fetched& v) const
+{
+    // sum nu_i^2 w_i <= 2^q N (crit + N), w_i = round(2^q / pi_i).
+    reg acc = soft_cpu::constant(0, 1);
+    for (std::size_t c = 0; c < cv_.t4_weights_q.size(); ++c) {
+        const reg nu = v.get("longest_run.nu[" + std::to_string(c) + "]");
+        const reg square = cpu.sqr(nu);
+        const reg w = soft_cpu::constant(
+            cv_.t4_weights_q[c], bits_for_signed(cv_.t4_weights_q[c]));
+        const reg term = cpu.mul(square, w);
+        acc = cpu.add(acc, term);
+    }
+    const reg bound = soft_cpu::constant(
+        cv_.t4_sum_bound, bits_for_signed(cv_.t4_sum_bound));
+    test_verdict verdict;
+    verdict.id = hw::test_id::longest_run;
+    verdict.statistic = acc.value;
+    verdict.bound = cv_.t4_sum_bound;
+    verdict.pass = cpu.less_equal(acc, bound);
+    return verdict;
+}
+
+// ---------------------------------------------------------------- test 7 --
+test_verdict software_runner::run_non_overlapping(soft_cpu& cpu,
+                                                  const fetched& v) const
+{
+    // sum (2^m W_i - (M - m + 1))^2 <= 2^{2m} sigma^2 crit.
+    const unsigned blocks = 1u << (cfg_.log2_n - cfg_.t7_log2_m);
+    const std::int64_t mu_scaled =
+        (std::int64_t{1} << cfg_.t7_log2_m) - cfg_.template_length + 1;
+    const reg mu = soft_cpu::constant(mu_scaled, bits_for_signed(mu_scaled));
+    reg acc = soft_cpu::constant(0, 1);
+    for (unsigned i = 0; i < blocks; ++i) {
+        const reg w = v.get("non_overlapping.w[" + std::to_string(i) + "]");
+        reg d = cpu.shift_left(w, cfg_.template_length);
+        d = cpu.sub(d, mu);
+        d = cpu.abs(d);
+        const reg square = cpu.sqr(d);
+        acc = cpu.add(acc, square);
+    }
+    const reg bound = soft_cpu::constant(
+        cv_.t7_sum_bound, bits_for_signed(cv_.t7_sum_bound));
+    test_verdict verdict;
+    verdict.id = hw::test_id::non_overlapping_template;
+    verdict.statistic = acc.value;
+    verdict.bound = cv_.t7_sum_bound;
+    verdict.pass = cpu.less_equal(acc, bound);
+    return verdict;
+}
+
+// ---------------------------------------------------------------- test 8 --
+test_verdict software_runner::run_overlapping(soft_cpu& cpu,
+                                              const fetched& v) const
+{
+    reg acc = soft_cpu::constant(0, 1);
+    for (std::size_t c = 0; c < cv_.t8_weights_q.size(); ++c) {
+        const reg nu = v.get("overlapping.nu_temp[" + std::to_string(c)
+                             + "]");
+        const reg square = cpu.sqr(nu);
+        const reg w = soft_cpu::constant(
+            cv_.t8_weights_q[c], bits_for_signed(cv_.t8_weights_q[c]));
+        const reg term = cpu.mul(square, w);
+        acc = cpu.add(acc, term);
+    }
+    const reg bound = soft_cpu::constant(
+        cv_.t8_sum_bound, bits_for_signed(cv_.t8_sum_bound));
+    test_verdict verdict;
+    verdict.id = hw::test_id::overlapping_template;
+    verdict.statistic = acc.value;
+    verdict.bound = cv_.t8_sum_bound;
+    verdict.pass = cpu.less_equal(acc, bound);
+    return verdict;
+}
+
+// --------------------------------------------------------------- helpers --
+namespace {
+
+/// Sum of squares over a counter file.
+reg sum_of_squares(soft_cpu& cpu, const std::function<reg(unsigned)>& at,
+                   unsigned count)
+{
+    reg acc = soft_cpu::constant(0, 1);
+    for (unsigned i = 0; i < count; ++i) {
+        const reg square = cpu.sqr(at(i));
+        acc = cpu.add(acc, square);
+    }
+    return acc;
+}
+
+} // namespace
+
+// --------------------------------------------------------------- test 11 --
+test_verdict software_runner::run_serial(soft_cpu& cpu,
+                                         const fetched& v) const
+{
+    const unsigned m = cfg_.serial_m;
+    const auto file_value = [&](const char* file, unsigned i) {
+        return v.get(std::string{file} + "[" + std::to_string(i) + "]");
+    };
+    const reg sum_m = sum_of_squares(
+        cpu, [&](unsigned i) { return file_value("serial.nu_m", i); },
+        1u << m);
+    const reg sum_m1 = sum_of_squares(
+        cpu, [&](unsigned i) { return file_value("serial.nu_m1", i); },
+        1u << (m - 1));
+    const reg sum_m2 = sum_of_squares(
+        cpu, [&](unsigned i) { return file_value("serial.nu_m2", i); },
+        1u << (m - 2));
+
+    // n del-psi^2   = 2^m sum_m - 2^{m-1} sum_m1
+    // n del2-psi^2  = 2^m sum_m - 2^m sum_m1 + 2^{m-2} sum_m2
+    const reg sum_m_scaled = cpu.shift_left(sum_m, m);
+    const reg del1 =
+        cpu.sub(sum_m_scaled, cpu.shift_left(sum_m1, m - 1));
+    reg del2 = cpu.sub(sum_m_scaled, cpu.shift_left(sum_m1, m));
+    del2 = cpu.add(del2, cpu.shift_left(sum_m2, m - 2));
+
+    const reg bound1 = soft_cpu::constant(
+        cv_.t11_del1_bound, bits_for_signed(cv_.t11_del1_bound));
+    const reg bound2 = soft_cpu::constant(
+        cv_.t11_del2_bound, bits_for_signed(cv_.t11_del2_bound));
+    const bool pass1 = cpu.less_equal(del1, bound1);
+    const bool pass2 = cpu.less_equal(del2, bound2);
+
+    test_verdict verdict;
+    verdict.id = hw::test_id::serial;
+    verdict.statistic = del1.value;
+    verdict.bound = cv_.t11_del1_bound;
+    verdict.pass = pass1 && pass2;
+    return verdict;
+}
+
+// --------------------------------------------------------------- test 12 --
+test_verdict software_runner::run_approximate_entropy(soft_cpu& cpu,
+                                                      const fetched& v) const
+{
+    // ApEn(m-1) = phi_{m-1} - phi_m = sum g(nu_m / n) - sum g(nu_{m-1} / n)
+    // with g(x) = -x ln x evaluated by the 32-segment PWL table; the
+    // division by n is a pure shift because n is a power of two.
+    const unsigned m = cfg_.serial_m;
+    const auto to_q16 = [&](reg nu) {
+        if (cfg_.log2_n >= 16) {
+            return cpu.shift_right(nu, cfg_.log2_n - 16);
+        }
+        return cpu.shift_left(nu, 16 - cfg_.log2_n);
+    };
+    const auto phi_sum = [&](const char* file, unsigned count) {
+        reg acc = soft_cpu::constant(0, 1);
+        for (unsigned i = 0; i < count; ++i) {
+            const reg nu =
+                v.get(std::string{file} + "[" + std::to_string(i) + "]");
+            const reg g = sw16::pwl_xlogx(cpu, to_q16(nu));
+            acc = cpu.add(acc, g);
+        }
+        return acc;
+    };
+    const reg a = phi_sum("serial.nu_m", 1u << m);
+    const reg b = phi_sum("serial.nu_m1", 1u << (m - 1));
+    const reg apen_q16 = cpu.sub(a, b);
+    const reg bound = soft_cpu::constant(
+        cv_.t12_apen_min_q16, bits_for_signed(cv_.t12_apen_min_q16));
+    test_verdict verdict;
+    verdict.id = hw::test_id::approximate_entropy;
+    verdict.statistic = apen_q16.value;
+    verdict.bound = cv_.t12_apen_min_q16;
+    verdict.pass = cpu.greater_equal(apen_q16, bound);
+    return verdict;
+}
+
+// --------------------------------------------------------------- test 13 --
+test_verdict software_runner::run_cumulative_sums(soft_cpu& cpu,
+                                                  const fetched& v) const
+{
+    // Forward mode:  z = max(S_max, -S_min).
+    // Backward mode: z = max(S_max - S_final, S_final - S_min) -- the
+    // Table II formula; both modes from the same three registers.
+    const reg s_final = v.get("cusum.s_final");
+    const reg s_max = v.get("cusum.s_max");
+    const reg s_min = v.get("cusum.s_min");
+
+    const reg zero = soft_cpu::constant(0, 1);
+    const reg neg_min = cpu.sub(zero, s_min);
+    const reg z_fwd = cpu.max(s_max, neg_min);
+    const reg z_rev =
+        cpu.max(cpu.sub(s_max, s_final), cpu.sub(s_final, s_min));
+
+    const reg bound = soft_cpu::constant(
+        cv_.t13_z_bound, bits_for_signed(cv_.t13_z_bound));
+    const bool pass_fwd = cpu.less_equal(z_fwd, bound);
+    const bool pass_rev = cpu.less_equal(z_rev, bound);
+
+    test_verdict verdict;
+    verdict.id = hw::test_id::cumulative_sums;
+    verdict.statistic = std::max(z_fwd.value, z_rev.value);
+    verdict.bound = cv_.t13_z_bound;
+    verdict.pass = pass_fwd && pass_rev;
+    return verdict;
+}
+
+} // namespace otf::core

@@ -1,0 +1,90 @@
+// The software half of every test (the right-hand column of Table II).
+//
+// `software_runner` is the program that runs on the embedded platform: it
+// reads the hardware counter values over the memory-mapped interface and
+// verifies the randomness hypothesis using only add/subtract/multiply/
+// square/shift/compare instructions plus the PWL table -- no erfc, no
+// gamma, no division.  Every routine executes against a `sw16::soft_cpu`,
+// which both computes the exact result and charges the 16-bit instruction
+// costs that regenerate the SW section of Table III.
+//
+// There is deliberately no single alarm output: the result is a vector of
+// per-test verdicts with their raw statistics (the anti-fault-attack
+// property discussed in the paper's introduction).
+#pragma once
+
+#include "core/critical_values.hpp"
+#include "hw/config.hpp"
+#include "hw/register_map.hpp"
+#include "sw16/cpu.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace otf::core {
+
+struct test_verdict {
+    hw::test_id id;
+    std::string name;
+    bool pass = false;
+    /// The integer statistic the software computed.
+    std::int64_t statistic = 0;
+    /// The precomputed constant it was compared against.
+    std::int64_t bound = 0;
+};
+
+struct software_result {
+    std::vector<test_verdict> verdicts;
+    bool all_pass = true;
+    /// Instruction cost of reading every hardware value (the READ pass).
+    sw16::op_counts collection_ops;
+    /// Instruction cost per test routine (arithmetic only), keyed by name.
+    std::map<std::string, sw16::op_counts> per_test_ops;
+    /// Collection + all routines.
+    sw16::op_counts total_ops;
+
+    const test_verdict* find(hw::test_id id) const;
+};
+
+class software_runner {
+public:
+    software_runner(hw::block_config cfg, critical_values cv);
+
+    const hw::block_config& config() const { return cfg_; }
+    const critical_values& bounds() const { return cv_; }
+
+    /// Full pass: read the interface, run every enabled test's routine.
+    software_result run(const hw::register_map& map,
+                        sw16::soft_cpu& cpu) const;
+
+private:
+    hw::block_config cfg_;
+    critical_values cv_;
+
+    // Local store of values fetched during the collection pass.
+    struct fetched {
+        std::map<std::string, sw16::reg> values;
+        const sw16::reg& get(const std::string& name) const;
+    };
+
+    fetched collect(const hw::register_map& map, sw16::soft_cpu& cpu) const;
+
+    test_verdict run_frequency(sw16::soft_cpu& cpu, const fetched& v) const;
+    test_verdict run_block_frequency(sw16::soft_cpu& cpu,
+                                     const fetched& v) const;
+    test_verdict run_runs(sw16::soft_cpu& cpu, const fetched& v) const;
+    test_verdict run_longest_run(sw16::soft_cpu& cpu,
+                                 const fetched& v) const;
+    test_verdict run_non_overlapping(sw16::soft_cpu& cpu,
+                                     const fetched& v) const;
+    test_verdict run_overlapping(sw16::soft_cpu& cpu,
+                                 const fetched& v) const;
+    test_verdict run_serial(sw16::soft_cpu& cpu, const fetched& v) const;
+    test_verdict run_approximate_entropy(sw16::soft_cpu& cpu,
+                                         const fetched& v) const;
+    test_verdict run_cumulative_sums(sw16::soft_cpu& cpu,
+                                     const fetched& v) const;
+};
+
+} // namespace otf::core

@@ -1,0 +1,43 @@
+// Hardware engine for the frequency test within a block (NIST test 2).
+//
+// One ones-counter accumulates epsilon_i for the current block; at every
+// block boundary the value is stored into a register bank slot and the
+// counter clears.  Block boundaries and the bank write index come straight
+// from the global bit counter (sharing trick 2: M is a power of two, so the
+// boundary is "low log2(M) bits all ones" and the slot index is the high
+// bits) -- the engine owns no position counter of its own.
+#pragma once
+
+#include "hw/engine.hpp"
+#include "rtl/counter.hpp"
+#include "rtl/registers.hpp"
+
+namespace otf::hw {
+
+class block_frequency_hw final : public engine {
+public:
+    block_frequency_hw(unsigned log2_n, unsigned log2_m);
+
+    void consume(bool bit, std::uint64_t bit_index) override;
+    void add_registers(register_map& map) const override;
+
+    unsigned block_count() const { return block_count_; }
+    unsigned block_length_log2() const { return log2_m_; }
+    std::uint64_t ones_in_block(unsigned index) const
+    {
+        return bank_.read(index);
+    }
+
+protected:
+    rtl::resources self_cost() const override;
+    void self_reset() override {}
+
+private:
+    unsigned log2_m_;
+    unsigned block_count_;
+    std::uint64_t block_mask_;
+    rtl::counter ones_;
+    rtl::register_bank bank_;
+};
+
+} // namespace otf::hw

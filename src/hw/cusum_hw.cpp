@@ -1,0 +1,39 @@
+#include "hw/cusum_hw.hpp"
+
+namespace otf::hw {
+
+cusum_hw::cusum_hw(unsigned log2_n)
+    : engine("cusum"), walk_("walk", log2_n + 2),
+      max_("s_max", log2_n + 2), min_("s_min", log2_n + 2)
+{
+    adopt(walk_);
+    adopt(max_);
+    adopt(min_);
+}
+
+void cusum_hw::consume(bool bit, std::uint64_t bit_index)
+{
+    (void)bit_index;
+    walk_.step(bit);
+    max_.observe(walk_.value());
+    min_.observe(walk_.value());
+}
+
+void cusum_hw::add_registers(register_map& map) const
+{
+    const unsigned w = walk_.width();
+    map.add_scalar("cusum.s_final", w, true,
+                   [this] { return static_cast<std::uint64_t>(s_final()); });
+    map.add_scalar("cusum.s_max", w, true,
+                   [this] { return static_cast<std::uint64_t>(s_max()); });
+    map.add_scalar("cusum.s_min", w, true,
+                   [this] { return static_cast<std::uint64_t>(s_min()); });
+}
+
+rtl::resources cusum_hw::self_cost() const
+{
+    // Only glue: the bit drives the up/down select directly.
+    return {};
+}
+
+} // namespace otf::hw

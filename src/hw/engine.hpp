@@ -1,0 +1,45 @@
+// Base class for the bit-serial test engines.
+//
+// Every engine implements the *hardware column* of the paper's Table II for
+// one statistical test: it observes the random bit stream one bit per clock
+// cycle (all updates complete within that cycle) and accumulates the counter
+// values that the software half later reads over the memory-mapped
+// interface.  Engines never compute P-values or compare against critical
+// values -- that is software's job; they expose raw counters through the
+// register map, which is also what makes the platform resistant to
+// alarm-wire fault attacks (there is no single alarm signal to ground).
+#pragma once
+
+#include "hw/register_map.hpp"
+#include "rtl/component.hpp"
+
+#include <cstdint>
+
+namespace otf::hw {
+
+class engine : public rtl::component {
+public:
+    using rtl::component::component;
+
+    /// One clock cycle: consume the next random bit.  `bit_index` is the
+    /// current value of the global bit counter (0-based position of `bit`),
+    /// from which engines derive block boundaries (sharing trick 2: block
+    /// lengths are powers of two, so boundary detection is a decode of the
+    /// counter's low bits, not a private counter).
+    virtual void consume(bool bit, std::uint64_t bit_index) = 0;
+
+    /// Cyclic-extension flush cycle `t` (0-based), fed with the stored
+    /// opening bits of the sequence after the real stream has ended.  Only
+    /// the serial/approximate-entropy engine uses these; the default is a
+    /// no-op.
+    virtual void flush(bool bit, unsigned t)
+    {
+        (void)bit;
+        (void)t;
+    }
+
+    /// Publish this engine's hardware values into the memory map.
+    virtual void add_registers(register_map& map) const = 0;
+};
+
+} // namespace otf::hw

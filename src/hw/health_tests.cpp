@@ -1,0 +1,108 @@
+#include "hw/health_tests.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace otf::hw {
+
+repetition_count_hw::repetition_count_hw(unsigned cutoff)
+    : engine("repetition_count"), cutoff_(cutoff),
+      // The run counter saturates just above the cutoff; runs longer than
+      // the alarm point carry no extra information.
+      run_("run", static_cast<unsigned>(std::bit_width(cutoff)) + 1),
+      longest_("longest", static_cast<unsigned>(std::bit_width(cutoff)) + 1)
+{
+    if (cutoff < 2) {
+        throw std::invalid_argument(
+            "repetition_count_hw: cutoff must be at least 2");
+    }
+    adopt(run_);
+    adopt(longest_);
+}
+
+void repetition_count_hw::consume(bool bit, std::uint64_t bit_index)
+{
+    (void)bit_index;
+    if (!primed_ || bit != prev_) {
+        run_.clear();
+    }
+    run_.step();
+    primed_ = true;
+    prev_ = bit;
+    longest_.observe(static_cast<std::int64_t>(run_.value()));
+    if (run_.value() >= cutoff_) {
+        alarm_ = true; // sticky until the operator clears it
+    }
+}
+
+void repetition_count_hw::add_registers(register_map& map) const
+{
+    map.add_scalar("health.rct_longest", longest_.width(), false, [this] {
+        return static_cast<std::uint64_t>(longest_.value());
+    });
+    map.add_scalar("health.rct_alarm", 1, false,
+                   [this] { return alarm_ ? 1u : 0u; });
+}
+
+rtl::resources repetition_count_hw::self_cost() const
+{
+    // prev/primed FFs, the equality XOR, the cutoff comparator and the
+    // sticky alarm FF.
+    const std::uint32_t cmp = (run_.width() + 1) / 2;
+    return rtl::resources{.ffs = 3, .luts = cmp + 2,
+                          .carry_bits = run_.width(), .mux_levels = 0};
+}
+
+adaptive_proportion_hw::adaptive_proportion_hw(unsigned log2_window,
+                                               unsigned cutoff)
+    : engine("adaptive_proportion"), log2_window_(log2_window),
+      cutoff_(cutoff),
+      window_mask_((std::uint64_t{1} << log2_window) - 1),
+      occurrences_("occurrences", log2_window + 1)
+{
+    if (log2_window < 4 || log2_window > 16) {
+        throw std::invalid_argument(
+            "adaptive_proportion_hw: window must be 2^4..2^16 bits");
+    }
+    if (cutoff < 2 || (std::uint64_t{cutoff} >> log2_window) != 0) {
+        throw std::invalid_argument(
+            "adaptive_proportion_hw: cutoff must fit inside the window");
+    }
+    adopt(occurrences_);
+}
+
+void adaptive_proportion_hw::consume(bool bit, std::uint64_t bit_index)
+{
+    const std::uint64_t pos = bit_index & window_mask_;
+    if (pos == 0) {
+        // First sample of the window becomes the reference value and
+        // counts as its first occurrence.
+        reference_ = bit;
+        occurrences_.clear();
+    }
+    occurrences_.step(bit == reference_);
+    if (occurrences_.value() >= cutoff_) {
+        alarm_ = true;
+    }
+}
+
+void adaptive_proportion_hw::add_registers(register_map& map) const
+{
+    map.add_scalar("health.apt_count", occurrences_.width(), false,
+                   [this] { return occurrences_.value(); });
+    map.add_scalar("health.apt_alarm", 1, false,
+                   [this] { return alarm_ ? 1u : 0u; });
+}
+
+rtl::resources adaptive_proportion_hw::self_cost() const
+{
+    // Reference FF, window-start decode off the global counter, equality
+    // XOR, cutoff comparator, sticky alarm FF.
+    const std::uint32_t decode = (log2_window_ + 5) / 6;
+    const std::uint32_t cmp = (occurrences_.width() + 1) / 2;
+    return rtl::resources{.ffs = 2, .luts = decode + cmp + 2,
+                          .carry_bits = occurrences_.width(),
+                          .mux_levels = 0};
+}
+
+} // namespace otf::hw

@@ -1,0 +1,51 @@
+// Hardware engine for the longest-run-of-ones test (NIST test 4).
+//
+// A saturating counter tracks the current run of ones; a max register keeps
+// the block's longest run.  At each block boundary the block maximum is
+// classified into one of the NIST categories {<= v_lo, ..., >= v_hi} by a
+// row of constant comparators and the matching category counter increments;
+// both trackers then clear.  The software later forms the chi-squared sum
+// from the category counters (Table II row 4).
+#pragma once
+
+#include "hw/engine.hpp"
+#include "rtl/counter.hpp"
+#include "rtl/registers.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace otf::hw {
+
+class longest_run_hw final : public engine {
+public:
+    longest_run_hw(unsigned log2_n, unsigned log2_m, unsigned v_lo,
+                   unsigned v_hi);
+
+    void consume(bool bit, std::uint64_t bit_index) override;
+    void add_registers(register_map& map) const override;
+
+    unsigned category_count() const
+    {
+        return static_cast<unsigned>(categories_.size());
+    }
+    std::uint64_t category(unsigned index) const
+    {
+        return categories_[index]->value();
+    }
+
+protected:
+    rtl::resources self_cost() const override;
+    void self_reset() override {}
+
+private:
+    unsigned log2_m_;
+    unsigned v_lo_;
+    unsigned v_hi_;
+    std::uint64_t block_mask_;
+    rtl::saturating_counter run_length_;
+    rtl::max_tracker block_max_;
+    std::vector<std::unique_ptr<rtl::counter>> categories_;
+};
+
+} // namespace otf::hw

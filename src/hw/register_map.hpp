@@ -1,0 +1,69 @@
+// Memory-mapped register interface of the testing block.
+//
+// Fig. 2 of the paper: a large multiplexer, selected by a 7-bit address,
+// exposes every hardware-computed value to the software platform.  The map
+// distinguishes scalar values (one mux input each) from *groups* -- register
+// banks and counter files that arrive at the top-level mux through their own
+// sub-addressed read port and therefore occupy a single top-level input.
+// The paper points out that this interface "contributes significantly to the
+// overall area", which the resource model here makes measurable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace otf::hw {
+
+struct map_entry {
+    std::string name;
+    unsigned width = 16;  ///< value width in bits
+    bool is_signed = false;
+    std::function<std::uint64_t()> read;
+    /// Entries of the same non-empty group share one top-level mux input.
+    std::string group;
+};
+
+class register_map {
+public:
+    /// Register a scalar value.
+    void add_scalar(std::string name, unsigned width, bool is_signed,
+                    std::function<std::uint64_t()> read);
+
+    /// Register element `index` of a sub-addressed group (bank / counter
+    /// file read port).
+    void add_group_element(std::string group, std::string name,
+                           unsigned width, bool is_signed,
+                           std::function<std::uint64_t()> read);
+
+    std::size_t size() const { return entries_.size(); }
+    const map_entry& entry(std::size_t index) const;
+    const std::vector<map_entry>& entries() const { return entries_; }
+
+    /// Index of the entry called `name`, throws if absent.
+    std::size_t index_of(const std::string& name) const;
+
+    /// Raw value (two's complement in `width` bits for signed entries).
+    std::uint64_t read_raw(std::size_t index) const;
+    /// Sign-extended value for signed entries, plain value otherwise.
+    std::int64_t read_value(std::size_t index) const;
+    std::int64_t read_value(const std::string& name) const;
+
+    /// Number of inputs the top-level readout mux needs: one per scalar
+    /// plus one per distinct group.
+    unsigned top_level_inputs() const;
+
+    /// Widest value in the map (the readout mux data width).
+    unsigned max_width() const;
+
+    /// Total 16-bit words the software must read to fetch every value --
+    /// the READ instruction count of a full collection pass.
+    unsigned total_words(unsigned word_bits = 16) const;
+
+private:
+    std::vector<map_entry> entries_;
+};
+
+} // namespace otf::hw

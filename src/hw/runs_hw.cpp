@@ -1,0 +1,38 @@
+#include "hw/runs_hw.hpp"
+
+namespace otf::hw {
+
+runs_hw::runs_hw(unsigned log2_n)
+    : engine("runs"), runs_("n_runs", log2_n + 1)
+{
+    adopt(runs_);
+}
+
+void runs_hw::consume(bool bit, std::uint64_t bit_index)
+{
+    (void)bit_index;
+    // The first bit opens run number one; afterwards every transition
+    // opens a new run.
+    if (!primed_) {
+        runs_.step();
+        primed_ = true;
+    } else if (bit != prev_) {
+        runs_.step();
+    }
+    prev_ = bit;
+}
+
+void runs_hw::add_registers(register_map& map) const
+{
+    map.add_scalar("runs.n_runs", runs_.width(), false,
+                   [this] { return n_runs(); });
+}
+
+rtl::resources runs_hw::self_cost() const
+{
+    // Previous-bit FF, primed FF, and the XOR that detects a transition.
+    return rtl::resources{.ffs = 2, .luts = 1, .carry_bits = 0,
+                          .mux_levels = 0};
+}
+
+} // namespace otf::hw

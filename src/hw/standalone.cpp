@@ -1,0 +1,350 @@
+#include "hw/standalone.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace otf::hw {
+
+// ------------------------------------------------------------- frequency --
+standalone_frequency::standalone_frequency(unsigned log2_n,
+                                           std::uint64_t max_deviation)
+    : standalone_test("standalone_frequency"), log2_n_(log2_n),
+      max_deviation_(max_deviation),
+      bit_counter_("bit_counter", log2_n),
+      ones_("ones", log2_n + 1),
+      threshold_("deviation_bound", log2_n + 2, max_deviation)
+{
+    adopt(bit_counter_);
+    adopt(ones_);
+    adopt(threshold_);
+}
+
+void standalone_frequency::consume(bool bit)
+{
+    ones_.step(bit);
+    bit_counter_.step();
+}
+
+bool standalone_frequency::finalize()
+{
+    const auto n = std::int64_t{1} << log2_n_;
+    const auto deviation =
+        std::llabs(2 * static_cast<std::int64_t>(ones_.value()) - n);
+    alarm_ = static_cast<std::uint64_t>(deviation) > max_deviation_;
+    return alarm_;
+}
+
+rtl::resources standalone_frequency::self_cost() const
+{
+    // |2 ones - n| needs a subtract/negate stage before the comparator.
+    return rtl::resources{.ffs = 1, .luts = log2_n_ + 2,
+                          .carry_bits = log2_n_ + 2, .mux_levels = 0};
+}
+
+// -------------------------------------------------------- block frequency --
+standalone_block_frequency::standalone_block_frequency(
+    unsigned log2_n, unsigned log2_m, std::uint64_t chi_bound_scaled)
+    : standalone_test("standalone_block_frequency"), log2_m_(log2_m),
+      block_mask_((std::uint64_t{1} << log2_m) - 1),
+      chi_bound_scaled_(chi_bound_scaled),
+      bit_counter_("bit_counter", log2_n),
+      ones_("ones", log2_m + 1),
+      squarer_("squarer", log2_m + 2, log2_m + 2),
+      acc_("acc", 2 * (log2_m + 2) + (log2_n - log2_m)),
+      threshold_("chi_bound", 2 * (log2_m + 2) + (log2_n - log2_m),
+                 chi_bound_scaled)
+{
+    if (log2_m >= log2_n) {
+        throw std::invalid_argument(
+            "standalone_block_frequency: M must divide n");
+    }
+    adopt(bit_counter_);
+    adopt(ones_);
+    adopt(squarer_);
+    adopt(acc_);
+    adopt(threshold_);
+}
+
+void standalone_block_frequency::consume(bool bit)
+{
+    ones_.step(bit);
+    const bool block_end =
+        (bit_counter_.value() & block_mask_) == block_mask_;
+    if (block_end) {
+        // (2 eps - M)^2 in one cycle through the hardware squarer.
+        const auto m = std::int64_t{1} << log2_m_;
+        const std::int64_t d =
+            2 * static_cast<std::int64_t>(ones_.value()) - m;
+        const auto magnitude = static_cast<std::uint64_t>(d < 0 ? -d : d);
+        acc_.accumulate(squarer_.multiply(magnitude, magnitude));
+        ones_.clear();
+    }
+    bit_counter_.step();
+}
+
+bool standalone_block_frequency::finalize()
+{
+    alarm_ = acc_.value() > chi_bound_scaled_;
+    return alarm_;
+}
+
+rtl::resources standalone_block_frequency::self_cost() const
+{
+    // The 2 eps - M stage and block-end decode.
+    return rtl::resources{.ffs = 1, .luts = log2_m_ + 3,
+                          .carry_bits = log2_m_ + 2, .mux_levels = 0};
+}
+
+// ------------------------------------------------------------------ runs --
+standalone_runs::standalone_runs(unsigned log2_n,
+                                 std::vector<interval> intervals)
+    : standalone_test("standalone_runs"), intervals_(std::move(intervals)),
+      bit_counter_("bit_counter", log2_n),
+      ones_("ones", log2_n + 1),
+      runs_("runs", log2_n + 1)
+{
+    if (intervals_.empty()) {
+        throw std::invalid_argument("standalone_runs: need intervals");
+    }
+    adopt(bit_counter_);
+    adopt(ones_);
+    adopt(runs_);
+}
+
+void standalone_runs::consume(bool bit)
+{
+    ones_.step(bit);
+    if (!primed_) {
+        runs_.step();
+        primed_ = true;
+    } else if (bit != prev_) {
+        runs_.step();
+    }
+    prev_ = bit;
+    bit_counter_.step();
+}
+
+bool standalone_runs::finalize()
+{
+    const std::uint64_t ones = ones_.value();
+    const std::uint64_t v = runs_.value();
+    for (const interval& iv : intervals_) {
+        if (ones >= iv.ones_lo && ones <= iv.ones_hi) {
+            alarm_ = v < iv.runs_lo || v > iv.runs_hi;
+            return alarm_;
+        }
+    }
+    // N_ones outside every interval: the sequence already failed the
+    // frequency precondition.
+    alarm_ = true;
+    return alarm_;
+}
+
+rtl::resources standalone_runs::self_cost() const
+{
+    // prev/primed FFs, one shared magnitude comparator on the carry chain,
+    // a distributed-ROM table of the per-interval constants (4 values of
+    // counter width per interval, 64 bits per LUT6 as ROM64X1), and a
+    // small sequential FSM that walks the table -- the decision latency
+    // covers the walk.
+    const unsigned width = ones_.width();
+    const auto table_bits =
+        static_cast<std::uint32_t>(intervals_.size()) * 4u * width;
+    const std::uint32_t rom_luts = (table_bits + 63) / 64;
+    const std::uint32_t cmp_luts = (width + 1) / 2;
+    return rtl::resources{.ffs = 2 + 6, // prev/primed + FSM state
+                          .luts = rom_luts + cmp_luts + 6,
+                          .carry_bits = width, .mux_levels = 0};
+}
+
+// ------------------------------------------------------------ longest run --
+standalone_longest_run::standalone_longest_run(
+    unsigned log2_n, unsigned log2_m, unsigned v_lo, unsigned v_hi,
+    std::vector<std::uint64_t> weights_q, std::uint64_t bound_lo_scaled,
+    std::uint64_t bound_hi_scaled)
+    : standalone_test("standalone_longest_run"), log2_m_(log2_m),
+      v_lo_(v_lo), v_hi_(v_hi),
+      block_mask_((std::uint64_t{1} << log2_m) - 1),
+      weights_q_(std::move(weights_q)), bound_lo_scaled_(bound_lo_scaled),
+      bound_hi_scaled_(bound_hi_scaled),
+      bit_counter_("bit_counter", log2_n),
+      run_length_("run_length", log2_m + 1),
+      block_max_("block_max", log2_m + 1),
+      mac_("mac", 2 * ((log2_n - log2_m) + 1), 24),
+      acc_("acc", 48)
+{
+    if (weights_q_.size() != v_hi - v_lo + 1) {
+        throw std::invalid_argument(
+            "standalone_longest_run: one weight per category required");
+    }
+    adopt(bit_counter_);
+    adopt(run_length_);
+    adopt(block_max_);
+    adopt(mac_);
+    adopt(acc_);
+    const unsigned counter_width = (log2_n - log2_m) + 1;
+    for (unsigned c = 0; c < weights_q_.size(); ++c) {
+        categories_.push_back(std::make_unique<rtl::counter>(
+            "nu[" + std::to_string(c) + "]", counter_width));
+        adopt(*categories_.back());
+    }
+}
+
+void standalone_longest_run::consume(bool bit)
+{
+    if (bit) {
+        run_length_.step();
+        block_max_.observe(static_cast<std::int64_t>(run_length_.value()));
+    } else {
+        run_length_.clear();
+    }
+    const bool block_end =
+        (bit_counter_.value() & block_mask_) == block_mask_;
+    if (block_end) {
+        const auto longest = static_cast<unsigned>(block_max_.value());
+        unsigned category;
+        if (longest <= v_lo_) {
+            category = 0;
+        } else if (longest >= v_hi_) {
+            category = v_hi_ - v_lo_;
+        } else {
+            category = longest - v_lo_;
+        }
+        categories_[category]->step();
+        run_length_.clear();
+        block_max_.clear();
+    }
+    bit_counter_.step();
+}
+
+bool standalone_longest_run::finalize()
+{
+    // Sequential FSM: nu_i^2 (cycle 1), times w_i (cycle 2), accumulate.
+    acc_.clear();
+    for (unsigned c = 0; c < weights_q_.size(); ++c) {
+        const std::uint64_t nu = categories_[c]->value();
+        acc_.accumulate(mac_.multiply(nu * nu, weights_q_[c]));
+    }
+    alarm_ = acc_.value() < bound_lo_scaled_
+        || acc_.value() > bound_hi_scaled_;
+    return alarm_;
+}
+
+rtl::resources standalone_longest_run::self_cost() const
+{
+    // Category classification comparators and the decision FSM state.
+    const unsigned width = log2_m_ + 1;
+    const std::uint32_t cmp_luts = (v_hi_ - v_lo_) * ((width + 1) / 2);
+    return rtl::resources{.ffs = 4, .luts = cmp_luts + 6,
+                          .carry_bits = width, .mux_levels = 0};
+}
+
+// -------------------------------------------------------- non-overlapping --
+standalone_non_overlapping::standalone_non_overlapping(
+    unsigned log2_n, unsigned log2_m, std::uint32_t templ,
+    unsigned template_length, std::uint64_t bound_scaled)
+    : standalone_test("standalone_non_overlapping"), log2_m_(log2_m),
+      template_length_(template_length),
+      block_mask_((std::uint64_t{1} << log2_m) - 1),
+      bound_scaled_(bound_scaled),
+      bit_counter_("bit_counter", log2_n),
+      window_("window", template_length),
+      matcher_("matcher", template_length, templ),
+      w_("w", static_cast<unsigned>(std::bit_width(
+                  (std::uint64_t{1} << log2_m) / template_length))),
+      squarer_("squarer", w_.width() + template_length,
+               w_.width() + template_length),
+      acc_("acc", 2 * (w_.width() + template_length)
+               + (log2_n - log2_m))
+{
+    adopt(bit_counter_);
+    adopt(window_);
+    adopt(matcher_);
+    adopt(w_);
+    adopt(squarer_);
+    adopt(acc_);
+}
+
+void standalone_non_overlapping::consume(bool bit)
+{
+    window_.shift(bit);
+    const std::uint64_t pos_in_block = bit_counter_.value() & block_mask_;
+    const bool window_inside = pos_in_block >= template_length_ - 1;
+    if (window_inside && inhibit_ == 0
+        && matcher_.matches(window_.window())) {
+        w_.step();
+        inhibit_ = template_length_ - 1;
+    } else if (inhibit_ > 0) {
+        --inhibit_;
+    }
+    const bool block_end = pos_in_block == block_mask_;
+    if (block_end) {
+        // Accumulate (2^m W - (M - m + 1))^2: exact integers, matching the
+        // Table II software formula but done in hardware here.
+        const auto m_len = static_cast<std::int64_t>(template_length_);
+        const auto big_m = std::int64_t{1} << log2_m_;
+        const std::int64_t d =
+            (std::int64_t{1} << template_length_)
+                * static_cast<std::int64_t>(w_.value())
+            - (big_m - m_len + 1);
+        const auto mag = static_cast<std::uint64_t>(d < 0 ? -d : d);
+        acc_.accumulate(squarer_.multiply(mag, mag));
+        w_.clear();
+        inhibit_ = 0;
+    }
+    bit_counter_.step();
+}
+
+bool standalone_non_overlapping::finalize()
+{
+    alarm_ = acc_.value() > bound_scaled_;
+    return alarm_;
+}
+
+rtl::resources standalone_non_overlapping::self_cost() const
+{
+    const std::uint32_t decode_luts = 2 + (log2_m_ + 5) / 6;
+    return rtl::resources{.ffs = 4, .luts = decode_luts + 4,
+                          .carry_bits = 4, .mux_levels = 0};
+}
+
+// ----------------------------------------------------------------- cusum --
+standalone_cusum::standalone_cusum(unsigned log2_n, std::uint64_t z_bound)
+    : standalone_test("standalone_cusum"), z_bound_(z_bound),
+      bit_counter_("bit_counter", log2_n),
+      walk_("walk", log2_n + 2),
+      max_("s_max", log2_n + 2),
+      min_("s_min", log2_n + 2)
+{
+    adopt(bit_counter_);
+    adopt(walk_);
+    adopt(max_);
+    adopt(min_);
+}
+
+void standalone_cusum::consume(bool bit)
+{
+    walk_.step(bit);
+    max_.observe(walk_.value());
+    min_.observe(walk_.value());
+    bit_counter_.step();
+}
+
+bool standalone_cusum::finalize()
+{
+    const std::int64_t z = std::max(max_.value(), -min_.value());
+    alarm_ = static_cast<std::uint64_t>(z) > z_bound_;
+    return alarm_;
+}
+
+rtl::resources standalone_cusum::self_cost() const
+{
+    // Negate stage for -S_min and two constant comparators.
+    const unsigned width = walk_.width();
+    return rtl::resources{.ffs = 1, .luts = width + (width + 1),
+                          .carry_bits = width, .mux_levels = 0};
+}
+
+} // namespace otf::hw

@@ -1,0 +1,230 @@
+// Standalone full-hardware test engines: the prior-work baseline.
+//
+// Previous implementations ([13] Veljkovic et al., DATE 2012, and the FIPS
+// monitors before it) complete each statistical test entirely in hardware:
+// every test owns its own bit counter and decision arithmetic (subtractor,
+// squarer, accumulator, constant comparators with the critical value
+// hard-wired for one fixed level of significance), and reports failure on a
+// single alarm wire.  The paper's Table IV compares the sum of these
+// individual implementations against the unified HW/SW design; this module
+// provides the baseline side of that comparison, built from the same RTL
+// component models so the area numbers are directly comparable.
+//
+// The single alarm bit is also the fault-attack weakness discussed in the
+// paper's introduction: grounding that one wire silences the detector,
+// whereas the HW/SW platform transmits a set of numerical values instead.
+#pragma once
+
+#include "rtl/arith.hpp"
+#include "rtl/comparators.hpp"
+#include "rtl/counter.hpp"
+#include "rtl/registers.hpp"
+#include "rtl/shift_register.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace otf::hw {
+
+/// Common interface of the full-hardware baseline engines.
+class standalone_test : public rtl::component {
+public:
+    using rtl::component::component;
+
+    /// One clock cycle with the next random bit.
+    virtual void consume(bool bit) = 0;
+
+    /// Run the decision logic after the last bit; returns the alarm value
+    /// (true = randomness hypothesis rejected).
+    virtual bool finalize() = 0;
+
+    /// Cycles the decision FSM needs after the last bit (the baseline's
+    /// "latency" in Table IV terms).
+    virtual unsigned decision_latency() const = 0;
+
+    /// The latched alarm output (valid after finalize()).
+    bool alarm() const { return alarm_; }
+
+protected:
+    bool alarm_ = false;
+};
+
+/// Test 1: ones counter, |2 N_ones - n| compared against a hard-wired bound.
+class standalone_frequency final : public standalone_test {
+public:
+    standalone_frequency(unsigned log2_n, std::uint64_t max_deviation);
+    void consume(bool bit) override;
+    bool finalize() override;
+    unsigned decision_latency() const override { return 2; }
+    std::uint64_t ones() const { return ones_.value(); }
+
+protected:
+    rtl::resources self_cost() const override;
+    void self_reset() override { alarm_ = false; }
+
+private:
+    unsigned log2_n_;
+    std::uint64_t max_deviation_;
+    rtl::counter bit_counter_;
+    rtl::counter ones_;
+    rtl::magnitude_comparator threshold_;
+};
+
+/// Test 2: per-block (2 eps - M)^2 squared in hardware and accumulated;
+/// final sum compared against a hard-wired chi-squared bound.
+class standalone_block_frequency final : public standalone_test {
+public:
+    standalone_block_frequency(unsigned log2_n, unsigned log2_m,
+                               std::uint64_t chi_bound_scaled);
+    void consume(bool bit) override;
+    bool finalize() override;
+    unsigned decision_latency() const override { return 2; }
+    std::uint64_t accumulated() const { return acc_.value(); }
+
+protected:
+    rtl::resources self_cost() const override;
+    void self_reset() override { alarm_ = false; }
+
+private:
+    unsigned log2_m_;
+    std::uint64_t block_mask_;
+    std::uint64_t chi_bound_scaled_;
+    rtl::counter bit_counter_;
+    rtl::counter ones_;
+    rtl::multiplier squarer_;
+    rtl::accumulator acc_;
+    rtl::magnitude_comparator threshold_;
+};
+
+/// Test 3: ones interval lookup followed by run-count bounds, all constant
+/// comparators ([13] stores the per-interval critical values in hardware).
+class standalone_runs final : public standalone_test {
+public:
+    struct interval {
+        std::uint64_t ones_lo;
+        std::uint64_t ones_hi;   ///< inclusive
+        std::uint64_t runs_lo;
+        std::uint64_t runs_hi;   ///< inclusive
+    };
+    standalone_runs(unsigned log2_n, std::vector<interval> intervals);
+    void consume(bool bit) override;
+    bool finalize() override;
+    unsigned decision_latency() const override { return 4; }
+    std::uint64_t runs() const { return runs_.value(); }
+
+protected:
+    rtl::resources self_cost() const override;
+    void self_reset() override
+    {
+        alarm_ = false;
+        prev_ = false;
+        primed_ = false;
+    }
+
+private:
+    std::vector<interval> intervals_;
+    rtl::counter bit_counter_;
+    rtl::counter ones_;
+    rtl::counter runs_;
+    bool prev_ = false;
+    bool primed_ = false;
+};
+
+/// Test 4: category counters plus a sequential chi-squared datapath (one
+/// shared multiplier evaluates sum nu_i^2 * w_i over the categories).
+class standalone_longest_run final : public standalone_test {
+public:
+    /// `weights_q` are the fixed-point 1/pi_i weights; the decision compares
+    /// sum nu_i^2 w_i against `bound_scaled` in the same scale.
+    standalone_longest_run(unsigned log2_n, unsigned log2_m, unsigned v_lo,
+                           unsigned v_hi, std::vector<std::uint64_t> weights_q,
+                           std::uint64_t bound_lo_scaled,
+                           std::uint64_t bound_hi_scaled);
+    void consume(bool bit) override;
+    bool finalize() override;
+    unsigned decision_latency() const override
+    {
+        return 2 * static_cast<unsigned>(weights_q_.size()) + 1;
+    }
+    std::uint64_t category(unsigned i) const
+    {
+        return categories_[i]->value();
+    }
+
+protected:
+    rtl::resources self_cost() const override;
+    void self_reset() override { alarm_ = false; }
+
+private:
+    unsigned log2_m_;
+    unsigned v_lo_;
+    unsigned v_hi_;
+    std::uint64_t block_mask_;
+    std::vector<std::uint64_t> weights_q_;
+    std::uint64_t bound_lo_scaled_;
+    std::uint64_t bound_hi_scaled_;
+    rtl::counter bit_counter_;
+    rtl::saturating_counter run_length_;
+    rtl::max_tracker block_max_;
+    std::vector<std::unique_ptr<rtl::counter>> categories_;
+    rtl::multiplier mac_;
+    rtl::accumulator acc_;
+};
+
+/// Test 7: private window and matcher, per-block (W - mu)^2 accumulated in
+/// hardware (scaled by 2^m so mu is exact), compared against a bound.
+class standalone_non_overlapping final : public standalone_test {
+public:
+    standalone_non_overlapping(unsigned log2_n, unsigned log2_m,
+                               std::uint32_t templ, unsigned template_length,
+                               std::uint64_t bound_scaled);
+    void consume(bool bit) override;
+    bool finalize() override;
+    unsigned decision_latency() const override { return 2; }
+    std::uint64_t accumulated() const { return acc_.value(); }
+
+protected:
+    rtl::resources self_cost() const override;
+    void self_reset() override
+    {
+        alarm_ = false;
+        inhibit_ = 0;
+    }
+
+private:
+    unsigned log2_m_;
+    unsigned template_length_;
+    std::uint64_t block_mask_;
+    std::uint64_t bound_scaled_;
+    rtl::counter bit_counter_;
+    rtl::shift_register window_;
+    rtl::pattern_matcher matcher_;
+    rtl::counter w_;
+    rtl::multiplier squarer_;
+    rtl::accumulator acc_;
+    unsigned inhibit_ = 0;
+};
+
+/// Test 13: walk extrema compared against a hard-wired excursion bound
+/// (forward mode: max(S_max, -S_min) > z).
+class standalone_cusum final : public standalone_test {
+public:
+    standalone_cusum(unsigned log2_n, std::uint64_t z_bound);
+    void consume(bool bit) override;
+    bool finalize() override;
+    unsigned decision_latency() const override { return 3; }
+
+protected:
+    rtl::resources self_cost() const override;
+    void self_reset() override { alarm_ = false; }
+
+private:
+    std::uint64_t z_bound_;
+    rtl::counter bit_counter_;
+    rtl::up_down_counter walk_;
+    rtl::max_tracker max_;
+    rtl::min_tracker min_;
+};
+
+} // namespace otf::hw

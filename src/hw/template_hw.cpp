@@ -1,0 +1,157 @@
+#include "hw/template_hw.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace otf::hw {
+
+namespace {
+
+// The shared window's low `len` bits hold the MSB-first pattern that ends at
+// the newest bit (shift_register documents LSB = newest, and an MSB-first
+// pattern starting j positions back reads bit j down to bit 0).
+bool window_matches(const rtl::shift_register& window,
+                    const rtl::pattern_matcher& matcher, unsigned len)
+{
+    const std::uint64_t view = window.window() & ((1u << len) - 1u);
+    return matcher.matches(view);
+}
+
+} // namespace
+
+non_overlapping_hw::non_overlapping_hw(unsigned log2_n, unsigned log2_m,
+                                       std::uint32_t templ,
+                                       unsigned template_length,
+                                       rtl::shift_register& window)
+    : engine("non_overlapping_template"), log2_m_(log2_m),
+      template_length_(template_length),
+      block_count_(1u << (log2_n - log2_m)),
+      block_mask_((std::uint64_t{1} << log2_m) - 1), window_(window),
+      matcher_("t7_match", template_length, templ),
+      w_("w", static_cast<unsigned>(std::bit_width(
+                  (std::uint64_t{1} << log2_m) / template_length))),
+      bank_("w_bank", block_count_, w_.width())
+{
+    if (log2_m >= log2_n) {
+        throw std::invalid_argument("non_overlapping_hw: M must divide n");
+    }
+    if (window.length() < template_length) {
+        throw std::invalid_argument(
+            "non_overlapping_hw: shared window shorter than template");
+    }
+    adopt(matcher_);
+    adopt(w_);
+    adopt(bank_);
+}
+
+void non_overlapping_hw::consume(bool bit, std::uint64_t bit_index)
+{
+    (void)bit;
+    // The testing block shifts the shared window before engines run.
+    const std::uint64_t pos_in_block = bit_index & block_mask_;
+    const bool window_inside = pos_in_block >= template_length_ - 1;
+    if (window_inside && inhibit_ == 0
+        && window_matches(window_, matcher_, template_length_)) {
+        w_.step();
+        inhibit_ = template_length_ - 1; // restart scan after the template
+    } else if (inhibit_ > 0) {
+        --inhibit_;
+    }
+    const bool block_end = pos_in_block == block_mask_;
+    if (block_end) {
+        const auto slot = static_cast<unsigned>(bit_index >> log2_m_);
+        bank_.write(slot, w_.value());
+        w_.clear();
+        inhibit_ = 0;
+    }
+}
+
+void non_overlapping_hw::add_registers(register_map& map) const
+{
+    for (unsigned i = 0; i < block_count_; ++i) {
+        map.add_group_element(
+            "non_overlapping.w",
+            "non_overlapping.w[" + std::to_string(i) + "]", bank_.width(),
+            false, [this, i] { return bank_.read(i); });
+    }
+}
+
+rtl::resources non_overlapping_hw::self_cost() const
+{
+    // Inhibit down-counter (4 bits covers any template up to 16 bits) with
+    // its zero-detect, plus the window-inside-block decode.
+    const std::uint32_t decode_luts = 1 + (log2_m_ + 5) / 6;
+    return rtl::resources{.ffs = 4, .luts = 4 + decode_luts,
+                          .carry_bits = 4, .mux_levels = 0};
+}
+
+overlapping_hw::overlapping_hw(unsigned log2_n, unsigned log2_m,
+                               std::uint32_t templ,
+                               unsigned template_length, unsigned max_count,
+                               rtl::shift_register& window)
+    : engine("overlapping_template"), log2_m_(log2_m),
+      template_length_(template_length), max_count_(max_count),
+      block_mask_((std::uint64_t{1} << log2_m) - 1), window_(window),
+      matcher_("t8_match", template_length, templ),
+      // Saturates just above the last category, so ">= max_count" survives
+      // any block content.
+      block_matches_("block_matches",
+                     static_cast<unsigned>(std::bit_width(max_count)) + 1)
+{
+    if (log2_m >= log2_n) {
+        throw std::invalid_argument("overlapping_hw: M must divide n");
+    }
+    if (window.length() < template_length) {
+        throw std::invalid_argument(
+            "overlapping_hw: shared window shorter than template");
+    }
+    adopt(matcher_);
+    adopt(block_matches_);
+    const unsigned block_count_width = (log2_n - log2_m) + 1;
+    categories_.reserve(max_count + 1);
+    for (unsigned c = 0; c <= max_count; ++c) {
+        categories_.push_back(std::make_unique<rtl::counter>(
+            "nu_temp[" + std::to_string(c) + "]", block_count_width));
+        adopt(*categories_.back());
+    }
+}
+
+void overlapping_hw::consume(bool bit, std::uint64_t bit_index)
+{
+    (void)bit;
+    const std::uint64_t pos_in_block = bit_index & block_mask_;
+    const bool window_inside = pos_in_block >= template_length_ - 1;
+    if (window_inside
+        && window_matches(window_, matcher_, template_length_)) {
+        block_matches_.step();
+    }
+    const bool block_end = pos_in_block == block_mask_;
+    if (block_end) {
+        const std::uint64_t matches = block_matches_.value();
+        const unsigned category = (matches >= max_count_)
+            ? max_count_
+            : static_cast<unsigned>(matches);
+        categories_[category]->step();
+        block_matches_.clear();
+    }
+}
+
+void overlapping_hw::add_registers(register_map& map) const
+{
+    for (unsigned c = 0; c < categories_.size(); ++c) {
+        map.add_scalar("overlapping.nu_temp[" + std::to_string(c) + "]",
+                       categories_[c]->width(), false,
+                       [this, c] { return categories_[c]->value(); });
+    }
+}
+
+rtl::resources overlapping_hw::self_cost() const
+{
+    // Category classification (compare block_matches against max_count)
+    // plus block-end decode.
+    const std::uint32_t decode_luts = 2 + (log2_m_ + 5) / 6;
+    return rtl::resources{.ffs = 0, .luts = decode_luts, .carry_bits = 0,
+                          .mux_levels = 0};
+}
+
+} // namespace otf::hw

@@ -1,0 +1,188 @@
+#include "hw/testing_block.hpp"
+
+#include <stdexcept>
+
+namespace otf::hw {
+
+testing_block::testing_block(block_config config)
+    : rtl::component("testing_block"), config_(std::move(config)),
+      global_counter_("global_bit_counter", config_.log2_n)
+{
+    config_.validate();
+    adopt(global_counter_);
+
+    const bool any_template =
+        config_.tests.has(test_id::non_overlapping_template)
+        || config_.tests.has(test_id::overlapping_template);
+    if (any_template) {
+        // Sharing trick 4: one shift register serves both template tests.
+        template_window_ = std::make_unique<rtl::shift_register>(
+            "template_window", config_.template_length);
+        adopt(*template_window_);
+    }
+
+    // The cusum engine is always present: the frequency and runs tests
+    // derive N_ones from its final walk value (sharing trick 1), and the
+    // paper's designs all include tests 1, 3 and 13.
+    cusum_ = std::make_unique<cusum_hw>(config_.log2_n);
+    adopt(*cusum_);
+    engines_.push_back(cusum_.get());
+
+    if (config_.tests.has(test_id::runs)) {
+        runs_ = std::make_unique<runs_hw>(config_.log2_n);
+        adopt(*runs_);
+        engines_.push_back(runs_.get());
+    }
+    if (config_.tests.has(test_id::block_frequency)) {
+        bf_ = std::make_unique<block_frequency_hw>(config_.log2_n,
+                                                   config_.bf_log2_m);
+        adopt(*bf_);
+        engines_.push_back(bf_.get());
+    }
+    if (config_.tests.has(test_id::longest_run)) {
+        lr_ = std::make_unique<longest_run_hw>(config_.log2_n,
+                                               config_.lr_log2_m,
+                                               config_.lr_v_lo,
+                                               config_.lr_v_hi);
+        adopt(*lr_);
+        engines_.push_back(lr_.get());
+    }
+    if (config_.tests.has(test_id::non_overlapping_template)) {
+        t7_ = std::make_unique<non_overlapping_hw>(
+            config_.log2_n, config_.t7_log2_m, config_.t7_template,
+            config_.template_length, *template_window_);
+        adopt(*t7_);
+        engines_.push_back(t7_.get());
+    }
+    if (config_.tests.has(test_id::overlapping_template)) {
+        t8_ = std::make_unique<overlapping_hw>(
+            config_.log2_n, config_.t8_log2_m, config_.t8_template,
+            config_.template_length, config_.t8_max_count,
+            *template_window_);
+        adopt(*t8_);
+        engines_.push_back(t8_.get());
+    }
+    if (config_.tests.has(test_id::serial)
+        || config_.tests.has(test_id::approximate_entropy)) {
+        serial_ = std::make_unique<serial_hw>(
+            config_.log2_n, config_.serial_m,
+            config_.serial_transfer_marginals);
+        adopt(*serial_);
+        engines_.push_back(serial_.get());
+    }
+
+    for (const engine* e : engines_) {
+        e->add_registers(map_);
+    }
+    if (config_.double_buffered) {
+        // Shadow the live counter values behind a result latch: each
+        // mapped value reads from the latch once one is captured, so the
+        // counters can restart while software drains the previous window.
+        latch_.assign(map_.size(), 0);
+        register_map latched;
+        for (std::size_t i = 0; i < map_.size(); ++i) {
+            const map_entry& e = map_.entry(i);
+            auto live = e.read;
+            auto wrapped = [this, i, live] {
+                return latch_valid_ ? latch_[i] : live();
+            };
+            if (e.group.empty()) {
+                latched.add_scalar(e.name, e.width, e.is_signed,
+                                   std::move(wrapped));
+            } else {
+                latched.add_group_element(e.group, e.name, e.width,
+                                          e.is_signed, std::move(wrapped));
+            }
+        }
+        map_ = std::move(latched);
+    }
+    mux_ = std::make_unique<rtl::readout_mux>(
+        "readout_mux", map_.top_level_inputs(), map_.max_width());
+    adopt(*mux_);
+}
+
+void testing_block::feed(bool bit)
+{
+    if (consumed_ >= config_.n()) {
+        throw std::logic_error(
+            "testing_block: sequence complete; call finish()/restart()");
+    }
+    if (template_window_) {
+        template_window_->shift(bit);
+    }
+    const std::uint64_t index = consumed_;
+    for (engine* e : engines_) {
+        e->consume(bit, index);
+    }
+    ++consumed_;
+    global_counter_.step();
+}
+
+void testing_block::finish()
+{
+    if (consumed_ != config_.n()) {
+        throw std::logic_error(
+            "testing_block: finish() before the full sequence was fed");
+    }
+    if (serial_) {
+        // Cyclic extension: replay the stored opening m-1 bits.
+        for (unsigned t = 0; t + 1 < config_.serial_m; ++t) {
+            serial_->flush(serial_->stored_opening_bit(t), t);
+        }
+    }
+    if (config_.double_buffered) {
+        // Capture the results; note latch_valid_ must stay false while
+        // reading the live values or the wrapped getters would return the
+        // stale latch.
+        latch_valid_ = false;
+        for (std::size_t i = 0; i < map_.size(); ++i) {
+            latch_[i] = map_.read_raw(i);
+        }
+        latch_valid_ = true;
+    }
+    done_ = true;
+}
+
+void testing_block::run(const bit_sequence& seq)
+{
+    if (seq.size() != config_.n()) {
+        throw std::invalid_argument(
+            "testing_block: sequence length must equal n");
+    }
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        feed(seq[i]);
+    }
+    finish();
+}
+
+void testing_block::restart()
+{
+    // component::reset() clears the engines; the latched results (if any)
+    // survive so software can still read the finished window.
+    const std::vector<std::uint64_t> keep = latch_;
+    const bool keep_valid = latch_valid_;
+    reset();
+    latch_ = keep;
+    latch_valid_ = keep_valid;
+}
+
+rtl::resources testing_block::self_cost() const
+{
+    // Control overhead: done flag, 7-bit read-address register and its
+    // decode, end-of-sequence detect on the global counter.
+    rtl::resources r{.ffs = 8, .luts = 6, .carry_bits = 0,
+                     .mux_levels = 0};
+    if (config_.double_buffered) {
+        // The result latch: one FF per mapped bit plus a load-enable LUT
+        // per value.
+        std::uint32_t latch_ffs = 0;
+        for (const map_entry& e : map_.entries()) {
+            latch_ffs += e.width;
+        }
+        r.ffs += latch_ffs;
+        r.luts += static_cast<std::uint32_t>(map_.size());
+    }
+    return r;
+}
+
+} // namespace otf::hw

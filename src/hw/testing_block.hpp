@@ -1,0 +1,104 @@
+// The unified hardware testing block (Fig. 2 of the paper).
+//
+// Owns the global bit counter, the shared template shift register, one
+// engine per enabled test and the memory-mapped readout interface.  Every
+// incoming random bit is processed by all engines within one clock cycle.
+// The block is also the unit of area accounting: its resource inventory,
+// run through the technology models, regenerates the FPGA and ASIC columns
+// of Table III.
+//
+// Operation protocol:
+//   testing_block block(config);
+//   for each bit: block.feed(bit);      // n = config.n() bits
+//   block.finish();                     // serial cyclic flush (m-1 cycles)
+//   ... software reads block.registers() ...
+//   block.restart();                    // clear for the next sequence
+#pragma once
+
+#include "base/bits.hpp"
+#include "hw/block_frequency_hw.hpp"
+#include "hw/config.hpp"
+#include "hw/cusum_hw.hpp"
+#include "hw/engine.hpp"
+#include "hw/longest_run_hw.hpp"
+#include "hw/register_map.hpp"
+#include "hw/runs_hw.hpp"
+#include "hw/serial_hw.hpp"
+#include "hw/template_hw.hpp"
+#include "rtl/mux.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace otf::hw {
+
+class testing_block final : public rtl::component {
+public:
+    explicit testing_block(block_config config);
+
+    const block_config& config() const { return config_; }
+
+    /// Consume one random bit (one clock cycle).  Throws if the sequence
+    /// is already complete.
+    void feed(bool bit);
+
+    /// End of sequence: replays the stored opening bits through the serial
+    /// engine (cyclic extension) and latches the done flag.  Throws unless
+    /// exactly n bits have been fed.
+    void finish();
+
+    /// Feed a whole sequence and finish.  The sequence length must be n.
+    void run(const bit_sequence& seq);
+
+    /// Clear all engines for a fresh sequence.  With a double-buffered
+    /// configuration the latched results of the previous window stay
+    /// readable while the next window streams.
+    void restart();
+
+    /// True when double-buffering holds a latched result set.
+    bool latched() const { return latch_valid_; }
+
+    bool done() const { return done_; }
+    std::uint64_t bits_consumed() const { return consumed_; }
+
+    /// The memory-mapped interface (valid for the lifetime of the block).
+    const register_map& registers() const { return map_; }
+
+    // Typed access to the engines (null when the test is not in the set).
+    const cusum_hw* cusum() const { return cusum_.get(); }
+    const runs_hw* runs() const { return runs_.get(); }
+    const block_frequency_hw* block_frequency() const { return bf_.get(); }
+    const longest_run_hw* longest_run() const { return lr_.get(); }
+    const non_overlapping_hw* non_overlapping() const { return t7_.get(); }
+    const overlapping_hw* overlapping() const { return t8_.get(); }
+    const serial_hw* serial() const { return serial_.get(); }
+
+protected:
+    rtl::resources self_cost() const override;
+    void self_reset() override
+    {
+        consumed_ = 0;
+        done_ = false;
+    }
+
+private:
+    block_config config_;
+    rtl::counter global_counter_;
+    std::unique_ptr<rtl::shift_register> template_window_;
+    std::unique_ptr<cusum_hw> cusum_;
+    std::unique_ptr<runs_hw> runs_;
+    std::unique_ptr<block_frequency_hw> bf_;
+    std::unique_ptr<longest_run_hw> lr_;
+    std::unique_ptr<non_overlapping_hw> t7_;
+    std::unique_ptr<overlapping_hw> t8_;
+    std::unique_ptr<serial_hw> serial_;
+    std::vector<engine*> engines_;
+    register_map map_;
+    std::unique_ptr<rtl::readout_mux> mux_;
+    std::vector<std::uint64_t> latch_;
+    bool latch_valid_ = false;
+    std::uint64_t consumed_ = 0;
+    bool done_ = false;
+};
+
+} // namespace otf::hw

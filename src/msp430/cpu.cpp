@@ -1,0 +1,316 @@
+#include "msp430/cpu.hpp"
+
+namespace otf::msp430 {
+
+cpu::cpu() : memory_(1u << 15, 0) // 64 KiB as 32K words
+{
+    registers_[1] = 0xFDFE; // SP below the peripheral window
+}
+
+std::uint16_t cpu::read_word(std::uint16_t address) const
+{
+    if (address & 1u) {
+        throw std::invalid_argument("msp430: unaligned word read");
+    }
+    if (peripheral_ && address >= testing_block_base) {
+        return peripheral_(address);
+    }
+    return memory_[address >> 1];
+}
+
+void cpu::write_word(std::uint16_t address, std::uint16_t value)
+{
+    if (address & 1u) {
+        throw std::invalid_argument("msp430: unaligned word write");
+    }
+    memory_[address >> 1] = value;
+    // Hardware multiplier peripheral: writing OP2 performs the multiply.
+    if (address == multiplier_op2) {
+        const std::uint32_t product =
+            static_cast<std::uint32_t>(memory_[multiplier_op1 >> 1])
+            * static_cast<std::uint32_t>(value);
+        memory_[multiplier_reslo >> 1] =
+            static_cast<std::uint16_t>(product & 0xFFFFu);
+        memory_[multiplier_reshi >> 1] =
+            static_cast<std::uint16_t>(product >> 16);
+    }
+}
+
+void cpu::set_nz(std::uint16_t value)
+{
+    flags_.zero = value == 0;
+    flags_.negative = (value & 0x8000u) != 0;
+}
+
+std::uint16_t cpu::fetch_operand(const operand& op, unsigned& cycle_cost)
+{
+    switch (op.addressing) {
+    case mode::none:
+        throw std::logic_error("msp430: missing operand");
+    case mode::reg:
+        return registers_[op.reg];
+    case mode::indexed:
+        cycle_cost += 3; // offset word fetch + memory read
+        return read_word(static_cast<std::uint16_t>(registers_[op.reg]
+                                                    + op.value));
+    case mode::absolute:
+        cycle_cost += 3;
+        return read_word(op.value);
+    case mode::indirect:
+        cycle_cost += 2;
+        return read_word(registers_[op.reg]);
+    case mode::post_inc: {
+        cycle_cost += 2;
+        const std::uint16_t v = read_word(registers_[op.reg]);
+        registers_[op.reg] = static_cast<std::uint16_t>(
+            registers_[op.reg] + 2);
+        return v;
+    }
+    case mode::immediate:
+        cycle_cost += 1; // immediate word fetch
+        return op.value;
+    }
+    throw std::logic_error("msp430: bad addressing mode");
+}
+
+void cpu::store_result(const operand& op, std::uint16_t value,
+                       unsigned& cycle_cost)
+{
+    switch (op.addressing) {
+    case mode::reg:
+        registers_[op.reg] = value;
+        return;
+    case mode::indexed:
+        cycle_cost += 3;
+        write_word(static_cast<std::uint16_t>(registers_[op.reg]
+                                              + op.value),
+                   value);
+        return;
+    case mode::absolute:
+        cycle_cost += 3;
+        write_word(op.value, value);
+        return;
+    case mode::indirect:
+        cycle_cost += 2;
+        write_word(registers_[op.reg], value);
+        return;
+    default:
+        throw std::logic_error("msp430: destination mode not writable");
+    }
+}
+
+std::uint64_t cpu::run(const std::vector<instruction>& program,
+                       std::uint64_t max_steps)
+{
+    std::size_t pc = 0;
+    std::uint64_t steps = 0;
+    cycles_ = 0;
+    retired_ = 0;
+
+    const auto jump_to = [&](std::int32_t target) {
+        if (target < 0
+            || static_cast<std::size_t>(target) >= program.size()) {
+            throw std::out_of_range("msp430: jump out of program");
+        }
+        pc = static_cast<std::size_t>(target);
+    };
+
+    while (pc < program.size()) {
+        if (++steps > max_steps) {
+            throw std::runtime_error("msp430: step budget exhausted");
+        }
+        const instruction& ins = program[pc];
+        ++pc;
+        ++retired_;
+        unsigned cost = 1; // base register-register cost
+
+        switch (ins.op) {
+        case opcode::mov: {
+            const std::uint16_t v = fetch_operand(ins.src, cost);
+            store_result(ins.dst, v, cost);
+            break;
+        }
+        case opcode::add:
+        case opcode::addc: {
+            const std::uint16_t s = fetch_operand(ins.src, cost);
+            const std::uint16_t d = fetch_operand(ins.dst, cost);
+            const std::uint32_t carry_in =
+                (ins.op == opcode::addc && flags_.carry) ? 1u : 0u;
+            const std::uint32_t wide = static_cast<std::uint32_t>(s) + d
+                + carry_in;
+            const auto result = static_cast<std::uint16_t>(wide);
+            flags_.carry = wide > 0xFFFFu;
+            flags_.overflow = (~(s ^ d) & (s ^ result) & 0x8000u) != 0;
+            set_nz(result);
+            store_result(ins.dst, result, cost);
+            break;
+        }
+        case opcode::sub:
+        case opcode::subc:
+        case opcode::cmp: {
+            const std::uint16_t s = fetch_operand(ins.src, cost);
+            const std::uint16_t d = fetch_operand(ins.dst, cost);
+            // MSP430 subtraction: dst + ~src + 1 (or + C for SUBC).
+            const std::uint32_t addend =
+                (ins.op == opcode::subc)
+                ? (flags_.carry ? 1u : 0u)
+                : 1u;
+            const std::uint32_t wide = static_cast<std::uint32_t>(d)
+                + static_cast<std::uint16_t>(~s) + addend;
+            const auto result = static_cast<std::uint16_t>(wide);
+            flags_.carry = wide > 0xFFFFu;
+            flags_.overflow = ((s ^ d) & (d ^ result) & 0x8000u) != 0;
+            set_nz(result);
+            if (ins.op != opcode::cmp) {
+                store_result(ins.dst, result, cost);
+            }
+            break;
+        }
+        case opcode::bit:
+        case opcode::and_: {
+            const std::uint16_t s = fetch_operand(ins.src, cost);
+            const std::uint16_t d = fetch_operand(ins.dst, cost);
+            const auto result = static_cast<std::uint16_t>(s & d);
+            set_nz(result);
+            flags_.carry = result != 0;
+            flags_.overflow = false;
+            if (ins.op == opcode::and_) {
+                store_result(ins.dst, result, cost);
+            }
+            break;
+        }
+        case opcode::bic: {
+            const std::uint16_t s = fetch_operand(ins.src, cost);
+            const std::uint16_t d = fetch_operand(ins.dst, cost);
+            store_result(ins.dst, static_cast<std::uint16_t>(d & ~s),
+                         cost);
+            break;
+        }
+        case opcode::bis: {
+            const std::uint16_t s = fetch_operand(ins.src, cost);
+            const std::uint16_t d = fetch_operand(ins.dst, cost);
+            store_result(ins.dst, static_cast<std::uint16_t>(d | s), cost);
+            break;
+        }
+        case opcode::xor_: {
+            const std::uint16_t s = fetch_operand(ins.src, cost);
+            const std::uint16_t d = fetch_operand(ins.dst, cost);
+            const auto result = static_cast<std::uint16_t>(s ^ d);
+            set_nz(result);
+            flags_.carry = result != 0;
+            flags_.overflow = (s & d & 0x8000u) != 0;
+            store_result(ins.dst, result, cost);
+            break;
+        }
+        case opcode::rra: {
+            const std::uint16_t d = fetch_operand(ins.dst, cost);
+            const auto result = static_cast<std::uint16_t>(
+                (d >> 1) | (d & 0x8000u));
+            flags_.carry = (d & 1u) != 0;
+            set_nz(result);
+            store_result(ins.dst, result, cost);
+            break;
+        }
+        case opcode::rrc: {
+            const std::uint16_t d = fetch_operand(ins.dst, cost);
+            const auto result = static_cast<std::uint16_t>(
+                (d >> 1) | (flags_.carry ? 0x8000u : 0u));
+            flags_.carry = (d & 1u) != 0;
+            set_nz(result);
+            store_result(ins.dst, result, cost);
+            break;
+        }
+        case opcode::swpb: {
+            const std::uint16_t d = fetch_operand(ins.dst, cost);
+            store_result(ins.dst,
+                         static_cast<std::uint16_t>((d >> 8) | (d << 8)),
+                         cost);
+            break;
+        }
+        case opcode::sxt: {
+            const std::uint16_t d = fetch_operand(ins.dst, cost);
+            const auto result = static_cast<std::uint16_t>(
+                (d & 0x80u) ? (d | 0xFF00u) : (d & 0x00FFu));
+            set_nz(result);
+            flags_.carry = result != 0;
+            store_result(ins.dst, result, cost);
+            break;
+        }
+        case opcode::push: {
+            const std::uint16_t v = fetch_operand(ins.src, cost);
+            registers_[1] = static_cast<std::uint16_t>(registers_[1] - 2);
+            write_word(registers_[1], v);
+            cost += 2;
+            break;
+        }
+        case opcode::call: {
+            registers_[1] = static_cast<std::uint16_t>(registers_[1] - 2);
+            write_word(registers_[1],
+                       static_cast<std::uint16_t>(pc)); // return index
+            cost += 4;
+            jump_to(ins.target);
+            break;
+        }
+        case opcode::ret: {
+            const std::uint16_t return_pc = read_word(registers_[1]);
+            registers_[1] = static_cast<std::uint16_t>(registers_[1] + 2);
+            cost += 3;
+            pc = return_pc;
+            break;
+        }
+        case opcode::jmp:
+            cost = 2;
+            jump_to(ins.target);
+            break;
+        case opcode::jz:
+            cost = 2;
+            if (flags_.zero) {
+                jump_to(ins.target);
+            }
+            break;
+        case opcode::jnz:
+            cost = 2;
+            if (!flags_.zero) {
+                jump_to(ins.target);
+            }
+            break;
+        case opcode::jc:
+            cost = 2;
+            if (flags_.carry) {
+                jump_to(ins.target);
+            }
+            break;
+        case opcode::jnc:
+            cost = 2;
+            if (!flags_.carry) {
+                jump_to(ins.target);
+            }
+            break;
+        case opcode::jn:
+            cost = 2;
+            if (flags_.negative) {
+                jump_to(ins.target);
+            }
+            break;
+        case opcode::jge:
+            cost = 2;
+            if (flags_.negative == flags_.overflow) {
+                jump_to(ins.target);
+            }
+            break;
+        case opcode::jl:
+            cost = 2;
+            if (flags_.negative != flags_.overflow) {
+                jump_to(ins.target);
+            }
+            break;
+        case opcode::halt:
+            cycles_ += cost;
+            return cycles_;
+        }
+        cycles_ += cost;
+    }
+    throw std::runtime_error("msp430: fell off the end of the program");
+}
+
+} // namespace otf::msp430

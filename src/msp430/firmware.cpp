@@ -1,0 +1,221 @@
+#include "msp430/firmware.hpp"
+
+#include <stdexcept>
+
+namespace otf::msp430 {
+
+namespace {
+
+constexpr unsigned word_bits = 16;
+
+std::vector<unsigned> entry_word_offsets(const hw::register_map& map)
+{
+    std::vector<unsigned> offsets;
+    offsets.reserve(map.size());
+    unsigned next = 0;
+    for (const auto& e : map.entries()) {
+        offsets.push_back(next);
+        next += (e.width + word_bits - 1) / word_bits;
+    }
+    return offsets;
+}
+
+} // namespace
+
+cpu::peripheral_reader make_bus_adapter(const hw::register_map& map)
+{
+    const std::vector<unsigned> offsets = entry_word_offsets(map);
+    return [&map, offsets](std::uint16_t address) -> std::uint16_t {
+        if (address < cpu::testing_block_base || (address & 1u)) {
+            throw std::invalid_argument("bus adapter: bad address");
+        }
+        const unsigned word =
+            (address - cpu::testing_block_base) / 2;
+        // Find the entry containing this word (linear scan; the map is
+        // small and this is the model's bus, not the hot path).
+        for (std::size_t i = 0; i < map.size(); ++i) {
+            const unsigned words =
+                (map.entry(i).width + word_bits - 1) / word_bits;
+            if (word >= offsets[i] && word < offsets[i] + words) {
+                const std::int64_t value = map.read_value(i);
+                const unsigned shift = 16u * (word - offsets[i]);
+                return static_cast<std::uint16_t>(
+                    (static_cast<std::uint64_t>(value) >> shift)
+                    & 0xFFFFu);
+            }
+        }
+        throw std::out_of_range("bus adapter: beyond the register map");
+    };
+}
+
+std::uint16_t word_address_of(const hw::register_map& map,
+                              const std::string& name, unsigned word_index)
+{
+    const std::vector<unsigned> offsets = entry_word_offsets(map);
+    const std::size_t i = map.index_of(name);
+    const unsigned words = (map.entry(i).width + word_bits - 1) / word_bits;
+    if (word_index >= words) {
+        throw std::out_of_range("word_address_of: word index");
+    }
+    return static_cast<std::uint16_t>(cpu::testing_block_base
+                                      + 2 * (offsets[i] + word_index));
+}
+
+quick_test_firmware build_quick_test_firmware(
+    const hw::block_config& cfg, const core::critical_values& cv,
+    const hw::register_map& map)
+{
+    using hw::test_id;
+    if (!cfg.tests.has(test_id::frequency)
+        || !cfg.tests.has(test_id::cumulative_sums)) {
+        throw std::invalid_argument(
+            "quick-test firmware needs tests 1 and 13 in the design");
+    }
+
+    if (map.entry(map.index_of("cusum.s_final")).width <= 16) {
+        throw std::invalid_argument(
+            "quick-test firmware assumes two-word walk values "
+            "(n >= 2^15); the n = 128 designs use one-word reads");
+    }
+
+    quick_test_firmware fw;
+
+    // ---- data section -----------------------------------------------------
+    // 0x0200.. : constants; 0x0220.. : results.
+    const std::uint16_t t1_lo = 0x0200;
+    const std::uint16_t t1_hi = 0x0202;
+    const std::uint16_t t13_lo = 0x0204;
+    const std::uint16_t t13_hi = 0x0206;
+    const std::uint16_t n_lo = 0x0208;
+    const std::uint16_t n_hi = 0x020A;
+    fw.frequency_verdict_addr = 0x0220;
+    fw.cusum_verdict_addr = 0x0222;
+    fw.ones_lo_addr = 0x0224;
+    fw.ones_hi_addr = 0x0226;
+
+    const auto split = [&](std::uint16_t lo_addr, std::uint16_t hi_addr,
+                           std::int64_t value) {
+        fw.data.emplace_back(
+            lo_addr, static_cast<std::uint16_t>(value & 0xFFFF));
+        fw.data.emplace_back(
+            hi_addr, static_cast<std::uint16_t>((value >> 16) & 0xFFFF));
+    };
+    split(t1_lo, t1_hi, cv.t1_max_deviation);
+    split(t13_lo, t13_hi, cv.t13_z_bound);
+    split(n_lo, n_hi, static_cast<std::int64_t>(cfg.n()));
+
+    const std::uint16_t sfin_lo = word_address_of(map, "cusum.s_final", 0);
+    const std::uint16_t sfin_hi = word_address_of(map, "cusum.s_final", 1);
+    const std::uint16_t smax_lo = word_address_of(map, "cusum.s_max", 0);
+    const std::uint16_t smax_hi = word_address_of(map, "cusum.s_max", 1);
+    const std::uint16_t smin_lo = word_address_of(map, "cusum.s_min", 0);
+    const std::uint16_t smin_hi = word_address_of(map, "cusum.s_min", 1);
+
+    // ---- program ------------------------------------------------------------
+    program_builder a;
+    using pb = program_builder;
+    // Register use: r4:r5 scratch value A (lo:hi), r6:r7 scratch value B,
+    // r10 verdict accumulator for the cusum test.
+
+    // Emit: A = [lo_addr, hi_addr].
+    const auto load32 = [&](std::uint16_t lo, std::uint16_t hi,
+                            unsigned rlo, unsigned rhi) {
+        a.mov(pb::abs(lo), pb::r(rlo));
+        a.mov(pb::abs(hi), pb::r(rhi));
+    };
+    // Emit: (rlo:rhi) = -(rlo:rhi)  (two's complement negate).
+    const auto neg32 = [&](unsigned rlo, unsigned rhi) {
+        a.xor_(pb::imm(0xFFFF), pb::r(rlo));
+        a.xor_(pb::imm(0xFFFF), pb::r(rhi));
+        a.add(pb::imm(1), pb::r(rlo));
+        a.addc(pb::imm(0), pb::r(rhi));
+    };
+    // Emit: jump to `fail_label` when (rlo:rhi) > bound at [blo, bhi];
+    // values are non-negative 32-bit here, so the comparison is unsigned:
+    // compare high words first, low words on equality.
+    unsigned unique = 0;
+    const auto fail_if_above = [&](unsigned rlo, unsigned rhi,
+                                   std::uint16_t blo, std::uint16_t bhi,
+                                   const std::string& fail_label) {
+        const std::string lo_check =
+            "locheck" + std::to_string(unique);
+        const std::string done = "cmpdone" + std::to_string(unique);
+        ++unique;
+        a.cmp(pb::abs(bhi), pb::r(rhi)); // computes rhi - bound_hi
+        a.jz(lo_check);                  // equal -> decide on low words
+        a.jc(fail_label);                // rhi > bound_hi (no borrow)
+        a.jmp(done);
+        a.label(lo_check);
+        a.cmp(pb::abs(blo), pb::r(rlo));
+        a.jz(done);                      // equal -> within bound
+        a.jc(fail_label);                // rlo > bound_lo
+        a.label(done);
+    };
+
+    // ==== test 1: frequency ==================================================
+    load32(sfin_lo, sfin_hi, 4, 5);
+    a.bit(pb::imm(0x8000), pb::r(5));
+    a.jz("freq_abs_done");
+    neg32(4, 5);
+    a.label("freq_abs_done");
+    fail_if_above(4, 5, t1_lo, t1_hi, "freq_fail");
+    a.mov(pb::imm(1), pb::abs(fw.frequency_verdict_addr));
+    a.jmp("freq_done");
+    a.label("freq_fail");
+    a.mov(pb::imm(0), pb::abs(fw.frequency_verdict_addr));
+    a.label("freq_done");
+
+    // ==== sharing trick 1: N_ones = (S_final + n) >> 1 ======================
+    load32(sfin_lo, sfin_hi, 4, 5);
+    a.add(pb::abs(n_lo), pb::r(4));
+    a.addc(pb::abs(n_hi), pb::r(5));
+    a.rra(pb::r(5)); // shift the 32-bit sum right by one
+    a.rrc(pb::r(4));
+    a.mov(pb::r(4), pb::abs(fw.ones_lo_addr));
+    a.mov(pb::r(5), pb::abs(fw.ones_hi_addr));
+
+    // ==== test 13: cumulative sums (both modes) =============================
+    // Four excursion magnitudes, each must stay <= z bound:
+    //   S_max, -S_min, S_max - S_final, S_final - S_min.
+    // S_max >= 0 and S_min <= 0 by construction, so all four are
+    // non-negative and the unsigned compare applies.
+
+    // S_max
+    load32(smax_lo, smax_hi, 4, 5);
+    fail_if_above(4, 5, t13_lo, t13_hi, "cusum_fail");
+    // -S_min
+    load32(smin_lo, smin_hi, 4, 5);
+    neg32(4, 5);
+    fail_if_above(4, 5, t13_lo, t13_hi, "cusum_fail");
+    // S_max - S_final
+    load32(smax_lo, smax_hi, 4, 5);
+    a.sub(pb::abs(sfin_lo), pb::r(4));
+    a.subc(pb::abs(sfin_hi), pb::r(5));
+    fail_if_above(4, 5, t13_lo, t13_hi, "cusum_fail");
+    // S_final - S_min
+    load32(sfin_lo, sfin_hi, 4, 5);
+    a.sub(pb::abs(smin_lo), pb::r(4));
+    a.subc(pb::abs(smin_hi), pb::r(5));
+    fail_if_above(4, 5, t13_lo, t13_hi, "cusum_fail");
+    a.mov(pb::imm(1), pb::abs(fw.cusum_verdict_addr));
+    a.jmp("cusum_done");
+    a.label("cusum_fail");
+    a.mov(pb::imm(0), pb::abs(fw.cusum_verdict_addr));
+    a.label("cusum_done");
+
+    a.halt();
+    fw.program = a.build();
+    return fw;
+}
+
+std::uint64_t run_quick_tests(cpu& core, const quick_test_firmware& fw,
+                              const hw::register_map& map)
+{
+    core.map_peripheral(make_bus_adapter(map));
+    for (const auto& [address, value] : fw.data) {
+        core.write_word(address, value);
+    }
+    return core.run(fw.program);
+}
+
+} // namespace otf::msp430

@@ -1,0 +1,193 @@
+#include "msp430/program.hpp"
+
+#include <stdexcept>
+
+namespace otf::msp430 {
+
+operand program_builder::r(unsigned reg)
+{
+    if (reg > 15) {
+        throw std::invalid_argument("program_builder: register 0..15");
+    }
+    return operand{mode::reg, static_cast<std::uint8_t>(reg), 0};
+}
+
+operand program_builder::imm(std::uint16_t value)
+{
+    return operand{mode::immediate, 0, value};
+}
+
+operand program_builder::abs(std::uint16_t address)
+{
+    return operand{mode::absolute, 0, address};
+}
+
+operand program_builder::idx(unsigned reg, std::uint16_t offset)
+{
+    return operand{mode::indexed, static_cast<std::uint8_t>(reg), offset};
+}
+
+operand program_builder::deref(unsigned reg)
+{
+    return operand{mode::indirect, static_cast<std::uint8_t>(reg), 0};
+}
+
+operand program_builder::deref_inc(unsigned reg)
+{
+    return operand{mode::post_inc, static_cast<std::uint8_t>(reg), 0};
+}
+
+program_builder& program_builder::emit(opcode op, operand src, operand dst)
+{
+    instruction ins;
+    ins.op = op;
+    ins.src = src;
+    ins.dst = dst;
+    code_.push_back(ins);
+    return *this;
+}
+
+program_builder& program_builder::mov(operand src, operand dst)
+{
+    return emit(opcode::mov, src, dst);
+}
+program_builder& program_builder::add(operand src, operand dst)
+{
+    return emit(opcode::add, src, dst);
+}
+program_builder& program_builder::addc(operand src, operand dst)
+{
+    return emit(opcode::addc, src, dst);
+}
+program_builder& program_builder::sub(operand src, operand dst)
+{
+    return emit(opcode::sub, src, dst);
+}
+program_builder& program_builder::subc(operand src, operand dst)
+{
+    return emit(opcode::subc, src, dst);
+}
+program_builder& program_builder::cmp(operand src, operand dst)
+{
+    return emit(opcode::cmp, src, dst);
+}
+program_builder& program_builder::bit(operand src, operand dst)
+{
+    return emit(opcode::bit, src, dst);
+}
+program_builder& program_builder::bis(operand src, operand dst)
+{
+    return emit(opcode::bis, src, dst);
+}
+program_builder& program_builder::bic(operand src, operand dst)
+{
+    return emit(opcode::bic, src, dst);
+}
+program_builder& program_builder::xor_(operand src, operand dst)
+{
+    return emit(opcode::xor_, src, dst);
+}
+program_builder& program_builder::and_(operand src, operand dst)
+{
+    return emit(opcode::and_, src, dst);
+}
+program_builder& program_builder::rra(operand dst)
+{
+    return emit(opcode::rra, operand{}, dst);
+}
+program_builder& program_builder::rrc(operand dst)
+{
+    return emit(opcode::rrc, operand{}, dst);
+}
+program_builder& program_builder::push(operand src)
+{
+    return emit(opcode::push, src, operand{});
+}
+
+program_builder& program_builder::label(const std::string& name)
+{
+    if (!labels_.emplace(name, static_cast<std::int32_t>(code_.size()))
+             .second) {
+        throw std::invalid_argument("program_builder: duplicate label "
+                                    + name);
+    }
+    return *this;
+}
+
+program_builder& program_builder::emit_jump(opcode op,
+                                            const std::string& target)
+{
+    instruction ins;
+    ins.op = op;
+    fixups_.emplace_back(code_.size(), target);
+    code_.push_back(ins);
+    return *this;
+}
+
+program_builder& program_builder::jmp(const std::string& t)
+{
+    return emit_jump(opcode::jmp, t);
+}
+program_builder& program_builder::jz(const std::string& t)
+{
+    return emit_jump(opcode::jz, t);
+}
+program_builder& program_builder::jnz(const std::string& t)
+{
+    return emit_jump(opcode::jnz, t);
+}
+program_builder& program_builder::jc(const std::string& t)
+{
+    return emit_jump(opcode::jc, t);
+}
+program_builder& program_builder::jnc(const std::string& t)
+{
+    return emit_jump(opcode::jnc, t);
+}
+program_builder& program_builder::jn(const std::string& t)
+{
+    return emit_jump(opcode::jn, t);
+}
+program_builder& program_builder::jge(const std::string& t)
+{
+    return emit_jump(opcode::jge, t);
+}
+program_builder& program_builder::jl(const std::string& t)
+{
+    return emit_jump(opcode::jl, t);
+}
+program_builder& program_builder::call(const std::string& t)
+{
+    return emit_jump(opcode::call, t);
+}
+
+program_builder& program_builder::ret()
+{
+    instruction ins;
+    ins.op = opcode::ret;
+    code_.push_back(ins);
+    return *this;
+}
+
+program_builder& program_builder::halt()
+{
+    instruction ins;
+    ins.op = opcode::halt;
+    code_.push_back(ins);
+    return *this;
+}
+
+std::vector<instruction> program_builder::build()
+{
+    for (const auto& [index, name] : fixups_) {
+        const auto it = labels_.find(name);
+        if (it == labels_.end()) {
+            throw std::invalid_argument(
+                "program_builder: undefined label " + name);
+        }
+        code_[index].target = it->second;
+    }
+    return code_;
+}
+
+} // namespace otf::msp430

@@ -1,0 +1,70 @@
+// Program builder: a thin structured-assembly layer over the decoded
+// instruction form, with labels and fixups, so firmware reads like the
+// assembly listing it stands for.
+#pragma once
+
+#include "msp430/cpu.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace otf::msp430 {
+
+class program_builder {
+public:
+    // -- operand constructors ---------------------------------------------
+    static operand r(unsigned reg);
+    static operand imm(std::uint16_t value);
+    static operand abs(std::uint16_t address);
+    static operand idx(unsigned reg, std::uint16_t offset);
+    static operand deref(unsigned reg);
+    static operand deref_inc(unsigned reg);
+
+    // -- dual operand -------------------------------------------------------
+    program_builder& mov(operand src, operand dst);
+    program_builder& add(operand src, operand dst);
+    program_builder& addc(operand src, operand dst);
+    program_builder& sub(operand src, operand dst);
+    program_builder& subc(operand src, operand dst);
+    program_builder& cmp(operand src, operand dst);
+    program_builder& bit(operand src, operand dst);
+    program_builder& bis(operand src, operand dst);
+    program_builder& bic(operand src, operand dst);
+    program_builder& xor_(operand src, operand dst);
+    program_builder& and_(operand src, operand dst);
+
+    // -- single operand ------------------------------------------------------
+    program_builder& rra(operand dst);
+    program_builder& rrc(operand dst);
+    program_builder& push(operand src);
+
+    // -- control -------------------------------------------------------------
+    program_builder& label(const std::string& name);
+    program_builder& jmp(const std::string& target);
+    program_builder& jz(const std::string& target);
+    program_builder& jnz(const std::string& target);
+    program_builder& jc(const std::string& target);
+    program_builder& jnc(const std::string& target);
+    program_builder& jn(const std::string& target);
+    program_builder& jge(const std::string& target);
+    program_builder& jl(const std::string& target);
+    program_builder& call(const std::string& target);
+    program_builder& ret();
+    program_builder& halt();
+
+    /// Resolve labels and return the executable program.
+    std::vector<instruction> build();
+
+    std::size_t size() const { return code_.size(); }
+
+private:
+    std::vector<instruction> code_;
+    std::map<std::string, std::int32_t> labels_;
+    std::vector<std::pair<std::size_t, std::string>> fixups_;
+
+    program_builder& emit(opcode op, operand src, operand dst);
+    program_builder& emit_jump(opcode op, const std::string& target);
+};
+
+} // namespace otf::msp430

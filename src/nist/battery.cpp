@@ -1,0 +1,127 @@
+#include "nist/battery.hpp"
+
+#include "nist/extended_tests.hpp"
+#include "nist/tests.hpp"
+
+#include <cmath>
+
+namespace otf::nist {
+
+namespace {
+
+void add(battery_report& report, unsigned number, std::string name,
+         double p, double alpha, bool applicable = true)
+{
+    battery_entry e;
+    e.test_number = number;
+    e.name = std::move(name);
+    e.p_value = p;
+    e.applicable = applicable;
+    e.pass = applicable && p >= alpha;
+    if (!applicable) {
+        ++report.skipped;
+    } else if (e.pass) {
+        ++report.passed;
+    } else {
+        ++report.failed;
+    }
+    report.entries.push_back(std::move(e));
+}
+
+} // namespace
+
+battery_report run_battery(const bit_sequence& seq, double alpha)
+{
+    battery_report report;
+    const std::size_t n = seq.size();
+
+    add(report, 1, "frequency", frequency_test(seq).p_value, alpha);
+
+    {
+        // M ~ n/8 but at least 20 (SP 800-22 recommendation M > 0.01 n,
+        // N < 100).
+        const unsigned m = static_cast<unsigned>(
+            std::max<std::size_t>(20, n / 64));
+        add(report, 2, "block frequency",
+            block_frequency_test(seq, m).p_value, alpha);
+    }
+
+    {
+        const auto r = runs_test(seq);
+        add(report, 3, "runs", r.p_value, alpha, true);
+    }
+
+    if (n >= 128) {
+        const unsigned m = (n >= 750000) ? 10000 : (n >= 6272 ? 128 : 8);
+        add(report, 4, "longest run", longest_run_test(seq, m).p_value,
+            alpha);
+    }
+
+    if (n >= 32 * 32 * 4) {
+        add(report, 5, "matrix rank", matrix_rank_test(seq).p_value,
+            alpha);
+    }
+
+    add(report, 6, "spectral (DFT)", dft_test(seq).p_value, alpha);
+
+    if (n >= 8 * 512) {
+        const unsigned blocks = 8;
+        add(report, 7, "non-overlapping template",
+            non_overlapping_template_test(seq, 0b000000001u, 9, blocks)
+                .p_value,
+            alpha);
+    }
+
+    if (n >= 1024 * 16) {
+        add(report, 8, "overlapping template",
+            overlapping_template_test(seq, 9, 1024, 5).p_value, alpha);
+    }
+
+    if (n >= 10 * (1u << 6) * 7) { // enough for L >= 5 with Q + K blocks
+        add(report, 9, "universal", universal_test(seq).p_value, alpha);
+    }
+
+    if (n >= 500 * 8) {
+        add(report, 10, "linear complexity",
+            linear_complexity_test(seq, 500).p_value, alpha);
+    }
+
+    {
+        const unsigned m = (n >= 1024) ? 4 : 3;
+        const auto r = serial_test(seq, m);
+        add(report, 11, "serial P1", r.p_value1, alpha);
+        add(report, 11, "serial P2", r.p_value2, alpha);
+    }
+
+    {
+        const unsigned m = (n >= 1024) ? 3 : 2;
+        add(report, 12, "approximate entropy",
+            approximate_entropy_test(seq, m).p_value, alpha);
+    }
+
+    {
+        const auto r = cumulative_sums_test(seq);
+        add(report, 13, "cusum forward", r.p_forward, alpha);
+        add(report, 13, "cusum backward", r.p_backward, alpha);
+    }
+
+    {
+        const auto r = random_excursions_test(seq);
+        for (std::size_t i = 0; i < r.states.size(); ++i) {
+            add(report, 14,
+                "excursions x=" + std::to_string(r.states[i]),
+                r.p_values[i], alpha, r.applicable);
+        }
+    }
+    {
+        const auto r = random_excursions_variant_test(seq);
+        for (std::size_t i = 0; i < r.states.size(); ++i) {
+            add(report, 15,
+                "excursions variant x=" + std::to_string(r.states[i]),
+                r.p_values[i], alpha, r.applicable);
+        }
+    }
+    return report;
+}
+
+} // namespace otf::nist

@@ -1,0 +1,38 @@
+// One-call runner for the full 15-test SP 800-22 battery.
+//
+// This is the *offline* evaluation flow the on-the-fly platform
+// complements: run every applicable test on a recorded sequence and
+// collect all P-values.  Used by the examples and by the offline-vs-online
+// bench; parameterization follows the NIST defaults scaled to the
+// sequence length.
+#pragma once
+
+#include "base/bits.hpp"
+
+#include <string>
+#include <vector>
+
+namespace otf::nist {
+
+struct battery_entry {
+    unsigned test_number;   ///< NIST numbering 1..15
+    std::string name;       ///< e.g. "serial P2", "excursions x=-1"
+    double p_value;
+    bool applicable;        ///< false when prerequisites fail
+    bool pass;              ///< p >= alpha (and applicable)
+};
+
+struct battery_report {
+    std::vector<battery_entry> entries;
+    unsigned passed = 0;
+    unsigned failed = 0;
+    unsigned skipped = 0;   ///< not applicable at this length
+
+    bool all_pass() const { return failed == 0; }
+};
+
+/// Run every SP 800-22 test whose minimum-length recommendation the
+/// sequence satisfies.  `alpha` is the per-test significance level.
+battery_report run_battery(const bit_sequence& seq, double alpha);
+
+} // namespace otf::nist

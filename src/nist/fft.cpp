@@ -1,0 +1,76 @@
+#include "nist/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otf::nist {
+
+void fft_radix2(std::vector<std::complex<double>>& data)
+{
+    const std::size_t n = data.size();
+    if (n == 0 || (n & (n - 1)) != 0) {
+        throw std::invalid_argument("fft_radix2: size must be a power of 2");
+    }
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j ^= bit;
+        if (i < j) {
+            std::swap(data[i], data[j]);
+        }
+    }
+    // Butterflies.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle = -2.0 * M_PI / static_cast<double>(len);
+        const std::complex<double> w_len(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = data[i + k];
+                const std::complex<double> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= w_len;
+            }
+        }
+    }
+}
+
+std::vector<double> dft_magnitudes(const std::vector<double>& input)
+{
+    const std::size_t n = input.size();
+    const std::size_t half = n / 2;
+    std::vector<double> magnitudes(half, 0.0);
+    if (n == 0) {
+        return magnitudes;
+    }
+    if ((n & (n - 1)) == 0) {
+        std::vector<std::complex<double>> data(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            data[i] = {input[i], 0.0};
+        }
+        fft_radix2(data);
+        for (std::size_t j = 0; j < half; ++j) {
+            magnitudes[j] = std::abs(data[j]);
+        }
+        return magnitudes;
+    }
+    // Direct DFT for non-power-of-two lengths (reference/example use only).
+    for (std::size_t j = 0; j < half; ++j) {
+        double re = 0.0;
+        double im = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double angle = -2.0 * M_PI * static_cast<double>(j)
+                * static_cast<double>(i) / static_cast<double>(n);
+            re += input[i] * std::cos(angle);
+            im += input[i] * std::sin(angle);
+        }
+        magnitudes[j] = std::hypot(re, im);
+    }
+    return magnitudes;
+}
+
+} // namespace otf::nist

@@ -1,0 +1,93 @@
+#include "nist/fips140.hpp"
+
+#include <stdexcept>
+
+namespace otf::nist {
+
+namespace {
+
+struct interval {
+    std::uint64_t lo;
+    std::uint64_t hi;
+};
+
+// FIPS 140-2 Change Notice 1, table of required run-count intervals.
+constexpr interval run_intervals[6] = {
+    {2315, 2685}, // length 1
+    {1114, 1386}, // length 2
+    {527, 723},   // length 3
+    {240, 384},   // length 4
+    {103, 209},   // length 5
+    {103, 209},   // length 6 and longer
+};
+
+} // namespace
+
+fips140_result fips140_2_test(const bit_sequence& seq)
+{
+    if (seq.size() != fips_sequence_length) {
+        throw std::invalid_argument(
+            "fips140_2_test: the battery is defined on exactly 20000 bits");
+    }
+    fips140_result r;
+
+    // Monobit.
+    r.ones = seq.count_ones();
+    r.monobit_pass = r.ones > 9725 && r.ones < 10275;
+
+    // Poker on 4-bit nibbles.
+    std::array<std::uint64_t, 16> freq{};
+    for (std::size_t i = 0; i < seq.size(); i += 4) {
+        unsigned v = 0;
+        for (unsigned j = 0; j < 4; ++j) {
+            v = (v << 1) | (seq[i + j] ? 1u : 0u);
+        }
+        ++freq[v];
+    }
+    std::uint64_t sum_sq = 0;
+    for (const std::uint64_t f : freq) {
+        sum_sq += f * f;
+    }
+    r.poker_statistic =
+        16.0 / 5000.0 * static_cast<double>(sum_sq) - 5000.0;
+    r.poker_pass = r.poker_statistic > 2.16 && r.poker_statistic < 46.17;
+
+    // Runs and long run in one scan.
+    std::uint64_t run_length = 1;
+    r.longest_run = 1;
+    const auto record = [&](bool value, std::uint64_t length) {
+        auto& bucket = value ? r.runs_of_ones : r.runs_of_zeros;
+        const std::size_t index =
+            (length >= 6) ? 5 : static_cast<std::size_t>(length - 1);
+        ++bucket[index];
+    };
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+        if (seq[i] == seq[i - 1]) {
+            ++run_length;
+        } else {
+            record(seq[i - 1], run_length);
+            if (run_length > r.longest_run) {
+                r.longest_run = run_length;
+            }
+            run_length = 1;
+        }
+    }
+    record(seq[seq.size() - 1], run_length);
+    if (run_length > r.longest_run) {
+        r.longest_run = run_length;
+    }
+
+    r.runs_pass = true;
+    for (unsigned k = 0; k < 6; ++k) {
+        const interval& iv = run_intervals[k];
+        const bool zeros_ok = r.runs_of_zeros[k] >= iv.lo
+            && r.runs_of_zeros[k] <= iv.hi;
+        const bool ones_ok =
+            r.runs_of_ones[k] >= iv.lo && r.runs_of_ones[k] <= iv.hi;
+        r.runs_pass = r.runs_pass && zeros_ok && ones_ok;
+    }
+    r.long_run_pass = r.longest_run < 26;
+    return r;
+}
+
+} // namespace otf::nist

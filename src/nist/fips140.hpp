@@ -1,0 +1,51 @@
+// FIPS 140-2 statistical tests for RNGs (the 20000-bit power-up battery).
+//
+// The earlier on-line monitors the paper compares against ([7], [8]
+// Santoro et al.) implement these four tests in hardware; they are the
+// historical baseline for TRNG health checking and are included here both
+// as context and as a fast power-up battery: unlike the NIST tests they
+// are pure pass/fail interval checks with no P-value, which is why they
+// fit in hardware trivially but offer no significance-level flexibility
+// -- exactly the limitation the paper's HW/SW split removes.
+//
+// Bounds follow FIPS 140-2 with Change Notice 1 (the tightened intervals).
+#pragma once
+
+#include "base/bits.hpp"
+
+#include <array>
+#include <cstdint>
+
+namespace otf::nist {
+
+inline constexpr std::size_t fips_sequence_length = 20000;
+
+struct fips140_result {
+    // Monobit: 9725 < ones < 10275.
+    std::uint64_t ones = 0;
+    bool monobit_pass = false;
+
+    // Poker: 5000 4-bit nibbles, X = 16/5000 sum f_i^2 - 5000,
+    // 2.16 < X < 46.17.
+    double poker_statistic = 0.0;
+    bool poker_pass = false;
+
+    // Runs: per value and length 1..6+, each count within its interval.
+    std::array<std::uint64_t, 6> runs_of_zeros{};
+    std::array<std::uint64_t, 6> runs_of_ones{};
+    bool runs_pass = false;
+
+    // Long run: no run of either value reaching 26.
+    std::uint64_t longest_run = 0;
+    bool long_run_pass = false;
+
+    bool all_pass() const
+    {
+        return monobit_pass && poker_pass && runs_pass && long_run_pass;
+    }
+};
+
+/// Run the four FIPS 140-2 tests; the sequence must be exactly 20000 bits.
+fips140_result fips140_2_test(const bit_sequence& seq);
+
+} // namespace otf::nist

@@ -1,0 +1,24 @@
+#include "nist/special_functions.hpp"
+#include "nist/tests.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otf::nist {
+
+frequency_result frequency_test(const bit_sequence& seq)
+{
+    if (seq.empty()) {
+        throw std::invalid_argument("frequency_test: empty sequence");
+    }
+    const auto n = static_cast<std::int64_t>(seq.size());
+    const auto ones = static_cast<std::int64_t>(seq.count_ones());
+    frequency_result r;
+    r.s_n = 2 * ones - n;
+    r.s_obs = static_cast<double>(std::llabs(r.s_n))
+        / std::sqrt(static_cast<double>(n));
+    r.p_value = erfc(r.s_obs / std::sqrt(2.0));
+    return r;
+}
+
+} // namespace otf::nist

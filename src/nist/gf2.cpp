@@ -1,0 +1,62 @@
+#include "nist/gf2.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otf::nist {
+
+unsigned gf2_rank(std::vector<std::uint64_t> rows, unsigned cols)
+{
+    if (cols > 64) {
+        throw std::invalid_argument("gf2_rank: at most 64 columns");
+    }
+    unsigned rank = 0;
+    for (unsigned col = 0; col < cols && rank < rows.size(); ++col) {
+        const std::uint64_t pivot_mask = std::uint64_t{1} << col;
+        // Find a pivot row at or below `rank`.
+        std::size_t pivot = rows.size();
+        for (std::size_t r = rank; r < rows.size(); ++r) {
+            if (rows[r] & pivot_mask) {
+                pivot = r;
+                break;
+            }
+        }
+        if (pivot == rows.size()) {
+            continue;
+        }
+        std::swap(rows[rank], rows[pivot]);
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            if (r != rank && (rows[r] & pivot_mask)) {
+                rows[r] ^= rows[rank];
+            }
+        }
+        ++rank;
+    }
+    return rank;
+}
+
+double gf2_rank_probability(unsigned m, unsigned q, unsigned r)
+{
+    const unsigned full = (m < q) ? m : q;
+    if (r > full) {
+        return 0.0;
+    }
+    // P(rank = r) = 2^{r(q+m-r) - mq} * prod_{i=0}^{r-1}
+    //   (1 - 2^{i-q})(1 - 2^{i-m}) / (1 - 2^{i-r})
+    double log2_prob = static_cast<double>(r)
+            * (static_cast<double>(q) + m - r)
+        - static_cast<double>(m) * q;
+    double product = 1.0;
+    for (unsigned i = 0; i < r; ++i) {
+        const double a =
+            1.0 - std::ldexp(1.0, static_cast<int>(i) - static_cast<int>(q));
+        const double b =
+            1.0 - std::ldexp(1.0, static_cast<int>(i) - static_cast<int>(m));
+        const double c =
+            1.0 - std::ldexp(1.0, static_cast<int>(i) - static_cast<int>(r));
+        product *= a * b / c;
+    }
+    return std::ldexp(product, static_cast<int>(log2_prob));
+}
+
+} // namespace otf::nist

@@ -1,0 +1,112 @@
+#include "nist/extended_tests.hpp"
+#include "nist/special_functions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otf::nist {
+
+unsigned berlekamp_massey(const std::vector<std::uint8_t>& bits)
+{
+    const std::size_t n = bits.size();
+    std::vector<std::uint8_t> c(n + 1, 0);
+    std::vector<std::uint8_t> b(n + 1, 0);
+    std::vector<std::uint8_t> t;
+    c[0] = 1;
+    b[0] = 1;
+    unsigned l = 0;
+    std::int64_t m = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Discrepancy d = s_i + sum_{j=1..L} c_j s_{i-j}  (mod 2).
+        std::uint8_t d = bits[i];
+        for (unsigned j = 1; j <= l; ++j) {
+            d = static_cast<std::uint8_t>(d ^ (c[j] & bits[i - j]));
+        }
+        if (d == 0) {
+            continue;
+        }
+        t = c;
+        const std::size_t shift =
+            static_cast<std::size_t>(static_cast<std::int64_t>(i) - m);
+        for (std::size_t j = 0; j + shift <= n; ++j) {
+            c[j + shift] = static_cast<std::uint8_t>(c[j + shift] ^ b[j]);
+        }
+        if (2 * l <= i) {
+            l = static_cast<unsigned>(i + 1 - l);
+            m = static_cast<std::int64_t>(i);
+            b = t;
+        }
+    }
+    return l;
+}
+
+linear_complexity_result linear_complexity_test(const bit_sequence& seq,
+                                                unsigned block_length)
+{
+    if (block_length < 4) {
+        throw std::invalid_argument(
+            "linear_complexity_test: M must be at least 4");
+    }
+    const std::uint64_t blocks = seq.size() / block_length;
+    if (blocks == 0) {
+        throw std::invalid_argument(
+            "linear_complexity_test: sequence shorter than one block");
+    }
+
+    linear_complexity_result r;
+    r.block_length = block_length;
+    r.blocks = blocks;
+    r.nu.assign(7, 0);
+
+    // SP 800-22 table 2-10 category probabilities for the T statistic.
+    static const double pi[7] = {0.010417, 0.03125, 0.125, 0.5,
+                                 0.25,     0.0625,  0.020833};
+
+    const double m_len = static_cast<double>(block_length);
+    const double sign_m = (block_length % 2 == 0) ? 1.0 : -1.0;
+    // mu = M/2 + (9 + (-1)^{M+1})/36 - (M/3 + 2/9) / 2^M
+    const double xi = m_len / 2.0 + (9.0 - sign_m) / 36.0
+        - (m_len / 3.0 + 2.0 / 9.0) / std::ldexp(1.0, (int)block_length);
+
+    std::vector<std::uint8_t> block(block_length);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        const std::size_t base =
+            static_cast<std::size_t>(b) * block_length;
+        for (unsigned j = 0; j < block_length; ++j) {
+            block[j] = seq[base + j] ? 1 : 0;
+        }
+        const unsigned l = berlekamp_massey(block);
+        const double t =
+            sign_m * (static_cast<double>(l) - xi) + 2.0 / 9.0;
+        unsigned category;
+        if (t <= -2.5) {
+            category = 0;
+        } else if (t <= -1.5) {
+            category = 1;
+        } else if (t <= -0.5) {
+            category = 2;
+        } else if (t <= 0.5) {
+            category = 3;
+        } else if (t <= 1.5) {
+            category = 4;
+        } else if (t <= 2.5) {
+            category = 5;
+        } else {
+            category = 6;
+        }
+        ++r.nu[category];
+    }
+
+    const double n = static_cast<double>(blocks);
+    double chi = 0.0;
+    for (unsigned c = 0; c < 7; ++c) {
+        const double expected = n * pi[c];
+        const double dev = static_cast<double>(r.nu[c]) - expected;
+        chi += dev * dev / expected;
+    }
+    r.chi_squared = chi;
+    r.p_value = igamc(3.0, chi / 2.0); // 6 degrees of freedom
+    return r;
+}
+
+} // namespace otf::nist

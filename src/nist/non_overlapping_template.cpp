@@ -1,0 +1,73 @@
+#include "nist/distributions.hpp"
+#include "nist/special_functions.hpp"
+#include "nist/tests.hpp"
+
+#include <stdexcept>
+
+namespace otf::nist {
+
+non_overlapping_template_result non_overlapping_template_test(
+    const bit_sequence& seq, std::uint32_t templ, unsigned template_length,
+    unsigned block_count)
+{
+    if (template_length == 0 || template_length > 31) {
+        throw std::invalid_argument(
+            "non_overlapping_template_test: m must be in [1, 31]");
+    }
+    if (block_count == 0) {
+        throw std::invalid_argument(
+            "non_overlapping_template_test: N must be > 0");
+    }
+    const std::size_t block_length = seq.size() / block_count;
+    if (block_length < template_length) {
+        throw std::invalid_argument(
+            "non_overlapping_template_test: blocks shorter than template");
+    }
+
+    non_overlapping_template_result r;
+    r.templ = templ;
+    r.template_length = template_length;
+    r.block_length = static_cast<unsigned>(block_length);
+    r.w.reserve(block_count);
+
+    // Non-overlapping scan: on a match the window restarts after the
+    // template (the hardware engine resets its shift-register fill).
+    for (unsigned b = 0; b < block_count; ++b) {
+        const std::size_t base = static_cast<std::size_t>(b) * block_length;
+        std::uint64_t hits = 0;
+        std::size_t i = 0;
+        while (i + template_length <= block_length) {
+            bool match = true;
+            for (unsigned j = 0; j < template_length; ++j) {
+                const bool want =
+                    ((templ >> (template_length - 1 - j)) & 1u) != 0;
+                if (seq[base + i + j] != want) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match) {
+                ++hits;
+                i += template_length;
+            } else {
+                ++i;
+            }
+        }
+        r.w.push_back(hits);
+    }
+
+    const mean_variance mv = non_overlapping_template_moments(
+        template_length, r.block_length);
+    r.mean = mv.mean;
+    r.variance = mv.variance;
+    double chi = 0.0;
+    for (const std::uint64_t w : r.w) {
+        const double dev = static_cast<double>(w) - r.mean;
+        chi += dev * dev / r.variance;
+    }
+    r.chi_squared = chi;
+    r.p_value = igamc(static_cast<double>(block_count) / 2.0, chi / 2.0);
+    return r;
+}
+
+} // namespace otf::nist

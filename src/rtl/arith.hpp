@@ -1,0 +1,55 @@
+// Combinational arithmetic blocks.
+//
+// The unified platform deliberately keeps these OUT of the hardware half --
+// squaring and multiplication belong to the software side (Table II).  They
+// exist in this library for the comparison baseline: the prior-work style
+// of implementation ([13] in the paper) finishes each test entirely in
+// hardware, which costs a multiplier/squarer and an accumulator per test.
+// Modelling them makes the area gap of Table IV measurable.
+#pragma once
+
+#include "rtl/component.hpp"
+
+#include <cstdint>
+
+namespace otf::rtl {
+
+/// Combinational array multiplier, a-bits x b-bits (LUT fabric, no DSP --
+/// matching the small std-logic implementations of the baseline work).
+class multiplier : public component {
+public:
+    multiplier(std::string name, unsigned a_width, unsigned b_width);
+
+    std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const;
+    unsigned result_width() const { return a_width_ + b_width_; }
+
+protected:
+    resources self_cost() const override;
+    void self_reset() override {}
+
+private:
+    unsigned a_width_;
+    unsigned b_width_;
+};
+
+/// Registered accumulator: result register plus input adder.
+class accumulator : public component {
+public:
+    accumulator(std::string name, unsigned width);
+
+    void accumulate(std::uint64_t addend);
+    std::uint64_t value() const { return value_; }
+    unsigned width() const { return width_; }
+    void clear() { value_ = 0; }
+
+protected:
+    resources self_cost() const override;
+    void self_reset() override { value_ = 0; }
+
+private:
+    unsigned width_;
+    std::uint64_t mask_;
+    std::uint64_t value_ = 0;
+};
+
+} // namespace otf::rtl

@@ -1,0 +1,55 @@
+// Combinational comparators.
+//
+// `pattern_matcher` is the equality-against-constant comparator used by the
+// template tests (the predefined 9-bit templates of tests 7 and 8) and by the
+// block-boundary decode (trick 2: block lengths are powers of two, so the
+// end of a block is an equality check on the low bits of the global bit
+// counter).  `magnitude_comparator` is the >=-against-constant check used by
+// the standalone full-hardware baseline engines.
+#pragma once
+
+#include "rtl/component.hpp"
+
+#include <cstdint>
+
+namespace otf::rtl {
+
+/// Equality comparison of a `width`-bit signal against a constant.
+class pattern_matcher : public component {
+public:
+    pattern_matcher(std::string name, unsigned width, std::uint64_t pattern);
+
+    bool matches(std::uint64_t window) const;
+    std::uint64_t pattern() const { return pattern_; }
+    unsigned width() const { return width_; }
+
+protected:
+    resources self_cost() const override;
+    void self_reset() override {}
+
+private:
+    unsigned width_;
+    std::uint64_t mask_;
+    std::uint64_t pattern_;
+};
+
+/// Unsigned magnitude comparison (input >= constant).
+class magnitude_comparator : public component {
+public:
+    magnitude_comparator(std::string name, unsigned width,
+                         std::uint64_t threshold);
+
+    bool at_least(std::uint64_t value) const { return value >= threshold_; }
+    std::uint64_t threshold() const { return threshold_; }
+    unsigned width() const { return width_; }
+
+protected:
+    resources self_cost() const override;
+    void self_reset() override {}
+
+private:
+    unsigned width_;
+    std::uint64_t threshold_;
+};
+
+} // namespace otf::rtl

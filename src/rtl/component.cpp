@@ -1,0 +1,47 @@
+#include "rtl/component.hpp"
+
+#include <sstream>
+
+namespace otf::rtl {
+
+resources component::cost() const
+{
+    resources total = self_cost();
+    for (const component* child : children_) {
+        total += child->cost();
+    }
+    return total;
+}
+
+void component::reset()
+{
+    self_reset();
+    for (component* child : children_) {
+        child->reset();
+    }
+}
+
+namespace {
+
+void audit_line(const component& c, int depth, std::ostringstream& out)
+{
+    const resources r = c.cost();
+    for (int i = 0; i < depth; ++i) {
+        out << "  ";
+    }
+    out << c.name() << ": " << to_string(r) << '\n';
+    for (const component* child : c.children()) {
+        audit_line(*child, depth + 1, out);
+    }
+}
+
+} // namespace
+
+std::string resource_audit(const component& root)
+{
+    std::ostringstream out;
+    audit_line(root, 0, out);
+    return out.str();
+}
+
+} // namespace otf::rtl

@@ -1,0 +1,60 @@
+// Base class for RTL-level component models.
+//
+// Every block of the hardware co-processor is modelled as a `component`:
+// it has synchronous state (advanced by the owner once per incoming random
+// bit -- the paper's designs complete every update within one clock cycle),
+// a `reset()` that models the synchronous clear before a new sequence, and a
+// resource inventory used by the technology models in resources.hpp.
+//
+// Components form a hierarchy: composite blocks own their children and
+// register them so that `cost()` and `reset()` recurse automatically, and so
+// a resource audit can print a per-submodule area breakdown (used by the
+// sharing-trick ablation bench).
+#pragma once
+
+#include "rtl/resources.hpp"
+
+#include <string>
+#include <vector>
+
+namespace otf::rtl {
+
+class component {
+public:
+    explicit component(std::string name) : name_(std::move(name)) {}
+    component(const component&) = delete;
+    component& operator=(const component&) = delete;
+    virtual ~component() = default;
+
+    /// Instance name, used in resource audits.
+    const std::string& name() const { return name_; }
+
+    /// Total resource inventory: own glue logic plus all registered children.
+    resources cost() const;
+
+    /// Synchronous reset of own state and all registered children.
+    void reset();
+
+    /// Direct children, for hierarchical resource audits.
+    const std::vector<component*>& children() const { return children_; }
+
+protected:
+    /// Resources of this component's own logic, excluding children.
+    virtual resources self_cost() const = 0;
+    /// Reset this component's own state, excluding children.
+    virtual void self_reset() = 0;
+
+    /// Register a child; the child must outlive this component.
+    void adopt(component& child) { children_.push_back(&child); }
+
+private:
+    std::string name_;
+    std::vector<component*> children_;
+};
+
+/// One line per component of the hierarchy rooted at `root`, indented by
+/// depth, with FF/LUT subtotals -- the model's equivalent of a synthesis
+/// utilization report.
+std::string resource_audit(const component& root);
+
+} // namespace otf::rtl

@@ -1,0 +1,44 @@
+#include "rtl/mux.hpp"
+
+#include <stdexcept>
+
+namespace otf::rtl {
+
+readout_mux::readout_mux(std::string name, unsigned inputs, unsigned width)
+    : component(std::move(name)), inputs_(inputs), width_(width)
+{
+    if (inputs == 0 || inputs > 128) {
+        throw std::invalid_argument(
+            "readout mux addressed by a 7-bit select supports 1..128 inputs");
+    }
+    if (width == 0 || width > 64) {
+        throw std::invalid_argument("readout mux width must be in [1, 64]");
+    }
+}
+
+unsigned readout_mux::depth() const
+{
+    unsigned depth = 0;
+    unsigned remaining = inputs_;
+    while (remaining > 1) {
+        remaining = (remaining + 3) / 4;
+        ++depth;
+    }
+    return depth;
+}
+
+resources readout_mux::self_cost() const
+{
+    // Tree of 4:1 muxes: N/4 + N/16 + ... ~= (N-1)/3 LUTs per output bit.
+    std::uint32_t luts_per_bit = 0;
+    unsigned remaining = inputs_;
+    while (remaining > 1) {
+        const unsigned level = (remaining + 3) / 4;
+        luts_per_bit += level;
+        remaining = level;
+    }
+    return resources{.ffs = 0, .luts = luts_per_bit * width_, .carry_bits = 0,
+                     .mux_levels = depth()};
+}
+
+} // namespace otf::rtl

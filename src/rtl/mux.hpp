@@ -1,0 +1,39 @@
+// Readout multiplexer model.
+//
+// The unified testing block exposes every hardware-computed value through a
+// memory-mapped interface: a large multiplexer whose select input is the
+// 7-bit read address (Fig. 2 of the paper).  The paper notes this interface
+// "contributes significantly to the overall area", which is why reducing the
+// number of transmitted values matters; this model makes that cost explicit.
+#pragma once
+
+#include "rtl/component.hpp"
+
+#include <cstdint>
+
+namespace otf::rtl {
+
+/// N-to-1 multiplexer of `width`-bit words.
+///
+/// FPGA mapping: one LUT6 implements a 4:1 mux per output bit, so an N:1 mux
+/// costs about (N-1)/3 LUTs per bit arranged in a tree of depth
+/// ceil(log4(N)).
+class readout_mux : public component {
+public:
+    readout_mux(std::string name, unsigned inputs, unsigned width);
+
+    unsigned inputs() const { return inputs_; }
+    unsigned width() const { return width_; }
+    /// Tree depth in 4:1 mux levels (timing model input).
+    unsigned depth() const;
+
+protected:
+    resources self_cost() const override;
+    void self_reset() override {}
+
+private:
+    unsigned inputs_;
+    unsigned width_;
+};
+
+} // namespace otf::rtl

@@ -1,0 +1,117 @@
+#include "rtl/registers.hpp"
+
+#include <stdexcept>
+
+namespace otf::rtl {
+
+namespace {
+
+std::uint64_t width_mask(unsigned width)
+{
+    if (width == 0 || width > 63) {
+        throw std::invalid_argument("register width must be in [1, 63]");
+    }
+    return (std::uint64_t{1} << width) - 1;
+}
+
+} // namespace
+
+data_register::data_register(std::string name, unsigned width)
+    : component(std::move(name)), width_(width), mask_(width_mask(width))
+{
+}
+
+void data_register::load(std::uint64_t v)
+{
+    value_ = v & mask_;
+}
+
+resources data_register::self_cost() const
+{
+    return resources{.ffs = width_, .luts = 0, .carry_bits = 0,
+                     .mux_levels = 0};
+}
+
+max_tracker::max_tracker(std::string name, unsigned width)
+    : component(std::move(name)), width_(width)
+{
+    width_mask(width); // validate
+}
+
+void max_tracker::observe(std::int64_t v)
+{
+    if (v > value_) {
+        value_ = v;
+    }
+}
+
+resources max_tracker::self_cost() const
+{
+    // Register + magnitude comparator on the carry chain (~1 LUT per 2 bits)
+    // whose output drives the load enable.
+    const std::uint32_t cmp_luts = (width_ + 1) / 2;
+    return resources{.ffs = width_, .luts = cmp_luts, .carry_bits = width_,
+                     .mux_levels = 0};
+}
+
+min_tracker::min_tracker(std::string name, unsigned width)
+    : component(std::move(name)), width_(width)
+{
+    width_mask(width); // validate
+}
+
+void min_tracker::observe(std::int64_t v)
+{
+    if (v < value_) {
+        value_ = v;
+    }
+}
+
+resources min_tracker::self_cost() const
+{
+    const std::uint32_t cmp_luts = (width_ + 1) / 2;
+    return resources{.ffs = width_, .luts = cmp_luts, .carry_bits = width_,
+                     .mux_levels = 0};
+}
+
+register_bank::register_bank(std::string name, unsigned count, unsigned width)
+    : component(std::move(name)), count_(count), width_(width),
+      mask_(width_mask(width)), slots_(count, 0)
+{
+    if (count == 0) {
+        throw std::invalid_argument("register bank needs at least one slot");
+    }
+}
+
+void register_bank::write(unsigned index, std::uint64_t v)
+{
+    slots_.at(index) = v & mask_;
+}
+
+std::uint64_t register_bank::read(unsigned index) const
+{
+    return slots_.at(index);
+}
+
+resources register_bank::self_cost() const
+{
+    // Shallow banks stay in flip-flops with a one-hot write decoder.  Deeper
+    // banks are inferred as distributed LUT-RAM on Spartan-6: a 64x1 RAM fits
+    // in one LUT6, so the RAM costs ceil(count/64) LUTs per data bit and no
+    // flip-flops (read is asynchronous through the readout mux).
+    if (count_ <= 8) {
+        const std::uint32_t decode_luts = count_; // write-enable decode
+        return resources{.ffs = count_ * width_, .luts = decode_luts,
+                         .carry_bits = 0, .mux_levels = 0};
+    }
+    const std::uint32_t ram_luts = ((count_ + 63) / 64) * width_;
+    return resources{.ffs = 0, .luts = ram_luts, .carry_bits = 0,
+                     .mux_levels = 1};
+}
+
+void register_bank::self_reset()
+{
+    slots_.assign(count_, 0);
+}
+
+} // namespace otf::rtl

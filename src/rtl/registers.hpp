@@ -1,0 +1,109 @@
+// Register primitives: plain data registers, min/max trackers and register
+// banks.
+//
+// The testing block stores per-block results (ones-per-block, longest-run
+// category counters, template hit counts) in banks of registers that the
+// software later reads over the memory-mapped interface, and tracks the
+// random-walk extrema in compare-and-load registers.
+#pragma once
+
+#include "rtl/component.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace otf::rtl {
+
+/// Plain `width`-bit data register with load enable.
+class data_register : public component {
+public:
+    data_register(std::string name, unsigned width);
+
+    void load(std::uint64_t v);
+    std::uint64_t value() const { return value_; }
+    unsigned width() const { return width_; }
+
+protected:
+    resources self_cost() const override;
+    void self_reset() override { value_ = 0; }
+
+private:
+    unsigned width_;
+    std::uint64_t mask_;
+    std::uint64_t value_ = 0;
+};
+
+/// Signed maximum tracker: register + magnitude comparator.
+///
+/// Loads the input whenever it exceeds the stored value.  Used for S_max of
+/// the cumulative-sums random walk and for the longest-run-per-block value.
+class max_tracker : public component {
+public:
+    max_tracker(std::string name, unsigned width);
+
+    /// One clock edge observing `v`.
+    void observe(std::int64_t v);
+    std::int64_t value() const { return value_; }
+    unsigned width() const { return width_; }
+
+    /// Synchronous clear (per-block restart).
+    void clear() { value_ = 0; }
+
+protected:
+    resources self_cost() const override;
+    void self_reset() override { value_ = 0; }
+
+private:
+    unsigned width_;
+    std::int64_t value_ = 0;
+};
+
+/// Signed minimum tracker: register + magnitude comparator.
+class min_tracker : public component {
+public:
+    min_tracker(std::string name, unsigned width);
+
+    void observe(std::int64_t v);
+    std::int64_t value() const { return value_; }
+    unsigned width() const { return width_; }
+
+    /// Synchronous clear (per-block restart).
+    void clear() { value_ = 0; }
+
+protected:
+    resources self_cost() const override;
+    void self_reset() override { value_ = 0; }
+
+private:
+    unsigned width_;
+    std::int64_t value_ = 0;
+};
+
+/// Bank of `count` registers of `width` bits with a write index.
+///
+/// Models the per-block result stores (e.g. ones-per-block for the block
+/// frequency test).  Synthesis would infer LUT-RAM for deep banks; the
+/// resource model switches from FF to LUT-RAM costing above a small depth,
+/// matching what ISE does with a distributed-RAM inference.
+class register_bank : public component {
+public:
+    register_bank(std::string name, unsigned count, unsigned width);
+
+    /// Store `v` at slot `index` (the write port).
+    void write(unsigned index, std::uint64_t v);
+    std::uint64_t read(unsigned index) const;
+    unsigned count() const { return count_; }
+    unsigned width() const { return width_; }
+
+protected:
+    resources self_cost() const override;
+    void self_reset() override;
+
+private:
+    unsigned count_;
+    unsigned width_;
+    std::uint64_t mask_;
+    std::vector<std::uint64_t> slots_;
+};
+
+} // namespace otf::rtl

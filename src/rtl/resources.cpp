@@ -1,0 +1,51 @@
+#include "rtl/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace otf::rtl {
+
+resources& resources::operator+=(const resources& other)
+{
+    ffs += other.ffs;
+    luts += other.luts;
+    carry_bits = std::max(carry_bits, other.carry_bits);
+    mux_levels = std::max(mux_levels, other.mux_levels);
+    return *this;
+}
+
+fpga_report estimate_spartan6(const resources& r)
+{
+    fpga_report rep;
+    rep.ffs = r.ffs;
+    rep.luts = r.luts;
+    const double lut_bound = static_cast<double>(r.luts) / 4.0;
+    const double ff_bound = static_cast<double>(r.ffs) / 8.0;
+    const double ideal = std::max(lut_bound, ff_bound);
+    rep.slices = static_cast<std::uint32_t>(
+        std::ceil(ideal * calibration::slice_packing));
+
+    const double period_ns = calibration::base_delay_ns
+        + calibration::carry_delay_ns_per_bit * r.carry_bits
+        + calibration::mux_delay_ns_per_level * r.mux_levels;
+    rep.max_freq_mhz = 1000.0 / period_ns;
+    return rep;
+}
+
+asic_report estimate_umc130(const resources& r)
+{
+    asic_report rep;
+    const double ge = calibration::ge_per_ff * r.ffs
+        + calibration::ge_per_lut * r.luts + calibration::ge_fixed;
+    rep.gate_equivalents = static_cast<std::uint32_t>(std::lround(ge));
+    return rep;
+}
+
+std::string to_string(const resources& r)
+{
+    return "ff=" + std::to_string(r.ffs) + " lut=" + std::to_string(r.luts)
+        + " carry=" + std::to_string(r.carry_bits)
+        + " mux=" + std::to_string(r.mux_levels);
+}
+
+} // namespace otf::rtl

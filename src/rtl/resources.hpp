@@ -1,0 +1,91 @@
+// Resource and timing accounting for RTL-level component models.
+//
+// The paper reports post-synthesis numbers on a Spartan-6 XC6SLX45 (slices,
+// flip-flops, LUTs, maximum frequency) and on UMC's 0.13um standard-cell
+// library (gate equivalents).  We have no synthesis tool in this environment,
+// so every RTL component in this library carries an architectural resource
+// inventory (flip-flop count, LUT estimate, longest carry chain, multiplexer
+// tree depth) from which calibrated technology models derive the same four
+// figures of merit.  The calibration constants below were fitted once against
+// the shapes reported in the paper's Table III and are documented inline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace otf::rtl {
+
+/// Architectural resource inventory of a hardware block.
+///
+/// `ffs` and `luts` accumulate additively over a design hierarchy;
+/// `carry_bits` and `mux_levels` are critical-path properties and combine by
+/// taking the maximum.
+struct resources {
+    /// Number of flip-flops (exact: every state bit of the model is one FF).
+    std::uint32_t ffs = 0;
+    /// Estimated 6-input LUTs of combinational logic.
+    std::uint32_t luts = 0;
+    /// Longest arithmetic carry chain in bits (counters, comparators).
+    std::uint32_t carry_bits = 0;
+    /// Depth of the deepest multiplexer tree (readout interface).
+    std::uint32_t mux_levels = 0;
+
+    /// Hierarchical combination: sums area, maximizes path properties.
+    resources& operator+=(const resources& other);
+    friend resources operator+(resources a, const resources& b)
+    {
+        a += b;
+        return a;
+    }
+    friend bool operator==(const resources&, const resources&) = default;
+};
+
+/// Figures of merit in the units used by the paper's Table III.
+struct fpga_report {
+    std::uint32_t slices = 0;  ///< occupied Spartan-6 slices
+    std::uint32_t ffs = 0;     ///< flip-flops
+    std::uint32_t luts = 0;    ///< 6-input LUTs
+    double max_freq_mhz = 0.0; ///< estimated maximum clock frequency
+};
+
+struct asic_report {
+    std::uint32_t gate_equivalents = 0; ///< UMC 0.13um 2-input NAND equivalents
+};
+
+/// Technology model for Xilinx Spartan-6 (XC6SLX45, ISE-14.7-like results).
+///
+/// A Spartan-6 slice holds four 6-input LUTs and eight flip-flops.  Real
+/// placements never pack perfectly; the paper's own designs show a packing
+/// overhead of ~1.3x over the ideal max(LUT/4, FF/8) bound, which is the
+/// value used here.
+fpga_report estimate_spartan6(const resources& r);
+
+/// Technology model for UMC 0.13um low-leakage standard cells.
+///
+/// A D-flip-flop costs ~6 gate equivalents; one LUT worth of random logic
+/// maps to ~3 GE of std-cell area; a small fixed overhead covers clock/reset
+/// distribution cells.
+asic_report estimate_umc130(const resources& r);
+
+/// Human-readable one-line summary, e.g. "ff=110 lut=158 carry=9 mux=2".
+std::string to_string(const resources& r);
+
+namespace calibration {
+/// Slice packing overhead over the ideal max(LUT/4, FF/8) bound.
+inline constexpr double slice_packing = 1.30;
+/// Clock-to-out + setup + base routing of the shortest paths (ns).
+inline constexpr double base_delay_ns = 5.08;
+/// Incremental delay per carry-chain bit (ns).  Spartan-6 CARRY4 is fast;
+/// most of this is the routing into and out of the chain.
+inline constexpr double carry_delay_ns_per_bit = 0.08;
+/// Incremental delay per multiplexer tree level (LUT + route, ns).
+inline constexpr double mux_delay_ns_per_level = 0.20;
+/// Gate equivalents per flip-flop in UMC 0.13um.
+inline constexpr double ge_per_ff = 6.0;
+/// Gate equivalents per LUT worth of combinational logic.
+inline constexpr double ge_per_lut = 3.0;
+/// Fixed overhead (clock tree buffers, reset fanout) in GE.
+inline constexpr double ge_fixed = 80.0;
+} // namespace calibration
+
+} // namespace otf::rtl

@@ -1,0 +1,31 @@
+#include "rtl/shift_register.hpp"
+
+#include <stdexcept>
+
+namespace otf::rtl {
+
+shift_register::shift_register(std::string name, unsigned length)
+    : component(std::move(name)), length_(length),
+      mask_((std::uint64_t{1} << length) - 1)
+{
+    if (length == 0 || length > 63) {
+        throw std::invalid_argument("shift register length must be in [1, 63]");
+    }
+}
+
+void shift_register::shift(bool bit)
+{
+    window_ = ((window_ << 1) | (bit ? 1u : 0u)) & mask_;
+    if (fill_ < length_) {
+        ++fill_;
+    }
+}
+
+resources shift_register::self_cost() const
+{
+    // Parallel taps force FF implementation: 1 FF per stage, no logic.
+    return resources{.ffs = length_, .luts = 0, .carry_bits = 0,
+                     .mux_levels = 0};
+}
+
+} // namespace otf::rtl

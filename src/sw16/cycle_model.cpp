@@ -1,0 +1,48 @@
+#include "sw16/cycle_model.hpp"
+
+namespace otf::sw16 {
+
+std::uint64_t cycle_model::cycles(const op_counts& c) const
+{
+    return c.add * add + c.sub * sub + c.mul * mul + c.sqr * sqr
+        + c.shift * shift + c.comp * comp + c.lut * lut + c.read * read;
+}
+
+cycle_model msp430_model()
+{
+    cycle_model m;
+    m.name = "openMSP430";
+    // Register-register ALU ops: 1 cycle; with the operand fetch from RAM
+    // that the multiword routines need, ~3 cycles average.
+    m.add = 3;
+    m.sub = 3;
+    m.comp = 3;
+    m.shift = 2;
+    // Memory-mapped 16x16 multiplier: write OP1, write OP2, read RESLO and
+    // RESHI -> ~8 cycles per product; the squarer uses the same peripheral
+    // (MPY with equal operands).
+    m.mul = 8;
+    m.sqr = 8;
+    // Indexed table read from program memory.
+    m.lut = 5;
+    // Peripheral register read over the memory bus.
+    m.read = 3;
+    return m;
+}
+
+cycle_model cortex_like_model()
+{
+    cycle_model m;
+    m.name = "generic-32bit";
+    m.add = 1;
+    m.sub = 1;
+    m.comp = 1;
+    m.shift = 1;
+    m.mul = 1;
+    m.sqr = 1;
+    m.lut = 2;
+    m.read = 2;
+    return m;
+}
+
+} // namespace otf::sw16

@@ -1,0 +1,38 @@
+// Cycles-per-instruction models for the software platform.
+//
+// Table IV of the paper measures the latency of the software routines on an
+// openMSP430 soft core.  Instruction counts translate to cycles through a
+// per-class cost model; the defaults below follow the MSP430 family:
+// register-file arithmetic takes a few cycles including operand fetch, the
+// multiplier is a memory-mapped peripheral (write two operands, wait, read
+// the product), and peripheral reads pay bus latency.
+#pragma once
+
+#include "sw16/cpu.hpp"
+
+#include <string>
+
+namespace otf::sw16 {
+
+struct cycle_model {
+    std::string name;
+    unsigned add = 1;
+    unsigned sub = 1;
+    unsigned mul = 1;
+    unsigned sqr = 1;
+    unsigned shift = 1;
+    unsigned comp = 1;
+    unsigned lut = 1;
+    unsigned read = 1;
+
+    std::uint64_t cycles(const op_counts& c) const;
+};
+
+/// openMSP430-like: 16-bit core, memory-mapped hardware multiplier.
+cycle_model msp430_model();
+
+/// Generic 32-bit microcontroller with a single-cycle multiplier, for the
+/// paper's "considerably lower latency on 32-bit platforms" projection.
+cycle_model cortex_like_model();
+
+} // namespace otf::sw16

@@ -1,0 +1,44 @@
+// 32-segment piecewise-linear approximation of x * log(x) (Fig. 3).
+//
+// The approximate-entropy test needs phi = sum (nu_i/n) * ln(nu_i/n).  A
+// logarithm is far too expensive for the embedded software part, so the
+// paper approximates g(x) = -x * ln(x) on [0, 1] with 32 equal-width linear
+// segments stored as a lookup table, reporting an approximation error below
+// 3 %.  The table lives in Q16 fixed point: inputs are nu_i/n scaled by
+// 2^16 (a pure shift when n is a power of two -- sharing trick 2 again),
+// outputs are g(x) scaled by 2^16.
+#pragma once
+
+#include "sw16/cpu.hpp"
+
+#include <cstdint>
+
+namespace otf::sw16 {
+
+inline constexpr unsigned pwl_segments = 32;
+inline constexpr unsigned pwl_fraction_bits = 16; // Q16 in and out
+
+/// Exact g(x) = -x * ln(x) with g(0) = 0, for reference and error reporting.
+double xlogx_exact(double x);
+
+/// PWL evaluation in pure host arithmetic (no instruction accounting).
+/// `x_q16` in [0, 65536] representing [0, 1]; returns g(x) in Q16.
+std::uint32_t pwl_xlogx_q16(std::uint32_t x_q16);
+
+/// PWL evaluation charged to the software platform: one LUT fetch for the
+/// segment's breakpoint pair, then subtract / multiply / shift / add for
+/// the interpolation -- the instruction mix behind the paper's "LUT = 24"
+/// row (16 + 8 pattern probabilities for the approximate-entropy test).
+reg pwl_xlogx(soft_cpu& cpu, reg x_q16);
+
+/// Maximum absolute error of the PWL table against g(x) over [0, 1],
+/// sampled densely (for the Fig. 3 reproduction).
+double pwl_max_abs_error();
+
+/// Maximum relative error over [x_min, x_max].  Relative error is
+/// unbounded next to the zeros of g (at both edges the function value
+/// sinks below one Q16 LSB, so any fixed-point scheme ends at 100 %);
+/// the paper's 3 % claim holds on the interior where g is representable.
+double pwl_max_rel_error(double x_min, double x_max = 0.995);
+
+} // namespace otf::sw16

@@ -1,0 +1,15 @@
+#include "trng/entropy_source.hpp"
+
+namespace otf::trng {
+
+bit_sequence entropy_source::generate(std::size_t n)
+{
+    bit_sequence seq;
+    seq.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        seq.push_back(next_bit());
+    }
+    return seq;
+}
+
+} // namespace otf::trng

@@ -1,0 +1,36 @@
+// Entropy-source interface.
+//
+// The paper's platform sits next to a physical TRNG on the chip and reads it
+// bit by bit.  We have no silicon, so the sources here are behavioural
+// models: an ideal generator, parametric degradations (bias, correlation),
+// failure modes (stuck-at, bursts, aging drift) and a jittered
+// ring-oscillator model that reproduces the frequency-injection attack of
+// Markettos & Moore (CHES 2009), the attack class the paper cites as the
+// motivation for on-the-fly testing.  Each model produces exactly the
+// statistical defect its real counterpart would, which is all the testing
+// platform can observe.
+#pragma once
+
+#include "base/bits.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace otf::trng {
+
+class entropy_source {
+public:
+    virtual ~entropy_source() = default;
+
+    /// Produce the next random bit (one bit per TRNG clock cycle).
+    virtual bool next_bit() = 0;
+
+    /// Human-readable model name for reports.
+    virtual std::string name() const = 0;
+
+    /// Convenience: materialize the next `n` bits as a sequence.
+    bit_sequence generate(std::size_t n);
+};
+
+} // namespace otf::trng

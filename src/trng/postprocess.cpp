@@ -1,0 +1,88 @@
+#include "trng/postprocess.hpp"
+
+#include <stdexcept>
+
+namespace otf::trng {
+
+von_neumann_source::von_neumann_source(std::unique_ptr<entropy_source> raw)
+    : raw_(std::move(raw))
+{
+    if (!raw_) {
+        throw std::invalid_argument("von_neumann_source: null raw source");
+    }
+}
+
+bool von_neumann_source::next_bit()
+{
+    for (;;) {
+        const bool a = raw_->next_bit();
+        const bool b = raw_->next_bit();
+        consumed_ += 2;
+        if (a != b) {
+            return a; // the pair 01 emits 0, the pair 10 emits 1
+        }
+    }
+}
+
+std::string von_neumann_source::name() const
+{
+    return "von-neumann(" + raw_->name() + ")";
+}
+
+xor_decimator_source::xor_decimator_source(
+    std::unique_ptr<entropy_source> raw, unsigned factor)
+    : raw_(std::move(raw)), factor_(factor)
+{
+    if (!raw_) {
+        throw std::invalid_argument("xor_decimator_source: null source");
+    }
+    if (factor < 2) {
+        throw std::invalid_argument(
+            "xor_decimator_source: factor must be at least 2");
+    }
+}
+
+bool xor_decimator_source::next_bit()
+{
+    bool acc = false;
+    for (unsigned i = 0; i < factor_; ++i) {
+        acc ^= raw_->next_bit();
+    }
+    return acc;
+}
+
+std::string xor_decimator_source::name() const
+{
+    return "xor-decimate(" + std::to_string(factor_) + ", " + raw_->name()
+        + ")";
+}
+
+lfsr_whitener_source::lfsr_whitener_source(
+    std::unique_ptr<entropy_source> raw, std::uint32_t seed_state)
+    : raw_(std::move(raw)), state_(seed_state)
+{
+    if (!raw_) {
+        throw std::invalid_argument("lfsr_whitener_source: null source");
+    }
+    if (state_ == 0) {
+        state_ = 1; // the all-zero LFSR state is absorbing
+    }
+}
+
+bool lfsr_whitener_source::next_bit()
+{
+    // 32-bit maximal-length Galois LFSR, taps 32,30,26,25.
+    const std::uint32_t lsb = state_ & 1u;
+    state_ >>= 1;
+    if (lsb) {
+        state_ ^= 0xA3000000u;
+    }
+    return (lsb != 0) ^ raw_->next_bit();
+}
+
+std::string lfsr_whitener_source::name() const
+{
+    return "lfsr-whitened(" + raw_->name() + ")";
+}
+
+} // namespace otf::trng

@@ -1,0 +1,74 @@
+// TRNG post-processing (conditioning) models.
+//
+// Real TRNG designs put arithmetic between the raw entropy source and the
+// consumer: von Neumann correction, XOR decimation, LFSR whitening.  The
+// standards the paper builds on (AIS-31, SP 800-90B) demand that health
+// tests watch the *raw* source, and these models show why: conditioning
+// makes a defective source look statistically clean while its entropy
+// stays broken.  The classic demonstration -- a dead source behind an
+// LFSR whitener passes every on-the-fly test and is only caught by the
+// offline linear-complexity test -- is property-tested in
+// tests/test_postprocess.cpp.
+#pragma once
+
+#include "trng/entropy_source.hpp"
+
+#include <memory>
+
+namespace otf::trng {
+
+/// Von Neumann corrector: reads bit pairs from the raw source; 01 -> 0,
+/// 10 -> 1, 00/11 discarded.  Removes bias exactly for independent bits
+/// at the cost of a data-dependent output rate (<= 1/4 of the input).
+class von_neumann_source final : public entropy_source {
+public:
+    explicit von_neumann_source(std::unique_ptr<entropy_source> raw);
+
+    bool next_bit() override;
+    std::string name() const override;
+
+    /// Raw bits consumed so far (for yield measurements).
+    std::uint64_t raw_bits_consumed() const { return consumed_; }
+
+private:
+    std::unique_ptr<entropy_source> raw_;
+    std::uint64_t consumed_ = 0;
+};
+
+/// XOR decimator: each output bit is the XOR of `factor` consecutive raw
+/// bits.  By the piling-up lemma a residual bias epsilon shrinks to
+/// 2^{factor-1} epsilon^factor; correlation shrinks similarly but less
+/// predictably.
+class xor_decimator_source final : public entropy_source {
+public:
+    xor_decimator_source(std::unique_ptr<entropy_source> raw,
+                         unsigned factor);
+
+    bool next_bit() override;
+    std::string name() const override;
+    unsigned factor() const { return factor_; }
+
+private:
+    std::unique_ptr<entropy_source> raw_;
+    unsigned factor_;
+};
+
+/// LFSR whitener: XORs the raw stream with a maximal-length 32-bit LFSR.
+/// This is the dangerous conditioner: the output of a *dead* source is
+/// the bare LFSR stream, which sails through every counting-based test
+/// and is only exposed by linear complexity (offline) -- the reason
+/// health tests must tap the raw signal.
+class lfsr_whitener_source final : public entropy_source {
+public:
+    lfsr_whitener_source(std::unique_ptr<entropy_source> raw,
+                         std::uint32_t seed_state = 0xB5AD4ECEu);
+
+    bool next_bit() override;
+    std::string name() const override;
+
+private:
+    std::unique_ptr<entropy_source> raw_;
+    std::uint32_t state_;
+};
+
+} // namespace otf::trng

@@ -1,0 +1,81 @@
+#include "trng/ring_oscillator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace otf::trng {
+
+ring_oscillator_source::ring_oscillator_source(std::uint64_t seed,
+                                               parameters params)
+    : rng_(seed), params_(params)
+{
+    if (params.ratio <= 1.0) {
+        throw std::invalid_argument(
+            "ring_oscillator_source: sample period must exceed one "
+            "oscillator period");
+    }
+    if (params.jitter_per_period < 0.0) {
+        throw std::invalid_argument(
+            "ring_oscillator_source: jitter must be non-negative");
+    }
+}
+
+void ring_oscillator_source::set_injection(double strength)
+{
+    if (!(strength >= 0.0 && strength <= 1.0)) {
+        throw std::invalid_argument(
+            "ring_oscillator_source: injection strength must be in [0, 1]");
+    }
+    injection_ = strength;
+}
+
+double ring_oscillator_source::effective_sigma()
+    const
+{
+    // Locking suppresses jitter accumulation proportionally to the lock.
+    return params_.jitter_per_period * std::sqrt(params_.ratio)
+        * (1.0 - injection_);
+}
+
+double ring_oscillator_source::next_gaussian()
+{
+    if (has_spare_) {
+        has_spare_ = false;
+        return gauss_spare_;
+    }
+    // Box-Muller; u clamped away from zero.
+    double u = rng_.next_double();
+    if (u < 1e-300) {
+        u = 1e-300;
+    }
+    const double v = rng_.next_double();
+    const double radius = std::sqrt(-2.0 * std::log(u));
+    const double angle = 2.0 * M_PI * v;
+    gauss_spare_ = radius * std::sin(angle);
+    has_spare_ = true;
+    return radius * std::cos(angle);
+}
+
+bool ring_oscillator_source::next_bit()
+{
+    // Injection pulls the frequency ratio towards the nearest integer
+    // multiple of the injected signal: the fractional drift that normally
+    // scans the oscillator waveform shrinks to zero at full lock.
+    const double nominal = params_.ratio;
+    const double locked = std::round(nominal);
+    const double ratio = nominal + (locked - nominal) * injection_;
+
+    phase_ += ratio + effective_sigma() * next_gaussian();
+    const double fractional = phase_ - std::floor(phase_);
+    return fractional >= 0.5;
+}
+
+std::string ring_oscillator_source::name() const
+{
+    if (injection_ > 0.0) {
+        return "ring-oscillator(injection=" + std::to_string(injection_) + ")";
+    }
+    return "ring-oscillator";
+}
+
+} // namespace otf::trng

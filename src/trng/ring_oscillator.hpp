@@ -1,0 +1,66 @@
+// Behavioural model of a ring-oscillator TRNG and of the frequency-injection
+// attack against it.
+//
+// The classic FPGA TRNG samples a free-running ring oscillator with a slower
+// reference clock; entropy comes from the phase jitter the oscillator
+// accumulates between two samples.  Markettos & Moore (CHES 2009) showed
+// that injecting a signal near the oscillator frequency onto the power rail
+// locks the oscillator, collapsing the accumulated jitter and making the
+// sampled bits nearly deterministic -- precisely the weakness the paper's
+// on-the-fly tests exist to catch (Section II-B).
+//
+// The model tracks the oscillator phase in units of oscillator periods:
+//   phase_{k+1} = phase_k + ratio + N(0, sigma * sqrt(ratio))
+// and the sampled bit is the oscillator's square-wave state at the sample
+// instant (fractional phase < 0.5).  Injection locking scales the phase
+// diffusion down by the lock strength and pulls the frequency ratio towards
+// the nearest integer (the injected harmonic), making successive samples
+// hit the same phase region.
+#pragma once
+
+#include "trng/entropy_source.hpp"
+#include "trng/xoshiro.hpp"
+
+namespace otf::trng {
+
+class ring_oscillator_source final : public entropy_source {
+public:
+    struct parameters {
+        /// Reference-clock period in oscillator periods (need not be
+        /// an integer; the fractional part sets the phase walk).
+        double ratio = 1024.31;
+        /// Phase jitter accumulated per oscillator period, as a fraction
+        /// of the period (sigma).  The healthy default accumulates
+        /// sigma * sqrt(ratio) ~= 0.5 oscillator periods between samples,
+        /// enough to decorrelate successive bits (the design target of a
+        /// real RO-TRNG's sampling divider).
+        double jitter_per_period = 0.016;
+    };
+
+    ring_oscillator_source(std::uint64_t seed, parameters params);
+
+    /// Apply or release the injection attack.  `strength` in [0, 1]:
+    /// 0 = no attack; 1 = full lock (no jitter accumulates and the ratio is
+    /// pulled to the nearest integer, so the same phase is sampled forever).
+    void set_injection(double strength);
+    double injection() const { return injection_; }
+
+    bool next_bit() override;
+    std::string name() const override;
+
+    /// Effective per-sample phase diffusion under the current attack, in
+    /// oscillator periods (diagnostic for experiments).
+    double effective_sigma() const;
+
+private:
+    xoshiro256ss rng_;
+    parameters params_;
+    double injection_ = 0.0;
+    double phase_ = 0.0;
+    double gauss_spare_ = 0.0;
+    bool has_spare_ = false;
+
+    double next_gaussian();
+};
+
+} // namespace otf::trng

@@ -1,0 +1,62 @@
+#include "trng/xoshiro.hpp"
+
+namespace otf::trng {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+xoshiro256ss::xoshiro256ss(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& word : s_) {
+        word = splitmix64(sm);
+    }
+}
+
+std::uint64_t xoshiro256ss::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double xoshiro256ss::next_double()
+{
+    // 53 top bits into the mantissa.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool xoshiro256ss::next_bit()
+{
+    if (bits_left_ == 0) {
+        bit_buffer_ = next();
+        bits_left_ = 64;
+    }
+    const bool bit = (bit_buffer_ & 1u) != 0;
+    bit_buffer_ >>= 1;
+    --bits_left_;
+    return bit;
+}
+
+} // namespace otf::trng

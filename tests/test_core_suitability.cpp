@@ -1,0 +1,78 @@
+// Tests of the Table I reproduction: the suitability classification must
+// match the paper's verdicts and its quantitative columns must be
+// internally consistent.
+#include "core/suitability.hpp"
+
+#include <gtest/gtest.h>
+#include <set>
+
+namespace {
+
+using namespace otf::core;
+
+TEST(suitability, fifteen_rows_in_nist_order)
+{
+    const auto rows = nist_suitability(16);
+    ASSERT_EQ(rows.size(), 15u);
+    for (unsigned i = 0; i < 15; ++i) {
+        EXPECT_EQ(rows[i].test_number, i + 1);
+        EXPECT_FALSE(rows[i].name.empty());
+        EXPECT_FALSE(rows[i].reason.empty());
+    }
+}
+
+TEST(suitability, verdicts_match_paper_table1)
+{
+    const auto rows = nist_suitability(16);
+    const std::set<unsigned> suitable = {1, 2, 3, 4, 7, 8, 11, 12, 13};
+    for (const auto& row : rows) {
+        EXPECT_EQ(row.hw_suitable, suitable.count(row.test_number) == 1)
+            << "test " << row.test_number << " (" << row.name << ")";
+    }
+}
+
+TEST(suitability, unsuitable_tests_store_or_compute_more)
+{
+    const auto rows = nist_suitability(16);
+    // Every rejected test must be rejected for a measurable reason: heavy
+    // software or storage beyond any accepted test's.
+    std::uint64_t max_accepted_storage = 0;
+    for (const auto& row : rows) {
+        if (row.hw_suitable) {
+            max_accepted_storage =
+                std::max(max_accepted_storage, row.hw_storage_bits);
+        }
+    }
+    for (const auto& row : rows) {
+        if (!row.hw_suitable) {
+            const bool heavy = row.software == sw_complexity::heavy;
+            const bool big = row.hw_storage_bits > max_accepted_storage;
+            EXPECT_TRUE(heavy || big) << "test " << row.test_number;
+        }
+    }
+}
+
+TEST(suitability, trick_shared_tests_report_zero_own_hardware)
+{
+    const auto rows = nist_suitability(16);
+    EXPECT_EQ(rows[0].hw_storage_bits, 0u)
+        << "frequency derives from the cusum walk";
+    EXPECT_EQ(rows[11].hw_storage_bits, 0u)
+        << "approximate entropy reuses the serial counters";
+}
+
+TEST(suitability, dft_storage_scales_with_n)
+{
+    const auto at16 = nist_suitability(16);
+    const auto at20 = nist_suitability(20);
+    EXPECT_GT(at20[5].hw_storage_bits, at16[5].hw_storage_bits)
+        << "the DFT must buffer the whole sequence";
+}
+
+TEST(suitability, complexity_labels_have_names)
+{
+    EXPECT_EQ(to_string(sw_complexity::comparisons), "comparisons");
+    EXPECT_FALSE(to_string(sw_complexity::heavy).empty());
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+// Tests of the double-buffered (continuous-operation) mode: latched
+// results survive the restart, the next window streams while the previous
+// results remain readable, and the result latch shows up in the area
+// model -- the cost of the paper's "run the hardware block all the time".
+#include "core/design_config.hpp"
+#include "core/monitor.hpp"
+#include "trng/sources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace otf;
+
+hw::block_config buffered_config()
+{
+    hw::block_config cfg = core::paper_design(16, core::tier::light);
+    cfg.double_buffered = true;
+    cfg.name += " (double buffered)";
+    return cfg;
+}
+
+TEST(double_buffer, results_survive_restart_and_next_window)
+{
+    const auto cfg = buffered_config();
+    hw::testing_block block(cfg);
+    trng::ideal_source src(50);
+
+    block.run(src.generate(cfg.n()));
+    const std::int64_t s_final =
+        block.registers().read_value("cusum.s_final");
+    const std::int64_t runs = block.registers().read_value("runs.n_runs");
+    EXPECT_TRUE(block.latched());
+
+    // Restart and stream half of the next window: the interface must
+    // still serve the finished window's values.
+    block.restart();
+    for (unsigned i = 0; i < 1000; ++i) {
+        block.feed(src.next_bit());
+    }
+    EXPECT_EQ(block.registers().read_value("cusum.s_final"), s_final);
+    EXPECT_EQ(block.registers().read_value("runs.n_runs"), runs);
+}
+
+TEST(double_buffer, without_latch_restart_clears_the_interface)
+{
+    const auto cfg = core::paper_design(16, core::tier::light);
+    hw::testing_block block(cfg);
+    trng::ideal_source src(51);
+    block.run(src.generate(cfg.n()));
+    EXPECT_NE(block.registers().read_value("runs.n_runs"), 0);
+    block.restart();
+    EXPECT_EQ(block.registers().read_value("runs.n_runs"), 0)
+        << "live counters were cleared and the interface shows it";
+}
+
+TEST(double_buffer, second_finish_replaces_the_latch)
+{
+    const auto cfg = buffered_config();
+    hw::testing_block block(cfg);
+    // Window of all ones, then all zeros: the latch must follow.
+    block.run(bit_sequence(cfg.n(), true));
+    EXPECT_EQ(block.registers().read_value("cusum.s_final"),
+              static_cast<std::int64_t>(cfg.n()));
+    block.restart();
+    block.run(bit_sequence(cfg.n(), false));
+    EXPECT_EQ(block.registers().read_value("cusum.s_final"),
+              -static_cast<std::int64_t>(cfg.n()));
+}
+
+TEST(double_buffer, latch_costs_one_ff_per_mapped_bit)
+{
+    const auto plain_cfg = core::paper_design(16, core::tier::light);
+    const hw::testing_block plain(plain_cfg);
+    const hw::testing_block buffered(buffered_config());
+
+    unsigned mapped_bits = 0;
+    for (const auto& e : plain.registers().entries()) {
+        mapped_bits += e.width;
+    }
+    EXPECT_EQ(buffered.cost().ffs - plain.cost().ffs, mapped_bits);
+}
+
+TEST(double_buffer, verdicts_unchanged)
+{
+    trng::ideal_source src(52);
+    const bit_sequence seq = src.generate(1u << 16);
+
+    core::monitor plain(core::paper_design(16, core::tier::light), 0.01);
+    core::monitor buffered(buffered_config(), 0.01);
+    const auto a = plain.test_sequence(seq);
+    const auto b = buffered.test_sequence(seq);
+    ASSERT_EQ(a.software.verdicts.size(), b.software.verdicts.size());
+    for (std::size_t i = 0; i < a.software.verdicts.size(); ++i) {
+        EXPECT_EQ(a.software.verdicts[i].statistic,
+                  b.software.verdicts[i].statistic);
+    }
+}
+
+} // namespace

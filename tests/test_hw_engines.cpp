@@ -1,0 +1,261 @@
+// Golden-model tests of the bit-serial hardware engines: every engine's
+// counters must match a brute-force recomputation on the same sequence,
+// across sources with very different statistics (the equivalence leg of
+// Table II's hardware column).
+#include "core/design_config.hpp"
+#include "hw/testing_block.hpp"
+#include "nist/tests.hpp"
+#include "trng/ring_oscillator.hpp"
+#include "trng/sources.hpp"
+
+#include <gtest/gtest.h>
+#include <memory>
+
+namespace {
+
+using namespace otf;
+
+hw::block_config small_config()
+{
+    // 4096-bit all-tests design: fast enough to sweep many sources.
+    return core::custom_design(12, hw::test_set{}
+                                       .with(hw::test_id::frequency)
+                                       .with(hw::test_id::block_frequency)
+                                       .with(hw::test_id::runs)
+                                       .with(hw::test_id::longest_run)
+                                       .with(hw::test_id::non_overlapping_template)
+                                       .with(hw::test_id::overlapping_template)
+                                       .with(hw::test_id::serial)
+                                       .with(hw::test_id::approximate_entropy)
+                                       .with(hw::test_id::cumulative_sums));
+}
+
+std::unique_ptr<trng::entropy_source> make_source(const std::string& kind,
+                                                  std::uint64_t seed)
+{
+    if (kind == "ideal") {
+        return std::make_unique<trng::ideal_source>(seed);
+    }
+    if (kind == "biased") {
+        return std::make_unique<trng::biased_source>(seed, 0.55);
+    }
+    if (kind == "markov") {
+        return std::make_unique<trng::markov_source>(seed, 0.6);
+    }
+    if (kind == "burst") {
+        return std::make_unique<trng::burst_failure_source>(seed, 0.005,
+                                                            64);
+    }
+    if (kind == "ro") {
+        auto src = std::make_unique<trng::ring_oscillator_source>(
+            seed, trng::ring_oscillator_source::parameters{});
+        src->set_injection(0.5);
+        return src;
+    }
+    throw std::invalid_argument("unknown source kind");
+}
+
+using engine_case = std::tuple<std::string, std::uint64_t>;
+
+class engine_golden : public ::testing::TestWithParam<engine_case> {
+protected:
+    void SetUp() override
+    {
+        cfg_ = small_config();
+        auto src = make_source(std::get<0>(GetParam()),
+                               std::get<1>(GetParam()));
+        seq_ = src->generate(cfg_.n());
+        block_ = std::make_unique<hw::testing_block>(cfg_);
+        block_->run(seq_);
+    }
+
+    hw::block_config cfg_;
+    bit_sequence seq_;
+    std::unique_ptr<hw::testing_block> block_;
+};
+
+TEST_P(engine_golden, cusum_matches_reference_walk)
+{
+    const auto ref = nist::cumulative_sums_test(seq_);
+    EXPECT_EQ(block_->cusum()->s_final(), ref.s_final);
+    EXPECT_EQ(block_->cusum()->s_max(), ref.s_max);
+    EXPECT_EQ(block_->cusum()->s_min(), ref.s_min);
+}
+
+TEST_P(engine_golden, runs_matches_reference_count)
+{
+    const auto ref = nist::runs_test(seq_);
+    EXPECT_EQ(block_->runs()->n_runs(), ref.v_n);
+}
+
+TEST_P(engine_golden, block_frequency_matches_reference_blocks)
+{
+    const auto ref = nist::block_frequency_test(
+        seq_, 1u << cfg_.bf_log2_m);
+    ASSERT_EQ(block_->block_frequency()->block_count(), ref.ones.size());
+    for (unsigned b = 0; b < ref.ones.size(); ++b) {
+        EXPECT_EQ(block_->block_frequency()->ones_in_block(b), ref.ones[b])
+            << "block " << b;
+    }
+}
+
+TEST_P(engine_golden, longest_run_matches_reference_categories)
+{
+    const auto ref = nist::longest_run_test(seq_, 1u << cfg_.lr_log2_m,
+                                            cfg_.lr_v_lo, cfg_.lr_v_hi);
+    ASSERT_EQ(block_->longest_run()->category_count(), ref.nu.size());
+    for (unsigned c = 0; c < ref.nu.size(); ++c) {
+        EXPECT_EQ(block_->longest_run()->category(c), ref.nu[c])
+            << "category " << c;
+    }
+}
+
+TEST_P(engine_golden, non_overlapping_matches_reference_w)
+{
+    const unsigned blocks = 1u << (cfg_.log2_n - cfg_.t7_log2_m);
+    const auto ref = nist::non_overlapping_template_test(
+        seq_, cfg_.t7_template, cfg_.template_length, blocks);
+    for (unsigned b = 0; b < blocks; ++b) {
+        EXPECT_EQ(block_->non_overlapping()->matches_in_block(b), ref.w[b])
+            << "block " << b;
+    }
+}
+
+TEST_P(engine_golden, overlapping_matches_reference_categories)
+{
+    const auto ref = nist::overlapping_template_test(
+        seq_, cfg_.t8_template, cfg_.template_length,
+        1u << cfg_.t8_log2_m, cfg_.t8_max_count);
+    for (unsigned c = 0; c <= cfg_.t8_max_count; ++c) {
+        EXPECT_EQ(block_->overlapping()->category(c), ref.nu[c])
+            << "category " << c;
+    }
+}
+
+TEST_P(engine_golden, serial_matches_reference_pattern_counts)
+{
+    const auto ref = nist::serial_test(seq_, cfg_.serial_m);
+    for (std::uint32_t p = 0; p < (1u << cfg_.serial_m); ++p) {
+        EXPECT_EQ(block_->serial()->count(cfg_.serial_m, p), ref.nu_m[p])
+            << "4-bit pattern " << p;
+    }
+    for (std::uint32_t p = 0; p < (1u << (cfg_.serial_m - 1)); ++p) {
+        EXPECT_EQ(block_->serial()->count(cfg_.serial_m - 1, p),
+                  ref.nu_m1[p])
+            << "3-bit pattern " << p;
+    }
+    for (std::uint32_t p = 0; p < (1u << (cfg_.serial_m - 2)); ++p) {
+        EXPECT_EQ(block_->serial()->count(cfg_.serial_m - 2, p),
+                  ref.nu_m2[p])
+            << "2-bit pattern " << p;
+    }
+}
+
+TEST_P(engine_golden, serial_counter_files_sum_to_n)
+{
+    for (const unsigned len :
+         {cfg_.serial_m, cfg_.serial_m - 1, cfg_.serial_m - 2}) {
+        std::uint64_t total = 0;
+        for (std::uint32_t p = 0; p < (1u << len); ++p) {
+            total += block_->serial()->count(len, p);
+        }
+        EXPECT_EQ(total, cfg_.n()) << "pattern length " << len;
+    }
+}
+
+TEST_P(engine_golden, ones_derivable_from_cusum_final)
+{
+    // Sharing trick 1: N_ones = (S_final + n) / 2.
+    const auto ones = static_cast<std::int64_t>(seq_.count_ones());
+    const std::int64_t derived =
+        (block_->cusum()->s_final() + static_cast<std::int64_t>(cfg_.n()))
+        / 2;
+    EXPECT_EQ(derived, ones);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    sources_and_seeds, engine_golden,
+    ::testing::Combine(::testing::Values("ideal", "biased", "markov",
+                                         "burst", "ro"),
+                       ::testing::Values(1u, 7u, 42u, 1234u)));
+
+// Degenerate streams exercise the saturation and boundary paths.
+TEST(engine_edge_cases, all_zeros_sequence)
+{
+    const auto cfg = small_config();
+    hw::testing_block block(cfg);
+    block.run(bit_sequence(cfg.n(), false));
+    EXPECT_EQ(block.cusum()->s_final(),
+              -static_cast<std::int64_t>(cfg.n()));
+    EXPECT_EQ(block.runs()->n_runs(), 1u);
+    EXPECT_EQ(block.serial()->count(4, 0), cfg.n())
+        << "pattern 0000 occurs at every cyclic position";
+    EXPECT_EQ(block.longest_run()->category(0),
+              cfg.n() >> cfg.lr_log2_m)
+        << "every block lands in the lowest category";
+}
+
+TEST(engine_edge_cases, all_ones_sequence)
+{
+    const auto cfg = small_config();
+    hw::testing_block block(cfg);
+    block.run(bit_sequence(cfg.n(), true));
+    EXPECT_EQ(block.cusum()->s_final(),
+              static_cast<std::int64_t>(cfg.n()));
+    EXPECT_EQ(block.cusum()->s_max(),
+              static_cast<std::int64_t>(cfg.n()));
+    EXPECT_EQ(block.cusum()->s_min(), 0);
+    EXPECT_EQ(block.serial()->count(4, 15), cfg.n());
+    const unsigned last =
+        block.longest_run()->category_count() - 1;
+    EXPECT_EQ(block.longest_run()->category(last),
+              cfg.n() >> cfg.lr_log2_m);
+    // The all-ones overlapping template fires at every eligible position;
+    // every block ends in the top category.
+    EXPECT_EQ(block.overlapping()->category(cfg.t8_max_count),
+              cfg.n() >> cfg.t8_log2_m);
+}
+
+TEST(engine_edge_cases, alternating_sequence_runs)
+{
+    const auto cfg = small_config();
+    hw::testing_block block(cfg);
+    bit_sequence seq;
+    for (std::uint64_t i = 0; i < cfg.n(); ++i) {
+        seq.push_back((i & 1) != 0);
+    }
+    block.run(seq);
+    EXPECT_EQ(block.runs()->n_runs(), cfg.n()) << "every bit opens a run";
+    EXPECT_EQ(block.cusum()->s_final(), 0);
+}
+
+TEST(engine_edge_cases, non_overlap_restart_differs_from_overlap)
+{
+    // Stream of repeated 0b001001001... with template 001: overlapping and
+    // non-overlapping counts coincide here (hits spaced 3 apart), but a
+    // 0b0101... stream against template 010 shows the inhibit behaviour.
+    auto cfg = core::custom_design(
+        8, hw::test_set{}
+               .with(hw::test_id::frequency)
+               .with(hw::test_id::non_overlapping_template)
+               .with(hw::test_id::cumulative_sums));
+    cfg.template_length = 3;
+    cfg.t7_template = 0b010;
+    cfg.t7_log2_m = 7; // two blocks of 128
+    cfg.validate();
+    hw::testing_block block(cfg);
+    bit_sequence seq;
+    for (unsigned i = 0; i < 256; ++i) {
+        seq.push_back((i % 2) == 1); // 0101 0101 ...
+    }
+    block.run(seq);
+    // In "010101..." the pattern 010 appears at every even offset
+    // overlapping, but non-overlapping counting restarts after each match:
+    // positions 0, 3 do not both match (pos 3 starts with 1) -> matches at
+    // 0, 4, 8, ... every 4 positions among the eligible windows.
+    const auto ref = nist::non_overlapping_template_test(seq, 0b010, 3, 2);
+    EXPECT_EQ(block.non_overlapping()->matches_in_block(0), ref.w[0]);
+    EXPECT_EQ(block.non_overlapping()->matches_in_block(1), ref.w[1]);
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+// Tests of the standalone full-hardware baseline engines ([13]-style):
+// functional decisions against the reference implementations, and the
+// structural properties Table IV rests on (duplicated counters, expensive
+// arithmetic, single alarm wire).
+#include "core/critical_values.hpp"
+#include "core/design_config.hpp"
+#include "hw/standalone.hpp"
+#include "hw/testing_block.hpp"
+#include "nist/distributions.hpp"
+#include "nist/special_functions.hpp"
+#include "nist/tests.hpp"
+#include "trng/sources.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace otf;
+
+constexpr unsigned log2_n = 12;
+constexpr std::uint64_t n = 1u << log2_n;
+constexpr double alpha = 0.01;
+
+bit_sequence ideal_bits(std::uint64_t seed)
+{
+    trng::ideal_source src(seed);
+    return src.generate(n);
+}
+
+TEST(standalone_frequency, agrees_with_reference_decision)
+{
+    const std::int64_t bound = static_cast<std::int64_t>(std::floor(
+        std::sqrt(2.0 * n) * nist::erfc_inv(alpha)));
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        hw::standalone_frequency eng(log2_n,
+                                     static_cast<std::uint64_t>(bound));
+        const bit_sequence seq = ideal_bits(seed);
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            eng.consume(seq[i]);
+        }
+        const bool alarm = eng.finalize();
+        const auto ref = nist::frequency_test(seq);
+        EXPECT_EQ(alarm, ref.p_value < alpha) << "seed " << seed;
+    }
+}
+
+TEST(standalone_frequency, alarms_on_stuck_source)
+{
+    hw::standalone_frequency eng(log2_n, 100);
+    for (unsigned i = 0; i < n; ++i) {
+        eng.consume(true);
+    }
+    EXPECT_TRUE(eng.finalize());
+    EXPECT_TRUE(eng.alarm());
+}
+
+TEST(standalone_block_frequency, matches_reference_statistic)
+{
+    const unsigned log2_m = 9;
+    const std::uint64_t blocks = n >> log2_m;
+    const double crit = nist::chi_squared_critical(
+        static_cast<double>(blocks), alpha);
+    const auto bound = static_cast<std::uint64_t>(
+        std::floor((1u << log2_m) * crit));
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        hw::standalone_block_frequency eng(log2_n, log2_m, bound);
+        const bit_sequence seq = ideal_bits(seed);
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            eng.consume(seq[i]);
+        }
+        const bool alarm = eng.finalize();
+        const auto ref = nist::block_frequency_test(seq, 1u << log2_m);
+        EXPECT_EQ(alarm, ref.p_value < alpha) << "seed " << seed;
+        // The accumulated integer statistic is M * chi^2 exactly.
+        EXPECT_NEAR(static_cast<double>(eng.accumulated()),
+                    (1u << log2_m) * ref.chi_squared, 1e-6);
+    }
+}
+
+TEST(standalone_runs, uses_critical_value_intervals)
+{
+    const auto cfg = core::custom_design(
+        log2_n, hw::test_set{}
+                    .with(hw::test_id::frequency)
+                    .with(hw::test_id::runs)
+                    .with(hw::test_id::cumulative_sums));
+    const auto cv = core::compute_critical_values(cfg, alpha);
+    std::vector<hw::standalone_runs::interval> intervals;
+    for (const auto& iv : cv.t3_intervals) {
+        intervals.push_back({static_cast<std::uint64_t>(iv.ones_lo),
+                             static_cast<std::uint64_t>(iv.ones_hi),
+                             static_cast<std::uint64_t>(iv.runs_lo),
+                             static_cast<std::uint64_t>(iv.runs_hi)});
+    }
+    unsigned agreements = 0;
+    unsigned trials = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        hw::standalone_runs eng(log2_n, intervals);
+        const bit_sequence seq = ideal_bits(seed);
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            eng.consume(seq[i]);
+        }
+        const bool alarm = eng.finalize();
+        const auto ref = nist::runs_test(seq);
+        const bool ref_fail = !ref.applicable || ref.p_value < alpha;
+        ++trials;
+        agreements += (alarm == ref_fail) ? 1 : 0;
+    }
+    // Interval quantization can flip borderline sequences; gross agreement
+    // must still be near-total on ideal inputs.
+    EXPECT_GE(agreements, trials - 1);
+}
+
+TEST(standalone_cusum, detects_walks_beyond_bound)
+{
+    const auto cfg = core::custom_design(
+        log2_n, hw::test_set{}
+                    .with(hw::test_id::frequency)
+                    .with(hw::test_id::cumulative_sums));
+    const auto cv = core::compute_critical_values(cfg, alpha);
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        hw::standalone_cusum eng(
+            log2_n, static_cast<std::uint64_t>(cv.t13_z_bound));
+        const bit_sequence seq = ideal_bits(seed);
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            eng.consume(seq[i]);
+        }
+        const bool alarm = eng.finalize();
+        const auto ref = nist::cumulative_sums_test(seq);
+        EXPECT_EQ(alarm, ref.p_forward < alpha) << "seed " << seed;
+    }
+}
+
+TEST(standalone_non_overlapping, accumulates_scaled_chi_squared)
+{
+    const unsigned log2_m = 9;
+    const unsigned blocks = 1u << (log2_n - log2_m);
+    const auto mv =
+        nist::non_overlapping_template_moments(9, 1u << log2_m);
+    const double crit =
+        nist::chi_squared_critical(static_cast<double>(blocks), alpha);
+    const auto bound = static_cast<std::uint64_t>(
+        std::floor(std::ldexp(mv.variance * crit, 18)));
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        hw::standalone_non_overlapping eng(log2_n, log2_m, 0b000000001u, 9,
+                                           bound);
+        const bit_sequence seq = ideal_bits(seed);
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            eng.consume(seq[i]);
+        }
+        const bool alarm = eng.finalize();
+        const auto ref = nist::non_overlapping_template_test(
+            seq, 0b000000001u, 9, blocks);
+        EXPECT_EQ(alarm, ref.p_value < alpha) << "seed " << seed;
+    }
+}
+
+TEST(standalone_longest_run, classifies_and_decides)
+{
+    const unsigned log2_m = 7;
+    const auto pi = nist::longest_run_category_probs(1u << log2_m, 4, 9);
+    const unsigned blocks = 1u << (log2_n - log2_m);
+    std::vector<std::uint64_t> weights;
+    for (const double p : pi) {
+        weights.push_back(static_cast<std::uint64_t>(
+            std::llround(std::ldexp(1.0 / p, 12))));
+    }
+    const double crit = nist::chi_squared_critical(
+        static_cast<double>(pi.size()) - 1.0, alpha);
+    const auto hi = static_cast<std::uint64_t>(std::llround(
+        std::ldexp(blocks * (crit + blocks), 12)));
+    hw::standalone_longest_run eng(log2_n, log2_m, 4, 9, weights, 0, hi);
+    const bit_sequence seq = ideal_bits(5);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        eng.consume(seq[i]);
+    }
+    const bool alarm = eng.finalize();
+    const auto ref = nist::longest_run_test(seq, 1u << log2_m, 4, 9);
+    for (unsigned c = 0; c < pi.size(); ++c) {
+        EXPECT_EQ(eng.category(c), ref.nu[c]);
+    }
+    EXPECT_EQ(alarm, ref.p_value < alpha);
+}
+
+TEST(baseline_structure, standalone_tests_duplicate_counters)
+{
+    // Two standalone engines both carry a private bit counter and a ones
+    // counter; the unified design amortizes both.  This is the root of the
+    // Table IV area gap.
+    hw::standalone_frequency t1(16, 100);
+    hw::standalone_runs t3(
+        16, {{0, 1u << 16, 0, 1u << 16}});
+    const auto unified_cfg = core::paper_design(16, core::tier::light);
+    const hw::testing_block unified(unified_cfg);
+
+    const auto sum_ffs = t1.cost().ffs + t3.cost().ffs;
+    // The unified block runs five tests in fewer FFs than two standalone
+    // tests once the bit counter, walk and interface are shared.
+    EXPECT_GT(sum_ffs, 16u * 2u)
+        << "each standalone engine pays its own 16-bit position counter";
+    EXPECT_LT(t1.cost().ffs, unified.cost().ffs);
+}
+
+TEST(baseline_structure, hardware_decision_needs_multiplier_area)
+{
+    // The standalone block-frequency engine carries a squarer; the unified
+    // engine of the same test does not (squaring moved to software).
+    hw::standalone_block_frequency standalone(16, 12, 1u << 20);
+    hw::block_frequency_hw unified(16, 12);
+    EXPECT_GT(standalone.cost().luts, 3 * unified.cost().luts);
+}
+
+TEST(baseline_structure, decision_latency_sums_to_tens_of_cycles)
+{
+    // The [13]-style bank of six tests finishes a few cycles after the
+    // last bit (their reported latency: 21 cycles).
+    hw::standalone_frequency t1(16, 100);
+    hw::standalone_block_frequency t2(16, 12, 1u << 20);
+    hw::standalone_runs t3(16, {{0, 1u << 16, 0, 1u << 16}});
+    hw::standalone_longest_run t4(16, 7, 4, 9,
+                                  {4096, 4096, 4096, 4096, 4096, 4096}, 0,
+                                  1u << 30);
+    hw::standalone_non_overlapping t7(16, 13, 0b000000001u, 9, 1u << 30);
+    hw::standalone_cusum t13(16, 700);
+    const unsigned total = t1.decision_latency() + t2.decision_latency()
+        + t3.decision_latency() + t4.decision_latency()
+        + t7.decision_latency() + t13.decision_latency();
+    EXPECT_GE(total, 10u);
+    EXPECT_LE(total, 40u);
+}
+
+} // namespace

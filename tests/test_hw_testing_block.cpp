@@ -1,0 +1,238 @@
+// Tests of the unified testing block: operation protocol, register map
+// structure, configuration validation and resource accounting, including
+// the paper's four sharing tricks as measurable properties.
+#include "core/design_config.hpp"
+#include "hw/standalone.hpp"
+#include "hw/testing_block.hpp"
+#include "trng/sources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace otf;
+using core::paper_design;
+using core::tier;
+
+TEST(protocol, feed_beyond_n_throws)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    for (int i = 0; i < 128; ++i) {
+        block.feed(true);
+    }
+    EXPECT_THROW(block.feed(true), std::logic_error);
+}
+
+TEST(protocol, finish_before_n_throws)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    block.feed(true);
+    EXPECT_THROW(block.finish(), std::logic_error);
+}
+
+TEST(protocol, run_rejects_wrong_length)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    EXPECT_THROW(block.run(bit_sequence(100, true)),
+                 std::invalid_argument);
+}
+
+TEST(protocol, restart_clears_state_for_next_window)
+{
+    hw::testing_block block(paper_design(7, tier::medium));
+    trng::ideal_source src(3);
+    block.run(src.generate(128));
+    const std::int64_t first = block.cusum()->s_final();
+    block.restart();
+    EXPECT_FALSE(block.done());
+    EXPECT_EQ(block.bits_consumed(), 0u);
+
+    // An identical second window produces identical counters.
+    trng::ideal_source src2(3);
+    block.run(src2.generate(128));
+    EXPECT_EQ(block.cusum()->s_final(), first);
+}
+
+TEST(protocol, done_flag_set_after_finish)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    trng::ideal_source src(1);
+    block.run(src.generate(128));
+    EXPECT_TRUE(block.done());
+    EXPECT_EQ(block.bits_consumed(), 128u);
+}
+
+TEST(register_map, signed_values_sign_extend)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    block.run(bit_sequence(128, false)); // walk ends at -128
+    EXPECT_EQ(block.registers().read_value("cusum.s_final"), -128);
+    EXPECT_EQ(block.registers().read_value("cusum.s_min"), -128);
+    EXPECT_EQ(block.registers().read_value("cusum.s_max"), 0);
+}
+
+TEST(register_map, unknown_name_throws)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    EXPECT_THROW((void)block.registers().read_value("nonsense"),
+                 std::out_of_range);
+}
+
+TEST(register_map, grouped_entries_share_one_mux_input)
+{
+    const hw::testing_block block(paper_design(16, tier::high));
+    const hw::register_map& map = block.registers();
+    // 28 serial counters arrive through 3 sub-addressed files, the 16
+    // block-frequency results through one bank, the 8 template W's through
+    // one bank: the top-level mux stays far below the entry count.
+    EXPECT_GT(map.size(), 50u);
+    EXPECT_LT(map.top_level_inputs(), 25u);
+}
+
+TEST(register_map, total_words_counts_multiword_values)
+{
+    const hw::testing_block block(paper_design(16, tier::light));
+    const hw::register_map& map = block.registers();
+    unsigned expected = 0;
+    for (const auto& e : map.entries()) {
+        expected += (e.width + 15) / 16;
+    }
+    EXPECT_EQ(map.total_words(16), expected);
+    EXPECT_LE(map.total_words(32), map.total_words(16));
+}
+
+TEST(config_validation, rejects_inconsistent_designs)
+{
+    hw::block_config cfg = paper_design(16, tier::high);
+    cfg.bf_log2_m = 16; // block as long as the sequence
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+    cfg = paper_design(16, tier::high);
+    cfg.lr_v_lo = 9;
+    cfg.lr_v_hi = 4;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+    cfg = paper_design(16, tier::high);
+    cfg.t7_template = 0x3FF; // 10 bits into a 9-bit matcher
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(config_validation, apen_requires_serial)
+{
+    hw::block_config cfg;
+    cfg.log2_n = 16;
+    cfg.tests = hw::test_set{}
+                    .with(hw::test_id::frequency)
+                    .with(hw::test_id::approximate_entropy)
+                    .with(hw::test_id::cumulative_sums);
+    EXPECT_THROW(cfg.validate(), std::invalid_argument)
+        << "trick 3: test 12 has no hardware without test 11's counters";
+}
+
+TEST(sharing_tricks, no_dedicated_ones_counter)
+{
+    // Trick 1: the light design's register map exposes the walk triple and
+    // no ones counter; N_ones is software-derived.
+    const hw::testing_block block(paper_design(16, tier::light));
+    for (const auto& e : block.registers().entries()) {
+        EXPECT_EQ(e.name.find("ones"), std::string::npos)
+            << "found a ones counter: " << e.name;
+    }
+}
+
+TEST(sharing_tricks, apen_adds_zero_hardware)
+{
+    // Trick 3: enabling test 12 on top of test 11 changes nothing in
+    // hardware.
+    hw::block_config with = paper_design(7, tier::medium);
+    hw::block_config without = with;
+    // Rebuild the test set minus approximate entropy.
+    without.tests = hw::test_set{}
+                        .with(hw::test_id::frequency)
+                        .with(hw::test_id::block_frequency)
+                        .with(hw::test_id::runs)
+                        .with(hw::test_id::longest_run)
+                        .with(hw::test_id::serial)
+                        .with(hw::test_id::cumulative_sums);
+    const hw::testing_block a(with);
+    const hw::testing_block b(without);
+    EXPECT_EQ(a.cost().ffs, b.cost().ffs);
+    EXPECT_EQ(a.cost().luts, b.cost().luts);
+}
+
+TEST(sharing_tricks, template_tests_share_one_shift_register)
+{
+    // Trick 4: a design with both template tests carries exactly one
+    // template window; its FF cost appears once.
+    const hw::block_config both = paper_design(16, tier::high);
+    const hw::testing_block block(both);
+    unsigned windows = 0;
+    for (const auto* child : block.children()) {
+        if (child->name() == "template_window") {
+            ++windows;
+        }
+    }
+    EXPECT_EQ(windows, 1u);
+}
+
+TEST(sharing_tricks, block_engines_carry_no_position_counters)
+{
+    // Trick 2: block boundaries come from the global counter; the
+    // block-frequency engine's own state is one epsilon counter plus the
+    // bank, nothing else.
+    const hw::testing_block block(paper_design(16, tier::light));
+    const auto* bf = block.block_frequency();
+    ASSERT_NE(bf, nullptr);
+    const unsigned eps_width = 12u + 1u; // M = 4096
+    EXPECT_EQ(bf->cost().ffs, eps_width)
+        << "bank is LUT-RAM at 16 blocks; only the counter holds FFs";
+}
+
+TEST(area_model, tiers_are_ordered_within_each_length)
+{
+    for (const unsigned log2_n : {16u, 20u}) {
+        const auto light =
+            hw::testing_block(paper_design(log2_n, tier::light)).cost();
+        const auto medium =
+            hw::testing_block(paper_design(log2_n, tier::medium)).cost();
+        const auto high =
+            hw::testing_block(paper_design(log2_n, tier::high)).cost();
+        EXPECT_LT(light.ffs, medium.ffs) << "n=2^" << log2_n;
+        EXPECT_LT(medium.ffs, high.ffs) << "n=2^" << log2_n;
+        EXPECT_LT(light.luts, high.luts) << "n=2^" << log2_n;
+    }
+}
+
+TEST(area_model, area_grows_with_sequence_length)
+{
+    const auto small =
+        hw::testing_block(paper_design(16, tier::light)).cost();
+    const auto large =
+        hw::testing_block(paper_design(20, tier::light)).cost();
+    EXPECT_LT(small.ffs, large.ffs);
+}
+
+TEST(area_model, paper_frequency_claim_holds)
+{
+    // "All our implementations on FPGA have a maximum working frequency
+    // larger than 100 MHz."
+    for (const auto& cfg : core::all_paper_designs()) {
+        const hw::testing_block block(cfg);
+        const auto fpga = rtl::estimate_spartan6(block.cost());
+        EXPECT_GT(fpga.max_freq_mhz, 100.0) << cfg.name;
+    }
+}
+
+TEST(area_model, audit_covers_all_engines)
+{
+    const hw::testing_block block(paper_design(16, tier::high));
+    const std::string audit = rtl::resource_audit(block);
+    for (const char* name :
+         {"cusum", "runs", "block_frequency", "longest_run",
+          "non_overlapping_template", "overlapping_template", "serial",
+          "readout_mux", "global_bit_counter"}) {
+        EXPECT_NE(audit.find(name), std::string::npos) << name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+// Tests of the interface-reduction option (serial_transfer_marginals):
+// the hardware drops the (m-1)- and (m-2)-bit counter files and their
+// read ports, and the software derives those counts as cyclic marginals.
+// The verdicts must be identical to the paper-faithful configuration on
+// the same bits, area and interface must shrink, and the instruction mix
+// must shift from READ to ADD.
+#include "core/design_config.hpp"
+#include "core/monitor.hpp"
+#include "trng/sources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace otf;
+
+hw::block_config base_config()
+{
+    return core::paper_design(16, core::tier::high);
+}
+
+hw::block_config marginal_config()
+{
+    hw::block_config cfg = base_config();
+    cfg.serial_transfer_marginals = true;
+    cfg.name += " (marginal transfer)";
+    return cfg;
+}
+
+TEST(marginal_transfer, verdicts_identical_to_full_transfer)
+{
+    trng::ideal_source src(1234);
+    const bit_sequence seq = src.generate(1u << 16);
+
+    core::monitor full(base_config(), 0.01);
+    core::monitor reduced(marginal_config(), 0.01);
+    const auto rep_full = full.test_sequence(seq);
+    const auto rep_reduced = reduced.test_sequence(seq);
+
+    ASSERT_EQ(rep_full.software.verdicts.size(),
+              rep_reduced.software.verdicts.size());
+    for (std::size_t i = 0; i < rep_full.software.verdicts.size(); ++i) {
+        const auto& a = rep_full.software.verdicts[i];
+        const auto& b = rep_reduced.software.verdicts[i];
+        EXPECT_EQ(a.statistic, b.statistic) << a.name;
+        EXPECT_EQ(a.pass, b.pass) << a.name;
+    }
+}
+
+TEST(marginal_transfer, drops_hardware_counters)
+{
+    const hw::testing_block full(base_config());
+    const hw::testing_block reduced(marginal_config());
+    // 8 + 4 counters of log2(n)+1 = 17 bits disappear.
+    EXPECT_EQ(full.cost().ffs - reduced.cost().ffs, 12u * 17u);
+    EXPECT_LT(reduced.cost().luts, full.cost().luts);
+}
+
+TEST(marginal_transfer, shrinks_the_interface)
+{
+    const hw::testing_block full(base_config());
+    const hw::testing_block reduced(marginal_config());
+    EXPECT_LT(reduced.registers().size(), full.registers().size());
+    EXPECT_LT(reduced.registers().total_words(),
+              full.registers().total_words());
+    EXPECT_LT(reduced.registers().top_level_inputs(),
+              full.registers().top_level_inputs());
+    // Exactly the 12 marginal counters (2 words each at 17 bits) vanish.
+    EXPECT_EQ(full.registers().total_words()
+                  - reduced.registers().total_words(),
+              24u);
+}
+
+TEST(marginal_transfer, trades_reads_for_adds)
+{
+    trng::ideal_source src(77);
+    const bit_sequence seq = src.generate(1u << 16);
+
+    core::monitor full(base_config(), 0.01);
+    core::monitor reduced(marginal_config(), 0.01);
+    const auto ops_full = full.test_sequence(seq).software.total_ops;
+    const auto ops_reduced =
+        reduced.test_sequence(seq).software.total_ops;
+
+    EXPECT_LT(ops_reduced.read, ops_full.read);
+    EXPECT_GT(ops_reduced.add, ops_full.add);
+    // 12 derivations, one multiword add each.
+    EXPECT_EQ(ops_full.read - ops_reduced.read, 24u);
+}
+
+TEST(marginal_transfer, hardware_refuses_to_serve_dropped_files)
+{
+    const hw::testing_block reduced(marginal_config());
+    EXPECT_THROW((void)reduced.serial()->count(3, 0), std::logic_error);
+    EXPECT_NO_THROW((void)reduced.serial()->count(4, 0));
+}
+
+TEST(marginal_transfer, equivalence_holds_across_sources)
+{
+    for (const std::uint64_t seed : {5u, 17u, 99u}) {
+        trng::markov_source src(seed, 0.55);
+        const bit_sequence seq = src.generate(1u << 16);
+        core::monitor full(base_config(), 0.01);
+        core::monitor reduced(marginal_config(), 0.01);
+        const auto a = full.test_sequence(seq);
+        const auto b = reduced.test_sequence(seq);
+        EXPECT_EQ(a.software.all_pass, b.software.all_pass)
+            << "seed " << seed;
+    }
+}
+
+} // namespace

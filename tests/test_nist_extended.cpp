@@ -1,0 +1,339 @@
+// Tests of the six extended NIST tests (the paper's future-work coverage
+// of the remaining suite): GF(2) rank against exhaustive enumeration,
+// FFT against a direct DFT, Berlekamp-Massey against known LFSRs, the
+// universal statistic against the SP 800-22 worked example, excursion
+// probabilities against their closed forms, and defect-detection
+// properties for each test.
+#include "nist/battery.hpp"
+#include "nist/extended_tests.hpp"
+#include "nist/fft.hpp"
+#include "nist/gf2.hpp"
+#include "trng/sources.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numeric>
+
+namespace {
+
+using namespace otf;
+using namespace otf::nist;
+
+// ------------------------------------------------------------------ GF(2) --
+TEST(gf2, rank_of_known_matrices)
+{
+    // Identity.
+    EXPECT_EQ(gf2_rank({0b001, 0b010, 0b100}, 3), 3u);
+    // Repeated row.
+    EXPECT_EQ(gf2_rank({0b011, 0b011, 0b100}, 3), 2u);
+    // Row is the XOR of the others.
+    EXPECT_EQ(gf2_rank({0b011, 0b101, 0b110}, 3), 2u);
+    // Zero matrix.
+    EXPECT_EQ(gf2_rank({0, 0, 0}, 3), 0u);
+}
+
+TEST(gf2, rank_distribution_matches_exhaustive_enumeration)
+{
+    // All 512 3x3 binary matrices, exact.
+    std::vector<unsigned> histogram(4, 0);
+    for (unsigned bits = 0; bits < 512; ++bits) {
+        const std::vector<std::uint64_t> rows = {
+            bits & 7u, (bits >> 3) & 7u, (bits >> 6) & 7u};
+        ++histogram[gf2_rank(rows, 3)];
+    }
+    for (unsigned r = 0; r <= 3; ++r) {
+        const double expected = gf2_rank_probability(3, 3, r);
+        EXPECT_NEAR(static_cast<double>(histogram[r]) / 512.0, expected,
+                    1e-12)
+            << "rank " << r;
+    }
+}
+
+TEST(gf2, nist_32x32_category_probabilities)
+{
+    // SP 800-22 section 3.5 quotes ~0.2888 / 0.5776 / 0.1336.
+    EXPECT_NEAR(gf2_rank_probability(32, 32, 32), 0.2888, 5e-4);
+    EXPECT_NEAR(gf2_rank_probability(32, 32, 31), 0.5776, 5e-4);
+    double below = 0.0;
+    for (unsigned r = 0; r <= 30; ++r) {
+        below += gf2_rank_probability(32, 32, r);
+    }
+    EXPECT_NEAR(below, 0.1336, 5e-4);
+}
+
+TEST(matrix_rank_test, healthy_source_passes)
+{
+    trng::ideal_source src(3);
+    const auto r = matrix_rank_test(src.generate(65536));
+    EXPECT_EQ(r.matrices, 64u);
+    EXPECT_EQ(r.full_rank + r.one_less + r.remaining, 64u);
+    EXPECT_GT(r.p_value, 1e-4);
+}
+
+TEST(matrix_rank_test, rank_deficient_stream_fails)
+{
+    // A period-32 stream makes every 32x32 matrix have identical rows.
+    trng::ideal_source src(4);
+    bit_sequence pattern = src.generate(32);
+    bit_sequence seq;
+    for (unsigned i = 0; i < 65536; ++i) {
+        seq.push_back(pattern[i % 32]);
+    }
+    const auto r = matrix_rank_test(seq);
+    EXPECT_EQ(r.full_rank, 0u);
+    EXPECT_LT(r.p_value, 1e-12);
+}
+
+// -------------------------------------------------------------------- FFT --
+TEST(fft, matches_direct_dft)
+{
+    trng::ideal_source src(5);
+    std::vector<double> x(64);
+    for (auto& v : x) {
+        v = src.next_bit() ? 1.0 : -1.0;
+    }
+    // Power-of-two path (FFT).
+    const auto fast = dft_magnitudes(x);
+    // Force the direct path by appending one sample of a 65-length copy.
+    std::vector<double> y(x.begin(), x.end());
+    y.push_back(1.0);
+    const auto direct = dft_magnitudes(y);
+    // Compare the FFT against an independent direct computation at n=64.
+    for (std::size_t j = 0; j < fast.size(); ++j) {
+        double re = 0.0;
+        double im = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double a = -2.0 * M_PI * static_cast<double>(j)
+                * static_cast<double>(i) / 64.0;
+            re += x[i] * std::cos(a);
+            im += x[i] * std::sin(a);
+        }
+        EXPECT_NEAR(fast[j], std::hypot(re, im), 1e-9) << "bin " << j;
+    }
+    EXPECT_EQ(direct.size(), 32u);
+}
+
+TEST(fft, rejects_non_power_of_two)
+{
+    std::vector<std::complex<double>> data(12);
+    EXPECT_THROW(fft_radix2(data), std::invalid_argument);
+}
+
+TEST(dft_test, healthy_source_passes)
+{
+    trng::ideal_source src(6);
+    const auto r = dft_test(src.generate(4096));
+    EXPECT_GT(r.p_value, 1e-4);
+    EXPECT_NEAR(r.n0, 0.95 * 4096 / 2.0, 1e-9);
+}
+
+TEST(dft_test, periodic_source_fails)
+{
+    trng::periodic_source src(bit_sequence::from_string("1100"));
+    const auto r = dft_test(src.generate(4096));
+    EXPECT_LT(r.p_value, 1e-9) << "a strong tone must blow the peak count";
+}
+
+// -------------------------------------------------------------- universal --
+TEST(universal, nist_worked_example_statistic)
+{
+    // SP 800-22 2.9.4: eps = 01011010011101010111, L = 2, Q = 4, K = 6:
+    // fn = 1.1949875.
+    const auto r = universal_test(
+        bit_sequence::from_string("01011010011101010111"), 2, 4);
+    EXPECT_EQ(r.test_blocks, 6u);
+    EXPECT_NEAR(r.fn, 1.1949875, 1e-6);
+    EXPECT_GT(r.p_value, 0.0);
+    EXPECT_LT(r.p_value, 1.0);
+}
+
+TEST(universal, healthy_source_passes)
+{
+    trng::ideal_source src(7);
+    // L = 5, Q = 320: needs 10 * 2^5 init blocks plus test blocks.
+    const auto r = universal_test(src.generate(200000), 5, 320);
+    EXPECT_GT(r.p_value, 1e-4);
+    EXPECT_NEAR(r.fn, r.expected, 0.2);
+}
+
+TEST(universal, periodic_source_fails)
+{
+    trng::periodic_source src(bit_sequence::from_string("01100"));
+    const auto r = universal_test(src.generate(200000), 5, 320);
+    EXPECT_LT(r.p_value, 1e-9)
+        << "a periodic source revisits patterns at tiny distances";
+}
+
+TEST(universal, rejects_too_short_input)
+{
+    trng::ideal_source src(8);
+    EXPECT_THROW(universal_test(src.generate(100), 5, 320),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------------------- linear complexity --
+TEST(berlekamp_massey, known_small_cases)
+{
+    // SP 800-22 2.10.4 example: 1101011110001 has L = 4.
+    std::vector<std::uint8_t> bits = {1, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0,
+                                      1};
+    EXPECT_EQ(berlekamp_massey(bits), 4u);
+    // All zeros: complexity 0.  Single one at the end: complexity n.
+    EXPECT_EQ(berlekamp_massey({0, 0, 0, 0}), 0u);
+    EXPECT_EQ(berlekamp_massey({0, 0, 0, 1}), 4u);
+    // Alternating sequence: complexity 2.
+    EXPECT_EQ(berlekamp_massey({1, 0, 1, 0, 1, 0, 1, 0}), 2u);
+}
+
+TEST(berlekamp_massey, lfsr_sequence_has_its_degree)
+{
+    // x^4 + x + 1, a maximal-length LFSR: complexity 4 at any length.
+    std::vector<std::uint8_t> state = {1, 0, 0, 1};
+    std::vector<std::uint8_t> stream;
+    for (unsigned i = 0; i < 64; ++i) {
+        stream.push_back(state[0]);
+        const std::uint8_t feedback =
+            static_cast<std::uint8_t>(state[0] ^ state[1]);
+        state.erase(state.begin());
+        state.push_back(feedback);
+    }
+    EXPECT_EQ(berlekamp_massey(stream), 4u);
+}
+
+TEST(linear_complexity_test, healthy_source_passes)
+{
+    trng::ideal_source src(9);
+    const auto r = linear_complexity_test(src.generate(100000), 500);
+    EXPECT_EQ(r.blocks, 200u);
+    EXPECT_GT(r.p_value, 1e-4);
+    EXPECT_EQ(std::accumulate(r.nu.begin(), r.nu.end(), std::uint64_t{0}),
+              200u);
+}
+
+TEST(linear_complexity_test, lfsr_stream_fails)
+{
+    // A degree-16 LFSR fools every simple statistic but has complexity 16
+    // in each 500-bit block: every block lands in the lowest category.
+    std::uint32_t lfsr = 0xACE1u;
+    bit_sequence seq;
+    for (unsigned i = 0; i < 100000; ++i) {
+        const unsigned bit =
+            ((lfsr >> 0) ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1u;
+        lfsr = static_cast<std::uint32_t>((lfsr >> 1) | (bit << 15));
+        seq.push_back((lfsr & 1u) != 0);
+    }
+    const auto r = linear_complexity_test(seq, 500);
+    EXPECT_LT(r.p_value, 1e-12);
+    EXPECT_EQ(r.nu[3], 0u) << "no block near the random expectation M/2";
+}
+
+// ------------------------------------------------------ random excursions --
+TEST(excursion_probabilities, closed_forms)
+{
+    // pi_0(x) = 1 - 1/(2|x|); sum over the six bins is 1.
+    EXPECT_DOUBLE_EQ(excursion_visit_probability(1, 0), 0.5);
+    EXPECT_DOUBLE_EQ(excursion_visit_probability(1, 1), 0.25);
+    EXPECT_DOUBLE_EQ(excursion_visit_probability(1, 5), 0.03125);
+    EXPECT_DOUBLE_EQ(excursion_visit_probability(4, 0), 0.875);
+    for (const int x : {-4, -3, -2, -1, 1, 2, 3, 4}) {
+        double total = 0.0;
+        for (unsigned k = 0; k <= 5; ++k) {
+            total += excursion_visit_probability(x, k);
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12) << "state " << x;
+    }
+}
+
+TEST(random_excursions, nist_example_cycle_count)
+{
+    // 2.14.4: eps = 0110110101 has J = 3 cycles (the unfinished walk at
+    // the end closes the last one).
+    const auto r =
+        random_excursions_test(bit_sequence::from_string("0110110101"));
+    EXPECT_EQ(r.cycles, 3u);
+    EXPECT_FALSE(r.applicable) << "J = 3 is far below the 500 minimum";
+    EXPECT_EQ(r.states.size(), 8u);
+}
+
+TEST(random_excursions, healthy_long_sequence)
+{
+    // J (the cycle count) has enormous variance -- E[J] ~ 0.8 sqrt(n) but
+    // J < 500 happens for roughly half of all 2^20-bit windows, in which
+    // case NIST marks the test inapplicable.  Seed 11 yields J = 1159.
+    trng::ideal_source src(11);
+    const auto r = random_excursions_test(src.generate(1u << 20));
+    EXPECT_TRUE(r.applicable) << "J = " << r.cycles;
+    for (std::size_t i = 0; i < r.p_values.size(); ++i) {
+        EXPECT_GT(r.p_values[i], 1e-5) << "state " << r.states[i];
+        EXPECT_LE(r.p_values[i], 1.0);
+    }
+}
+
+TEST(random_excursions_variant, healthy_long_sequence)
+{
+    trng::ideal_source src(11);
+    const auto r = random_excursions_variant_test(src.generate(1u << 20));
+    EXPECT_TRUE(r.applicable);
+    ASSERT_EQ(r.states.size(), 18u);
+    ASSERT_EQ(r.visits.size(), 18u);
+    for (std::size_t i = 0; i < r.p_values.size(); ++i) {
+        EXPECT_GT(r.p_values[i], 1e-5) << "state " << r.states[i];
+    }
+}
+
+TEST(random_excursions_variant, asymmetric_walk_fails)
+{
+    // Bias makes the walk transient (J collapses, the test correctly
+    // becomes inapplicable), so the right stimulus is a *recurrent but
+    // asymmetric* walk: the pattern 110100 returns to zero every six bits
+    // while spending all its time above the axis, so xi(+1) = 3J.
+    trng::periodic_source src(bit_sequence::from_string("110100"));
+    const auto r = random_excursions_variant_test(src.generate(1u << 18));
+    EXPECT_TRUE(r.applicable) << "J = " << r.cycles;
+    unsigned failures = 0;
+    for (const double p : r.p_values) {
+        failures += (p < 0.01) ? 1 : 0;
+    }
+    EXPECT_GT(failures, 4u);
+}
+
+TEST(random_excursions_variant, transient_walk_is_inapplicable)
+{
+    // The NIST convention: heavy bias drives the walk away from zero, the
+    // cycle count collapses, and the excursion tests abstain rather than
+    // decide from a handful of cycles.
+    trng::biased_source src(12, 0.55);
+    const auto r = random_excursions_variant_test(src.generate(1u << 18));
+    EXPECT_FALSE(r.applicable);
+}
+
+// ---------------------------------------------------------------- battery --
+TEST(battery, healthy_source_passes_nearly_everything)
+{
+    // Seed 11 gives an excursion-applicable window (J = 1159), so all 15
+    // tests contribute P-values.
+    trng::ideal_source src(11);
+    const auto report = run_battery(src.generate(1u << 20), 0.01);
+    EXPECT_GT(report.entries.size(), 30u)
+        << "15 tests, several with multiple P-values";
+    EXPECT_EQ(report.skipped, 0u) << "this window qualifies every test";
+    // ~40 P-values at alpha = 0.01: allow a small number of type-1 events.
+    EXPECT_LE(report.failed, 2u);
+}
+
+TEST(battery, short_sequences_skip_inapplicable_tests)
+{
+    trng::ideal_source src(14);
+    const auto report = run_battery(src.generate(65536), 0.01);
+    EXPECT_GT(report.skipped, 0u)
+        << "the excursion tests need ~500 cycles";
+}
+
+TEST(battery, stuck_source_fails_broadly)
+{
+    const auto report = run_battery(bit_sequence(65536, true), 0.01);
+    EXPECT_GT(report.failed, 3u);
+    EXPECT_FALSE(report.all_pass());
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+// Known-answer tests against the worked examples of NIST SP 800-22
+// (sections 2.1 - 2.13).  The running 100-bit example is the binary
+// expansion of pi (including the integer bits "11"); the per-test small
+// examples are quoted from the respective example subsections.
+#include "nist/tests.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace otf;
+using namespace otf::nist;
+
+const char* const pi_100 =
+    "11001001000011111101101010100010001000010110100011"
+    "00001000110100110001001100011001100010100010111000";
+
+bit_sequence pi_bits()
+{
+    return bit_sequence::from_string(pi_100);
+}
+
+TEST(frequency_kat, small_example)
+{
+    // SP 800-22 2.1.4: eps = 1011010101, S = 2, P = 0.527089.
+    const auto r = frequency_test(bit_sequence::from_string("1011010101"));
+    EXPECT_EQ(r.s_n, 2);
+    EXPECT_NEAR(r.p_value, 0.527089, 1e-6);
+}
+
+TEST(frequency_kat, pi_100)
+{
+    // SP 800-22 2.1.8: S = -16, P = 0.109599.
+    const auto r = frequency_test(pi_bits());
+    EXPECT_EQ(r.s_n, -16);
+    EXPECT_NEAR(r.p_value, 0.109599, 1e-6);
+}
+
+TEST(block_frequency_kat, small_example)
+{
+    // 2.2.4: eps = 0110011010, M = 3: chi^2 = 1, P = 0.801252.
+    const auto r =
+        block_frequency_test(bit_sequence::from_string("0110011010"), 3);
+    EXPECT_EQ(r.block_count, 3u);
+    EXPECT_NEAR(r.chi_squared, 1.0, 1e-12);
+    EXPECT_NEAR(r.p_value, 0.801252, 1e-6);
+}
+
+TEST(block_frequency_kat, pi_100)
+{
+    // 2.2.8: M = 10, chi^2 = 7.2, P = 0.706438.
+    const auto r = block_frequency_test(pi_bits(), 10);
+    EXPECT_NEAR(r.chi_squared, 7.2, 1e-12);
+    EXPECT_NEAR(r.p_value, 0.706438, 1e-6);
+}
+
+TEST(runs_kat, small_example)
+{
+    // 2.3.4: eps = 1001101011, V = 7, P = 0.147232.
+    const auto r = runs_test(bit_sequence::from_string("1001101011"));
+    EXPECT_TRUE(r.applicable);
+    EXPECT_EQ(r.v_n, 7u);
+    EXPECT_NEAR(r.p_value, 0.147232, 1e-6);
+}
+
+TEST(runs_kat, pi_100)
+{
+    // 2.3.8: V = 52, P = 0.500798.
+    const auto r = runs_test(pi_bits());
+    EXPECT_EQ(r.v_n, 52u);
+    EXPECT_NEAR(r.p_value, 0.500798, 1e-6);
+}
+
+TEST(runs_kat, inapplicable_when_frequency_fails)
+{
+    // All-ones: pi = 1, far beyond tau; the test reports failure directly.
+    const auto r = runs_test(bit_sequence(100, true));
+    EXPECT_FALSE(r.applicable);
+    EXPECT_EQ(r.p_value, 0.0);
+}
+
+TEST(longest_run_kat, nist_128_bit_example)
+{
+    // 2.4.8: the 128-bit example, M = 8: nu = {4, 9, 3, 0},
+    // chi^2 = 4.882457, P = 0.180609.
+    const char* const eps =
+        "11001100000101010110110001001100111000000000001001"
+        "00110101010001000100111101011010000000110101111100"
+        "1100111001101101100010110010";
+    const auto r = longest_run_test(bit_sequence::from_string(eps), 8);
+    ASSERT_EQ(r.nu.size(), 4u);
+    EXPECT_EQ(r.nu[0], 4u);
+    EXPECT_EQ(r.nu[1], 9u);
+    EXPECT_EQ(r.nu[2], 3u);
+    EXPECT_EQ(r.nu[3], 0u);
+    EXPECT_NEAR(r.chi_squared, 4.882457, 1e-6);
+    EXPECT_NEAR(r.p_value, 0.180609, 1e-6);
+}
+
+TEST(non_overlapping_kat, nist_example)
+{
+    // 2.7.4: eps = 10100100101110010110, B = 001, N = 2 blocks of 10:
+    // W = {2, 1}, chi^2 = 2.133333, P = 0.344154.
+    const auto r = non_overlapping_template_test(
+        bit_sequence::from_string("10100100101110010110"), 0b001u, 3, 2);
+    ASSERT_EQ(r.w.size(), 2u);
+    EXPECT_EQ(r.w[0], 2u);
+    EXPECT_EQ(r.w[1], 1u);
+    EXPECT_NEAR(r.chi_squared, 2.133333, 1e-6);
+    EXPECT_NEAR(r.p_value, 0.344154, 1e-6);
+}
+
+TEST(overlapping_kat, counts_overlapping_occurrences)
+{
+    // Hand-checked: B = 11 in 0110111011 gives overlapping hits at
+    // positions 1 (11), 4-5 (111 -> two hits), 8.
+    const auto r = overlapping_template_test(
+        bit_sequence::from_string("0110111011"), 0b11u, 2, 10, 5);
+    ASSERT_EQ(r.nu.size(), 6u);
+    EXPECT_EQ(r.nu[4], 1u) << "exactly one block with 4 overlapping hits";
+}
+
+TEST(serial_kat, small_example)
+{
+    // 2.11.4: eps = 0011011101, m = 3: psi2_3 = 2.8, del = 1.6,
+    // del^2 = 0.8, P1 = 0.808792, P2 = 0.670320.
+    const auto r = serial_test(bit_sequence::from_string("0011011101"), 3);
+    EXPECT_NEAR(r.psi2_m, 2.8, 1e-12);
+    EXPECT_NEAR(r.del1, 1.6, 1e-12);
+    EXPECT_NEAR(r.del2, 0.8, 1e-12);
+    EXPECT_NEAR(r.p_value1, 0.808792, 1e-6);
+    EXPECT_NEAR(r.p_value2, 0.670320, 1e-6);
+}
+
+TEST(approximate_entropy_kat, small_example)
+{
+    // 2.12.4: eps = 0100110101, m = 3: P = 0.261961.  (The ApEn quoted in
+    // the NIST text is ln 2 - ApEn; the P-value is the check that matters.)
+    const auto r = approximate_entropy_test(
+        bit_sequence::from_string("0100110101"), 3);
+    EXPECT_NEAR(r.p_value, 0.261961, 1e-6);
+}
+
+TEST(approximate_entropy_kat, pi_100)
+{
+    // 2.12.8: m = 2, ApEn = 0.665393, chi^2 = 5.550792, P = 0.235301.
+    const auto r = approximate_entropy_test(pi_bits(), 2);
+    EXPECT_NEAR(r.apen, 0.665393, 1e-6);
+    EXPECT_NEAR(r.chi_squared, 5.550792, 1e-6);
+    EXPECT_NEAR(r.p_value, 0.235301, 1e-6);
+}
+
+TEST(cumulative_sums_kat, small_example)
+{
+    // 2.13.4: eps = 1011010111: z = 4 (forward), P = 0.4116588.
+    const auto r =
+        cumulative_sums_test(bit_sequence::from_string("1011010111"));
+    EXPECT_EQ(r.z_forward, 4);
+    EXPECT_NEAR(r.p_forward, 0.4116588, 1e-5);
+}
+
+TEST(cumulative_sums_kat, pi_100)
+{
+    // 2.13.8: forward P = 0.219194, backward P = 0.114866.
+    const auto r = cumulative_sums_test(pi_bits());
+    EXPECT_EQ(r.z_forward, 16);
+    EXPECT_EQ(r.z_backward, 19);
+    EXPECT_NEAR(r.p_forward, 0.219194, 1e-6);
+    EXPECT_NEAR(r.p_backward, 0.114866, 1e-6);
+}
+
+TEST(serial_kat, m2_uses_zero_psi0)
+{
+    // For m = 2 the m-2 level is the empty pattern: psi^2_0 = 0 and the
+    // counts collapse to the single value n.
+    const auto r = serial_test(pi_bits(), 2);
+    EXPECT_DOUBLE_EQ(r.psi2_m2, 0.0);
+    ASSERT_EQ(r.nu_m2.size(), 1u);
+    EXPECT_EQ(r.nu_m2[0], 100u);
+}
+
+} // namespace

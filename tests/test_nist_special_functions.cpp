@@ -1,0 +1,123 @@
+// Numerical tests of the special functions: known values, inverse
+// round-trips and domain guards.  These functions generate every
+// precomputed critical value, so their accuracy underwrites the whole
+// software side.
+#include "nist/special_functions.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace otf::nist;
+
+TEST(erfc_inv, round_trips_through_erfc)
+{
+    for (const double p : {1e-6, 1e-4, 0.001, 0.01, 0.1, 0.5, 1.0, 1.5,
+                           1.99}) {
+        EXPECT_NEAR(otf::nist::erfc(erfc_inv(p)), p, p * 1e-10) << "p=" << p;
+    }
+}
+
+TEST(erfc_inv, known_values)
+{
+    // erfc(x) = 0.01 at x = 1.82138636...
+    EXPECT_NEAR(erfc_inv(0.01), 1.8213863677, 1e-9);
+    // erfc(x) = 0.001 at x = 2.32675376...
+    EXPECT_NEAR(erfc_inv(0.001), 2.3267537655, 1e-9);
+    EXPECT_NEAR(erfc_inv(1.0), 0.0, 1e-12);
+}
+
+TEST(erfc_inv, rejects_out_of_domain)
+{
+    EXPECT_THROW(erfc_inv(0.0), std::domain_error);
+    EXPECT_THROW(erfc_inv(2.0), std::domain_error);
+    EXPECT_THROW(erfc_inv(-1.0), std::domain_error);
+}
+
+TEST(normal_quantile, matches_tabulated_quantiles)
+{
+    EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-8);
+    EXPECT_NEAR(normal_quantile(0.99), 2.326347874, 1e-8);
+    EXPECT_NEAR(normal_quantile(0.999), 3.090232306, 1e-8);
+    EXPECT_NEAR(normal_quantile(0.001), -3.090232306, 1e-8);
+}
+
+TEST(normal_quantile, round_trips_through_cdf)
+{
+    for (const double p : {1e-8, 1e-4, 0.3, 0.7, 0.9999, 1.0 - 1e-9}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p,
+                    1e-12 + p * 1e-10);
+    }
+}
+
+TEST(igamc, known_values)
+{
+    // igamc(a, 0) = 1.
+    EXPECT_DOUBLE_EQ(igamc(3.0, 0.0), 1.0);
+    // igamc(1, x) = exp(-x).
+    EXPECT_NEAR(igamc(1.0, 2.0), std::exp(-2.0), 1e-14);
+    // igamc(1.5, 0.5) appears in the NIST block-frequency example.
+    EXPECT_NEAR(igamc(1.5, 0.5), 0.801252, 1e-6);
+    // igamc(0.5, x) = erfc(sqrt(x)).
+    EXPECT_NEAR(igamc(0.5, 1.7), otf::nist::erfc(std::sqrt(1.7)), 1e-13);
+}
+
+TEST(igamc, complements_igam)
+{
+    for (const double a : {0.5, 1.0, 2.5, 8.0, 32.0}) {
+        for (const double x : {0.1, 1.0, 5.0, 40.0}) {
+            EXPECT_NEAR(igam(a, x) + igamc(a, x), 1.0, 1e-12)
+                << "a=" << a << " x=" << x;
+        }
+    }
+}
+
+TEST(igamc, monotone_decreasing_in_x)
+{
+    double previous = 1.0;
+    for (double x = 0.5; x < 30.0; x += 0.5) {
+        const double q = igamc(4.0, x);
+        EXPECT_LT(q, previous);
+        previous = q;
+    }
+}
+
+TEST(igamc_inv, round_trips)
+{
+    for (const double a : {0.5, 1.0, 2.0, 4.0, 8.0, 128.0}) {
+        for (const double q : {0.001, 0.01, 0.3, 0.9}) {
+            const double x = igamc_inv(a, q);
+            EXPECT_NEAR(igamc(a, x), q, 1e-9 * (1.0 + 1.0 / q))
+                << "a=" << a << " q=" << q;
+        }
+    }
+}
+
+TEST(chi_squared_critical, matches_tables)
+{
+    // Chi-squared upper critical values (standard statistical tables).
+    EXPECT_NEAR(chi_squared_critical(3, 0.01), 11.3449, 1e-3);
+    EXPECT_NEAR(chi_squared_critical(5, 0.01), 15.0863, 1e-3);
+    EXPECT_NEAR(chi_squared_critical(8, 0.01), 20.0902, 1e-3);
+    EXPECT_NEAR(chi_squared_critical(1, 0.05), 3.8415, 1e-3);
+    EXPECT_NEAR(chi_squared_critical(16, 0.001), 39.2524, 1e-3);
+}
+
+TEST(chi_squared_critical, monotone_in_alpha_and_dof)
+{
+    EXPECT_GT(chi_squared_critical(8, 0.001), chi_squared_critical(8, 0.01));
+    EXPECT_GT(chi_squared_critical(16, 0.01), chi_squared_critical(8, 0.01));
+}
+
+TEST(special_functions, domain_guards)
+{
+    EXPECT_THROW(igamc(0.0, 1.0), std::domain_error);
+    EXPECT_THROW(igamc(1.0, -1.0), std::domain_error);
+    EXPECT_THROW(igamc_inv(1.0, 0.0), std::domain_error);
+    EXPECT_THROW(igamc_inv(1.0, 1.0), std::domain_error);
+    EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+}
+
+} // namespace

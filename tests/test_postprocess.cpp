@@ -1,0 +1,139 @@
+// Tests of the post-processing models and of the lesson they carry: the
+// on-the-fly tests must watch the RAW source, because conditioning makes
+// broken entropy look statistically clean.
+#include "core/design_config.hpp"
+#include "core/monitor.hpp"
+#include "nist/extended_tests.hpp"
+#include "nist/tests.hpp"
+#include "trng/postprocess.hpp"
+#include "trng/sources.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace otf;
+
+TEST(von_neumann, removes_bias_exactly)
+{
+    trng::von_neumann_source vn(
+        std::make_unique<trng::biased_source>(1, 0.7));
+    const bit_sequence out = vn.generate(20000);
+    const double p = static_cast<double>(out.count_ones()) / out.size();
+    EXPECT_NEAR(p, 0.5, 0.015) << "independent biased bits come out fair";
+}
+
+TEST(von_neumann, yield_matches_theory)
+{
+    // Acceptance probability per pair is 2 p (1 - p); at p = 0.7 the
+    // corrector consumes ~ 1 / 0.21 / ... = 2/(2 * 0.21) raw bits per
+    // output bit.
+    trng::von_neumann_source vn(
+        std::make_unique<trng::biased_source>(2, 0.7));
+    const std::size_t out_bits = 10000;
+    (void)vn.generate(out_bits);
+    const double raw_per_out =
+        static_cast<double>(vn.raw_bits_consumed()) / out_bits;
+    EXPECT_NEAR(raw_per_out, 2.0 / (2.0 * 0.7 * 0.3), 0.3);
+}
+
+TEST(von_neumann, fair_input_passes_monitor)
+{
+    auto cfg = core::paper_design(16, core::tier::light);
+    core::monitor mon(cfg, 0.01);
+    trng::von_neumann_source vn(
+        std::make_unique<trng::biased_source>(3, 0.6));
+    const auto rep = mon.test_window(vn);
+    const auto* freq = rep.software.find(hw::test_id::frequency);
+    ASSERT_NE(freq, nullptr);
+    EXPECT_TRUE(freq->pass)
+        << "the corrected stream is unbiased -- which is exactly why the "
+           "tests must tap the raw side";
+}
+
+TEST(xor_decimator, shrinks_bias_per_piling_up_lemma)
+{
+    // P[xor of k bits = 1] = (1 - (1 - 2p)^k) / 2.  At p = 0.6:
+    // k = 4 -> 0.4992 (bias 8e-4); k = 2 -> 0.48 (bias 0.02 downward).
+    trng::xor_decimator_source x4(
+        std::make_unique<trng::biased_source>(4, 0.6), 4);
+    const bit_sequence out = x4.generate(200000);
+    const double p = static_cast<double>(out.count_ones()) / out.size();
+    EXPECT_NEAR(p, 0.4992, 0.005);
+
+    trng::xor_decimator_source x2(
+        std::make_unique<trng::biased_source>(4, 0.6), 2);
+    const bit_sequence out2 = x2.generate(200000);
+    const double p2 = static_cast<double>(out2.count_ones()) / out2.size();
+    EXPECT_NEAR(p2, 0.48, 0.005);
+}
+
+TEST(xor_decimator, rejects_degenerate_factor)
+{
+    EXPECT_THROW(trng::xor_decimator_source(
+                     std::make_unique<trng::ideal_source>(1), 1),
+                 std::invalid_argument);
+}
+
+TEST(lfsr_whitener, dead_source_passes_the_online_battery)
+{
+    // The cautionary tale: a completely dead source behind a whitener
+    // passes all nine on-the-fly tests.
+    auto cfg = core::paper_design(16, core::tier::high);
+    core::monitor mon(cfg, 0.01);
+    trng::lfsr_whitener_source masked(
+        std::make_unique<trng::stuck_source>(true));
+    const auto rep = mon.test_window(masked);
+    unsigned failures = 0;
+    for (const auto& v : rep.software.verdicts) {
+        failures += v.pass ? 0 : 1;
+    }
+    EXPECT_LE(failures, 1u)
+        << "counting-based tests cannot see through the LFSR";
+}
+
+TEST(lfsr_whitener, dead_source_caught_by_linear_complexity_offline)
+{
+    trng::lfsr_whitener_source masked(
+        std::make_unique<trng::stuck_source>(true));
+    const bit_sequence seq = masked.generate(100000);
+    const auto r = nist::linear_complexity_test(seq, 500);
+    EXPECT_LT(r.p_value, 1e-12)
+        << "a 32-bit LFSR has complexity ~32 in every 500-bit block";
+}
+
+TEST(lfsr_whitener, healthy_source_stays_healthy)
+{
+    trng::lfsr_whitener_source whitened(
+        std::make_unique<trng::ideal_source>(8));
+    const bit_sequence seq = whitened.generate(65536);
+    EXPECT_GT(nist::frequency_test(seq).p_value, 1e-4);
+    EXPECT_GT(nist::runs_test(seq).p_value, 1e-4);
+}
+
+TEST(postprocess, null_sources_rejected)
+{
+    EXPECT_THROW(trng::von_neumann_source(nullptr), std::invalid_argument);
+    EXPECT_THROW(trng::lfsr_whitener_source(nullptr),
+                 std::invalid_argument);
+}
+
+TEST(postprocess, raw_vs_conditioned_monitoring_placement)
+{
+    // The design rule in one test: the same defective device fails when
+    // the monitor taps the raw signal and passes when it taps the
+    // conditioned signal.
+    auto cfg = core::paper_design(16, core::tier::light);
+
+    core::monitor raw_monitor(cfg, 0.01);
+    trng::biased_source raw(11, 0.6);
+    EXPECT_FALSE(raw_monitor.test_window(raw).software.all_pass);
+
+    core::monitor cooked_monitor(cfg, 0.01);
+    trng::xor_decimator_source cooked(
+        std::make_unique<trng::biased_source>(11, 0.6), 4);
+    EXPECT_TRUE(cooked_monitor.test_window(cooked).software.all_pass);
+}
+
+} // namespace

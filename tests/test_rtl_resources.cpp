@@ -1,0 +1,101 @@
+// Tests of the resource-combination algebra and the technology models
+// (Spartan-6 slices / max frequency, UMC 0.13um gate equivalents).
+#include "rtl/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace otf::rtl;
+
+TEST(resources, addition_sums_area_and_maximizes_paths)
+{
+    const resources a{.ffs = 10, .luts = 20, .carry_bits = 8,
+                      .mux_levels = 1};
+    const resources b{.ffs = 5, .luts = 7, .carry_bits = 21,
+                      .mux_levels = 0};
+    const resources c = a + b;
+    EXPECT_EQ(c.ffs, 15u);
+    EXPECT_EQ(c.luts, 27u);
+    EXPECT_EQ(c.carry_bits, 21u) << "carry chains do not concatenate";
+    EXPECT_EQ(c.mux_levels, 1u);
+}
+
+TEST(resources, to_string_mentions_all_fields)
+{
+    const resources r{.ffs = 1, .luts = 2, .carry_bits = 3, .mux_levels = 4};
+    const std::string s = to_string(r);
+    EXPECT_NE(s.find("ff=1"), std::string::npos);
+    EXPECT_NE(s.find("lut=2"), std::string::npos);
+    EXPECT_NE(s.find("carry=3"), std::string::npos);
+    EXPECT_NE(s.find("mux=4"), std::string::npos);
+}
+
+TEST(spartan6, slices_bound_by_lut_packing)
+{
+    // 400 LUTs / 4 per slice * 1.3 packing = 130 slices.
+    const resources r{.ffs = 100, .luts = 400, .carry_bits = 0,
+                      .mux_levels = 0};
+    const fpga_report rep = estimate_spartan6(r);
+    EXPECT_EQ(rep.slices, 130u);
+}
+
+TEST(spartan6, slices_bound_by_ff_packing_when_ff_heavy)
+{
+    // 800 FF / 8 per slice * 1.3 = 130; LUT bound would be only 33.
+    const resources r{.ffs = 800, .luts = 100, .carry_bits = 0,
+                      .mux_levels = 0};
+    const fpga_report rep = estimate_spartan6(r);
+    EXPECT_EQ(rep.slices, 130u);
+}
+
+TEST(spartan6, frequency_decreases_with_longer_carry_chains)
+{
+    const resources narrow{.ffs = 0, .luts = 0, .carry_bits = 8,
+                           .mux_levels = 0};
+    const resources wide{.ffs = 0, .luts = 0, .carry_bits = 22,
+                         .mux_levels = 0};
+    EXPECT_GT(estimate_spartan6(narrow).max_freq_mhz,
+              estimate_spartan6(wide).max_freq_mhz);
+}
+
+TEST(spartan6, frequency_decreases_with_mux_depth)
+{
+    const resources shallow{.ffs = 0, .luts = 0, .carry_bits = 10,
+                            .mux_levels = 1};
+    const resources deep{.ffs = 0, .luts = 0, .carry_bits = 10,
+                         .mux_levels = 4};
+    EXPECT_GT(estimate_spartan6(shallow).max_freq_mhz,
+              estimate_spartan6(deep).max_freq_mhz);
+}
+
+TEST(spartan6, all_paper_scale_designs_exceed_100mhz)
+{
+    // The paper: "All our implementations on FPGA have a maximum working
+    // frequency larger than 100 MHz."  The worst case in the model is a
+    // 22-bit carry chain behind a 4-level readout mux.
+    const resources worst{.ffs = 1200, .luts = 1700, .carry_bits = 22,
+                          .mux_levels = 4};
+    EXPECT_GT(estimate_spartan6(worst).max_freq_mhz, 100.0);
+}
+
+TEST(umc130, gate_equivalents_scale_with_ff_and_lut)
+{
+    const resources r{.ffs = 100, .luts = 100, .carry_bits = 0,
+                      .mux_levels = 0};
+    const asic_report rep = estimate_umc130(r);
+    // 100 * 6 + 100 * 3 + 80 = 980.
+    EXPECT_EQ(rep.gate_equivalents, 980u);
+}
+
+TEST(umc130, monotone_in_resources)
+{
+    const resources small{.ffs = 50, .luts = 50, .carry_bits = 0,
+                          .mux_levels = 0};
+    const resources large{.ffs = 500, .luts = 500, .carry_bits = 0,
+                          .mux_levels = 0};
+    EXPECT_LT(estimate_umc130(small).gate_equivalents,
+              estimate_umc130(large).gate_equivalents);
+}
+
+} // namespace

@@ -1,0 +1,247 @@
+// Tests of the entropy-source models: determinism, parameter fidelity
+// (empirical bias / persistence), failure modes and the ring-oscillator
+// injection-locking behaviour.
+#include "trng/ring_oscillator.hpp"
+#include "trng/sources.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace otf;
+using namespace otf::trng;
+
+TEST(xoshiro, deterministic_for_equal_seeds)
+{
+    xoshiro256ss a(42);
+    xoshiro256ss b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(xoshiro, different_seeds_diverge)
+{
+    xoshiro256ss a(1);
+    xoshiro256ss b(2);
+    unsigned equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += (a.next() == b.next()) ? 1 : 0;
+    }
+    EXPECT_LT(equal, 2u);
+}
+
+TEST(xoshiro, doubles_in_unit_interval)
+{
+    xoshiro256ss rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(ideal_source, roughly_balanced)
+{
+    ideal_source src(11);
+    const bit_sequence seq = src.generate(65536);
+    const double p = static_cast<double>(seq.count_ones()) / seq.size();
+    EXPECT_NEAR(p, 0.5, 0.01);
+}
+
+TEST(ideal_source, generate_is_equivalent_to_bit_loop)
+{
+    ideal_source a(5);
+    ideal_source b(5);
+    const bit_sequence bulk = a.generate(256);
+    for (std::size_t i = 0; i < bulk.size(); ++i) {
+        EXPECT_EQ(bulk[i], b.next_bit());
+    }
+}
+
+class bias_sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(bias_sweep, empirical_bias_matches_parameter)
+{
+    const double p = GetParam();
+    biased_source src(123, p);
+    const bit_sequence seq = src.generate(100000);
+    const double measured =
+        static_cast<double>(seq.count_ones()) / seq.size();
+    EXPECT_NEAR(measured, p, 0.01) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(levels, bias_sweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.52, 0.7,
+                                           0.9, 1.0));
+
+TEST(biased_source, rejects_invalid_probability)
+{
+    EXPECT_THROW(biased_source(1, -0.1), std::invalid_argument);
+    EXPECT_THROW(biased_source(1, 1.1), std::invalid_argument);
+}
+
+class persistence_sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(persistence_sweep, empirical_persistence_matches_parameter)
+{
+    const double persistence = GetParam();
+    markov_source src(99, persistence);
+    const std::size_t n = 100000;
+    const bit_sequence seq = src.generate(n);
+    std::size_t repeats = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        repeats += (seq[i] == seq[i - 1]) ? 1 : 0;
+    }
+    const double measured = static_cast<double>(repeats) / (n - 1);
+    EXPECT_NEAR(measured, persistence, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(levels, persistence_sweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.55, 0.7, 0.9));
+
+TEST(markov_source, marginally_balanced_even_when_sticky)
+{
+    markov_source src(17, 0.8);
+    const bit_sequence seq = src.generate(100000);
+    const double p = static_cast<double>(seq.count_ones()) / seq.size();
+    EXPECT_NEAR(p, 0.5, 0.02);
+}
+
+TEST(stuck_source, emits_constant)
+{
+    stuck_source zero(false);
+    stuck_source one(true);
+    EXPECT_EQ(zero.generate(100).count_ones(), 0u);
+    EXPECT_EQ(one.generate(100).count_ones(), 100u);
+    EXPECT_EQ(zero.name(), "stuck-at-0");
+    EXPECT_EQ(one.name(), "stuck-at-1");
+}
+
+TEST(periodic_source, repeats_pattern)
+{
+    periodic_source src(bit_sequence::from_string("101"));
+    const bit_sequence seq = src.generate(9);
+    EXPECT_EQ(seq.to_string(), "101101101");
+}
+
+TEST(periodic_source, rejects_empty_pattern)
+{
+    EXPECT_THROW(periodic_source(bit_sequence{}), std::invalid_argument);
+}
+
+TEST(burst_failure_source, no_bursts_means_ideal_like_balance)
+{
+    burst_failure_source src(3, 0.0, 100);
+    const bit_sequence seq = src.generate(50000);
+    const double p = static_cast<double>(seq.count_ones()) / seq.size();
+    EXPECT_NEAR(p, 0.5, 0.02);
+}
+
+TEST(burst_failure_source, bursts_create_long_runs)
+{
+    burst_failure_source src(3, 0.01, 200);
+    const bit_sequence seq = src.generate(50000);
+    unsigned longest = 0;
+    unsigned current = 1;
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+        current = (seq[i] == seq[i - 1]) ? current + 1 : 1;
+        longest = std::max(longest, current);
+    }
+    EXPECT_GE(longest, 150u)
+        << "with ~250 expected bursts of 200, a long run must appear";
+}
+
+TEST(aging_source, bias_drifts_toward_final_value)
+{
+    aging_source src(9, 0.8, 50000);
+    const bit_sequence early = src.generate(10000);
+    bit_sequence late;
+    {
+        // Skip ahead so the source is past its lifetime.
+        for (int i = 0; i < 50000; ++i) {
+            (void)src.next_bit();
+        }
+        late = src.generate(10000);
+    }
+    const double p_early =
+        static_cast<double>(early.count_ones()) / early.size();
+    const double p_late =
+        static_cast<double>(late.count_ones()) / late.size();
+    EXPECT_LT(p_early, 0.60) << "young device is near-healthy";
+    EXPECT_NEAR(p_late, 0.8, 0.02) << "aged device sits at final bias";
+    EXPECT_NEAR(src.current_p_one(), 0.8, 1e-12);
+}
+
+TEST(replay_source, replays_and_exhausts)
+{
+    replay_source src(bit_sequence::from_string("0101"));
+    EXPECT_FALSE(src.next_bit());
+    EXPECT_TRUE(src.next_bit());
+    EXPECT_EQ(src.remaining(), 2u);
+    (void)src.next_bit();
+    (void)src.next_bit();
+    EXPECT_THROW((void)src.next_bit(), std::out_of_range);
+}
+
+TEST(ring_oscillator, healthy_output_is_roughly_balanced)
+{
+    ring_oscillator_source src(21, {});
+    const bit_sequence seq = src.generate(65536);
+    const double p = static_cast<double>(seq.count_ones()) / seq.size();
+    EXPECT_NEAR(p, 0.5, 0.05);
+}
+
+TEST(ring_oscillator, injection_collapses_jitter)
+{
+    ring_oscillator_source src(21, {});
+    const double healthy_sigma = src.effective_sigma();
+    src.set_injection(0.9);
+    EXPECT_NEAR(src.effective_sigma(), healthy_sigma * 0.1, 1e-12);
+    src.set_injection(1.0);
+    EXPECT_DOUBLE_EQ(src.effective_sigma(), 0.0);
+}
+
+TEST(ring_oscillator, full_lock_makes_output_constant)
+{
+    ring_oscillator_source src(33, {});
+    src.set_injection(1.0);
+    const bit_sequence seq = src.generate(1024);
+    // Locked to an integer ratio with zero jitter: the same phase is
+    // sampled forever, so the output is constant after the first bit.
+    const std::size_t ones = seq.count_ones();
+    EXPECT_TRUE(ones == 0 || ones == seq.size());
+}
+
+TEST(ring_oscillator, attack_increases_runs_structure)
+{
+    // Under partial lock the decorrelating phase diffusion shrinks, so the
+    // number of runs collapses far below n/2.
+    ring_oscillator_source healthy(5, {});
+    ring_oscillator_source attacked(5, {});
+    attacked.set_injection(0.97);
+    const auto count_runs = [](const bit_sequence& s) {
+        std::size_t runs = 1;
+        for (std::size_t i = 1; i < s.size(); ++i) {
+            runs += (s[i] != s[i - 1]) ? 1 : 0;
+        }
+        return runs;
+    };
+    const std::size_t n = 16384;
+    const std::size_t healthy_runs = count_runs(healthy.generate(n));
+    const std::size_t attacked_runs = count_runs(attacked.generate(n));
+    EXPECT_GT(healthy_runs, n / 3);
+    EXPECT_LT(attacked_runs, healthy_runs / 2);
+}
+
+TEST(ring_oscillator, rejects_bad_parameters)
+{
+    EXPECT_THROW(ring_oscillator_source(1, {.ratio = 0.5}),
+                 std::invalid_argument);
+    ring_oscillator_source src(1, {});
+    EXPECT_THROW(src.set_injection(1.5), std::invalid_argument);
+    EXPECT_THROW(src.set_injection(-0.1), std::invalid_argument);
+}
+
+} // namespace
