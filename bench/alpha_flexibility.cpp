@@ -7,6 +7,7 @@
 // configured for different alpha (the NIST-recommended range 0.001..0.01)
 // and shows (a) the hardware is bit-identical -- only the precomputed
 // constants change -- and (b) the measured type-1 rate tracks alpha.
+#include "base/env.hpp"
 #include "core/design_config.hpp"
 #include "core/monitor.hpp"
 #include "trng/sources.hpp"
@@ -18,7 +19,7 @@ using namespace otf;
 int main()
 {
     const auto cfg = core::paper_design(16, core::tier::high);
-    const unsigned windows = 150;
+    const unsigned windows = smoke_scaled(150u, 20u);
 
     std::printf("alpha flexibility on %s: same hardware, different "
                 "software constants\n\n",

@@ -7,6 +7,7 @@
 // healthy and defective sources and reports agreement plus what each flow
 // sees that the other does not, with the FIPS 140-2 power-up battery as
 // the historical baseline ([7], [8]).
+#include "base/env.hpp"
 #include "core/design_config.hpp"
 #include "core/monitor.hpp"
 #include "nist/battery.hpp"
@@ -61,7 +62,7 @@ int main()
 {
     const auto cfg = core::paper_design(16, core::tier::high);
     core::monitor monitor(cfg, 0.01);
-    const unsigned windows = 10;
+    const unsigned windows = smoke_scaled(10u, 3u);
 
     std::printf("windows failing per flow (%u windows of %llu bits, "
                 "alpha = 0.01)\n\n",

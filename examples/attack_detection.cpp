@@ -6,6 +6,7 @@
 // and the output becomes structured while staying roughly balanced.  The
 // on-the-fly monitor watches every window; the attack shows up in the
 // run- and pattern-sensitive tests within one window of its onset.
+#include "base/env.hpp"
 #include "core/design_config.hpp"
 #include "core/monitor.hpp"
 #include "trng/ring_oscillator.hpp"
@@ -28,8 +29,10 @@ int main()
     std::printf("%-7s %-10s %-8s %s\n", "window", "injection", "verdict",
                 "failing tests");
 
+    // Smoke runs keep three post-attack windows: enough to show detection.
+    const unsigned total_windows = smoke_scaled(12u, 9u);
     unsigned detected_at = 0;
-    for (unsigned window = 0; window < 12; ++window) {
+    for (unsigned window = 0; window < total_windows; ++window) {
         // The attacker switches the injection generator on at window 6 and
         // strengthens the lock as it tunes to the oscillator.
         double lock = 0.0;

@@ -8,11 +8,13 @@
 // prints the trade-off table a designer would choose from: hardware area,
 // maximum bit rate, number of tests, software latency, and the
 // HW->SW interface width.
+#include "base/env.hpp"
 #include "core/design_config.hpp"
 #include "core/monitor.hpp"
 #include "trng/sources.hpp"
 
 #include <cstdio>
+#include <vector>
 
 using namespace otf;
 
@@ -48,6 +50,11 @@ int main()
 
     std::printf("-- the paper's eight design points --\n");
     for (const auto& cfg : core::all_paper_designs()) {
+        // Smoke runs skip the 2^20 points: their critical-value
+        // precomputation dominates the runtime without adding coverage.
+        if (otf::smoke_mode() && cfg.n() > (1u << 16)) {
+            continue;
+        }
         print_row(cfg);
     }
 
@@ -63,7 +70,9 @@ int main()
                          .with(hw::test_id::serial)
                          .with(hw::test_id::approximate_entropy)
                          .with(hw::test_id::cumulative_sums);
-    for (const unsigned log2_n : {13u, 14u, 18u}) {
+    const std::vector<unsigned> custom_lengths = otf::smoke_scaled(
+        std::vector<unsigned>{13u, 14u, 18u}, std::vector<unsigned>{13u});
+    for (const unsigned log2_n : custom_lengths) {
         print_row(core::custom_design(log2_n, all));
     }
 

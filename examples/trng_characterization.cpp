@@ -8,12 +8,14 @@
 // platform's own on-the-fly monitor, reporting the minimum jitter at
 // which the design is sound -- and how much margin the chosen operating
 // point has before the on-the-fly tests start to object.
+#include "base/env.hpp"
 #include "core/design_config.hpp"
 #include "core/monitor.hpp"
 #include "nist/battery.hpp"
 #include "trng/ring_oscillator.hpp"
 
 #include <cstdio>
+#include <vector>
 
 using namespace otf;
 
@@ -27,8 +29,10 @@ int main()
     std::printf("%-14s %-16s %-18s %-14s\n", "jitter/period",
                 "sigma per sample", "offline battery", "on-the-fly");
 
-    for (const double jitter :
-         {0.002, 0.004, 0.008, 0.012, 0.016, 0.024}) {
+    const std::vector<double> jitter_sweep = smoke_scaled(
+        std::vector<double>{0.002, 0.004, 0.008, 0.012, 0.016, 0.024},
+        std::vector<double>{0.004, 0.016});
+    for (const double jitter : jitter_sweep) {
         trng::ring_oscillator_source::parameters params;
         params.jitter_per_period = jitter;
         trng::ring_oscillator_source source(0xD0E, params);

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build, and run the full ctest suite.
+# Usage: scripts/verify.sh [build-dir] [extra cmake args...]
+set -eu
+
+BUILD_DIR="${1:-build}"
+[ "$#" -gt 0 ] && shift
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." "$@"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -j "$JOBS" --output-on-failure

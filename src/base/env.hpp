@@ -1,0 +1,28 @@
+// Tiny environment knobs shared by the examples and benches.
+//
+// The ctest smoke targets run every example and bench binary with
+// OTF_SMOKE=1, which asks the program to shrink its statistical parameters
+// (window counts, sweep sizes) so the smoke pass stays fast while still
+// executing every code path.  Full runs (no env var) keep the
+// paper-faithful parameters.
+#pragma once
+
+#include <cstdlib>
+
+namespace otf {
+
+/// True when OTF_SMOKE is set to anything but "" or "0".
+inline bool smoke_mode()
+{
+    const char* v = std::getenv("OTF_SMOKE");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+/// Pick the full-size parameter normally, the reduced one under OTF_SMOKE.
+template <class T>
+T smoke_scaled(T full, T reduced)
+{
+    return smoke_mode() ? reduced : full;
+}
+
+} // namespace otf

@@ -11,8 +11,10 @@
 #include "trng/sources.hpp"
 #include "trng/xoshiro.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 #include <set>
+#include <string>
 
 namespace {
 

@@ -6,7 +6,10 @@
 #include "hw/testing_block.hpp"
 #include "trng/sources.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
 
 namespace {
 

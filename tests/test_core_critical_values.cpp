@@ -9,6 +9,7 @@
 #include "nist/tests.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 namespace {

@@ -14,9 +14,13 @@
 #include "nist/tests.hpp"
 #include "trng/sources.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
 #include <memory>
+#include <string>
+#include <tuple>
 
 namespace {
 

@@ -3,6 +3,8 @@
 // internally consistent.
 #include "core/suitability.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <gtest/gtest.h>
 #include <set>
 

@@ -6,6 +6,7 @@
 #include "core/monitor.hpp"
 #include "trng/sources.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 namespace {

@@ -9,6 +9,7 @@
 #include "trng/sources.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 namespace {

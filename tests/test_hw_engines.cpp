@@ -8,8 +8,11 @@
 #include "trng/ring_oscillator.hpp"
 #include "trng/sources.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 #include <memory>
+#include <string>
+#include <tuple>
 
 namespace {
 

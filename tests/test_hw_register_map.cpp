@@ -3,6 +3,7 @@
 // sign extension, word accounting across bus widths.
 #include "hw/register_map.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 namespace {

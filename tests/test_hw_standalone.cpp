@@ -12,7 +12,9 @@
 #include "trng/sources.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 namespace {
 

@@ -6,7 +6,10 @@
 #include "hw/testing_block.hpp"
 #include "trng/sources.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <string>
 
 namespace {
 

@@ -8,6 +8,7 @@
 #include "trng/sources.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 namespace {
 

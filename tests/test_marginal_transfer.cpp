@@ -8,6 +8,8 @@
 #include "core/monitor.hpp"
 #include "trng/sources.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 namespace {

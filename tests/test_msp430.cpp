@@ -8,6 +8,7 @@
 #include "msp430/firmware.hpp"
 #include "trng/sources.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 namespace {

@@ -5,8 +5,12 @@
 #include "nist/distributions.hpp"
 #include "trng/xoshiro.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <gtest/gtest.h>
 #include <numeric>
+#include <string>
+#include <vector>
 
 namespace {
 

@@ -11,8 +11,10 @@
 #include "trng/sources.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
 #include <numeric>
+#include <vector>
 
 namespace {
 

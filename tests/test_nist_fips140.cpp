@@ -6,6 +6,7 @@
 #include "nist/tests.hpp"
 #include "trng/sources.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 #include <numeric>
 

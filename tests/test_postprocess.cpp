@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <gtest/gtest.h>
+#include <memory>
 
 namespace {
 

@@ -9,6 +9,7 @@
 #include "rtl/shift_register.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 namespace {
 

@@ -3,6 +3,7 @@
 #include "rtl/resources.hpp"
 
 #include <gtest/gtest.h>
+#include <string>
 
 namespace {
 

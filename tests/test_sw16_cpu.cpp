@@ -4,7 +4,9 @@
 #include "sw16/cpu.hpp"
 #include "sw16/cycle_model.hpp"
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <string>
 
 namespace {
 

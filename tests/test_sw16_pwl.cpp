@@ -4,6 +4,7 @@
 #include "sw16/pwl_xlogx.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 namespace {
