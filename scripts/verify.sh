@@ -1,5 +1,7 @@
 #!/usr/bin/env sh
-# Tier-1 verify: configure, build, and run the full ctest suite.
+# Tier-1 verify: configure, build, and run the full ctest suite, then the
+# fleet-throughput smoke run (the word-lane/fleet subsystem must never
+# bit-rot silently, so it runs explicitly even outside ctest).
 # Usage: scripts/verify.sh [build-dir] [extra cmake args...]
 set -eu
 
@@ -11,3 +13,6 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" -j "$JOBS" --output-on-failure
+
+echo "== fleet bench smoke (OTF_SMOKE=1) =="
+OTF_SMOKE=1 "$BUILD_DIR"/bench/bench_fleet_throughput

@@ -87,6 +87,37 @@ public:
         return v;
     }
 
+    /// Pack the sequence into 64-bit words for the word-at-a-time fast
+    /// lane: bit i of word j is bit 64*j + i of the sequence (LSB-first
+    /// stream order, the convention of engine::consume_word).  Bits past
+    /// the end of a partial final word are zero.
+    std::vector<std::uint64_t> to_words() const
+    {
+        std::vector<std::uint64_t> words((bits_.size() + 63) / 64, 0);
+        for (std::size_t i = 0; i < bits_.size(); ++i) {
+            words[i / 64] |= static_cast<std::uint64_t>(bits_[i])
+                << (i % 64);
+        }
+        return words;
+    }
+
+    /// Inverse of to_words(): the first `nbits` packed bits as a sequence.
+    static bit_sequence from_words(const std::vector<std::uint64_t>& words,
+                                   std::size_t nbits)
+    {
+        if (nbits > words.size() * 64) {
+            throw std::out_of_range(
+                "bit_sequence::from_words: nbits exceeds the word buffer");
+        }
+        bit_sequence seq;
+        seq.bits_.reserve(nbits);
+        for (std::size_t i = 0; i < nbits; ++i) {
+            seq.bits_.push_back(
+                static_cast<std::uint8_t>((words[i / 64] >> (i % 64)) & 1u));
+        }
+        return seq;
+    }
+
     std::string to_string() const
     {
         std::string s;

@@ -25,9 +25,13 @@ struct consistency_violation {
     std::string detail;  ///< the observed inconsistency
 };
 
-/// Run every applicable invariant over the mapped values, charging the
-/// instruction costs to `cpu` (the checks are adds and compares only).
-/// An empty result means the counter set is internally consistent.
+/// \brief Run every applicable invariant over the mapped values, charging
+/// the instruction costs to `cpu` (the checks are adds and compares only).
+/// \param cfg the design point describing which counters exist
+/// \param map the memory-mapped counter values to cross-check
+/// \param cpu instruction-accounting CPU the checks are charged to
+/// \return the violated invariants; empty means the counter set is
+///         internally consistent
 std::vector<consistency_violation>
 verify_counter_consistency(const hw::block_config& cfg,
                            const hw::register_map& map,

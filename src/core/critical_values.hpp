@@ -83,9 +83,13 @@ struct critical_values {
     std::int64_t t13_z_bound = 0;
 };
 
-/// Invert all statistics for the tests enabled in `cfg` at level `alpha`.
-/// `runs_intervals` controls the N_ones quantization of the runs test's
-/// stored-constant table.
+/// \brief Invert all statistics for the tests enabled in `cfg` at level
+/// `alpha` (the offline precomputation of Section III-A).
+/// \param cfg            the design point whose tests need constants
+/// \param alpha          per-test level of significance
+/// \param runs_intervals N_ones quantization of the runs test's
+///                       stored-constant table
+/// \return integer-scaled acceptance bounds for the embedded software
 critical_values compute_critical_values(const hw::block_config& cfg,
                                         double alpha,
                                         unsigned runs_intervals = 32);

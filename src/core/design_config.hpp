@@ -24,18 +24,21 @@ namespace otf::core {
 
 enum class tier { light, medium, high };
 
-/// Human-readable tier name ("light" / "medium" / "high").
+/// \brief Human-readable tier name ("light" / "medium" / "high").
 std::string to_string(tier t);
 
-/// The paper's design point for sequence length 2^log2_n and tier `t`.
-/// Valid log2_n values are 7, 16 and 20; tier high requires log2_n >= 16.
+/// \brief The paper's design point for one sequence length and tier.
+/// \param log2_n sequence-length exponent: 7, 16 or 20
+/// \param t      test tier; tier::high requires log2_n >= 16
+/// \throws std::invalid_argument for combinations the paper lacks
 hw::block_config paper_design(unsigned log2_n, tier t);
 
-/// All eight paper design points in Table III order.
+/// \brief All eight paper design points in Table III order.
 std::vector<hw::block_config> all_paper_designs();
 
-/// Fully parametric designs (the paper's future-work flexibility): any
-/// log2_n in [7, 24] with sensible auto-derived block parameters.
+/// \brief Fully parametric designs (the paper's future-work flexibility).
+/// \param log2_n any sequence-length exponent in [7, 24]
+/// \param tests  the tests to include; block parameters are auto-derived
 hw::block_config custom_design(unsigned log2_n, hw::test_set tests);
 
 } // namespace otf::core

@@ -1,0 +1,188 @@
+#include "core/fleet_monitor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace otf::core {
+
+void fleet_config::validate() const
+{
+    block.validate();
+    if (channels == 0) {
+        throw std::invalid_argument("fleet_config: need at least 1 channel");
+    }
+    // The per-channel policy shares health_monitor's decision rule; its
+    // constructor is the authoritative validity check.
+    [[maybe_unused]] const windowed_alarm policy_check(fail_threshold,
+                                                      policy_window);
+}
+
+bool fleet_report::same_counters(const fleet_report& other) const
+{
+    return channels == other.channels && windows == other.windows
+        && failures == other.failures && bits == other.bits
+        && channels_in_alarm == other.channels_in_alarm
+        && failures_by_test == other.failures_by_test;
+}
+
+fleet_monitor::fleet_monitor(fleet_config cfg)
+    : cfg_(std::move(cfg)),
+      cv_((cfg_.validate(), compute_critical_values(cfg_.block, cfg_.alpha)))
+{
+}
+
+namespace {
+
+/// One channel's pipeline: a monitor, its source, the windowed alarm
+/// policy and two alternating word buffers for the window hand-off.
+struct channel_state {
+    channel_state(const fleet_config& cfg, const critical_values& cv,
+                  std::unique_ptr<trng::entropy_source> src)
+        : mon(cfg.block, cv), source(std::move(src)),
+          alarm_policy(cfg.fail_threshold, cfg.policy_window)
+    {
+        report.source_name = source->name();
+    }
+
+    monitor mon;
+    std::unique_ptr<trng::entropy_source> source;
+    channel_report report;
+    windowed_alarm alarm_policy;
+
+    void run_windows(const fleet_config& cfg, std::uint64_t windows)
+    {
+        const std::uint64_t n = cfg.block.n();
+        const std::size_t nwords = static_cast<std::size_t>(n / 64);
+        // Double-buffered hand-off: generation always writes the buffer
+        // the analysis lane is not reading.  In simulation both stages
+        // time-share the worker; the alternation (plus the testing
+        // block's double_buffered result latch, when configured) is what
+        // keeps the pipeline gap-free on real hardware.
+        std::vector<std::uint64_t> buffers[2] = {
+            std::vector<std::uint64_t>(nwords),
+            std::vector<std::uint64_t>(nwords)};
+        if (cfg.word_path) {
+            source->fill_words(buffers[0].data(), nwords);
+        }
+        for (std::uint64_t w = 0; w < windows; ++w) {
+            window_report wr;
+            if (cfg.word_path) {
+                const auto& live = buffers[w % 2];
+                auto& next = buffers[(w + 1) % 2];
+                if (w + 1 < windows) {
+                    source->fill_words(next.data(), nwords);
+                }
+                wr = mon.test_sequence_words(live);
+            } else {
+                wr = mon.test_window(*source);
+            }
+            observe(cfg, wr);
+        }
+    }
+
+    void observe(const fleet_config& cfg, const window_report& wr)
+    {
+        ++report.windows;
+        report.bits += cfg.block.n();
+        report.sw_cycles += wr.sw_cycles;
+        if (wr.sw_cycles > report.worst_sw_cycles) {
+            report.worst_sw_cycles = wr.sw_cycles;
+        }
+        const bool failed = !wr.software.all_pass;
+        if (failed) {
+            ++report.failures;
+            for (const test_verdict& v : wr.software.verdicts) {
+                if (!v.pass) {
+                    ++report.failures_by_test[v.name];
+                }
+            }
+        }
+        report.alarm = alarm_policy.record(failed);
+    }
+};
+
+} // namespace
+
+fleet_report fleet_monitor::run(const source_factory& make_source,
+                                std::uint64_t windows_per_channel)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    // Channels are built serially, in channel order, so a factory drawing
+    // seeds from shared state stays deterministic.
+    std::vector<std::unique_ptr<channel_state>> states;
+    states.reserve(cfg_.channels);
+    for (unsigned c = 0; c < cfg_.channels; ++c) {
+        states.push_back(std::make_unique<channel_state>(cfg_, cv_,
+                                                         make_source(c)));
+        states.back()->report.channel = c;
+    }
+
+    unsigned workers = cfg_.threads != 0
+        ? cfg_.threads
+        : std::thread::hardware_concurrency();
+    if (workers == 0) {
+        workers = 1;
+    }
+    if (workers > cfg_.channels) {
+        workers = cfg_.channels;
+    }
+
+    // Work stealing at channel granularity: channels are independent, so
+    // any assignment of channels to workers yields the same per-channel
+    // reports -- determinism by construction.
+    std::atomic<unsigned> next{0};
+    std::exception_ptr failure;
+    std::mutex failure_mutex;
+    const auto worker = [&] {
+        try {
+            for (unsigned c = next.fetch_add(1); c < cfg_.channels;
+                 c = next.fetch_add(1)) {
+                states[c]->run_windows(cfg_, windows_per_channel);
+            }
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(failure_mutex);
+            if (!failure) {
+                failure = std::current_exception();
+            }
+            next.store(cfg_.channels); // drain the queue, stop the fleet
+        }
+    };
+    if (workers == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t) {
+            pool.emplace_back(worker);
+        }
+        for (std::thread& t : pool) {
+            t.join();
+        }
+    }
+    if (failure) {
+        std::rethrow_exception(failure);
+    }
+
+    fleet_report fleet;
+    fleet.channels.reserve(cfg_.channels);
+    for (const auto& st : states) {
+        fleet.channels.push_back(st->report);
+        fleet.windows += st->report.windows;
+        fleet.failures += st->report.failures;
+        fleet.bits += st->report.bits;
+        fleet.channels_in_alarm += st->report.alarm ? 1 : 0;
+        for (const auto& [name, count] : st->report.failures_by_test) {
+            fleet.failures_by_test[name] += count;
+        }
+    }
+    fleet.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return fleet;
+}
+
+} // namespace otf::core

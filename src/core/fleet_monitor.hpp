@@ -1,0 +1,134 @@
+// Multi-channel fleet monitor: many independent on-the-fly monitors over a
+// thread pool.
+//
+// The paper deploys one testing block next to one TRNG.  A platform that
+// serves many TRNG channels (multiple oscillator banks on one FPGA, or many
+// devices reporting into one supervisor) replicates that per-channel
+// pipeline; nothing is shared between channels except worker threads, so
+// the aggregated result is a pure function of the per-channel seeds --
+// independent of thread count and scheduling.  Each channel runs the
+// word-at-a-time fast lane by default (hw::testing_block::feed_word) with
+// two alternating word buffers: while window w streams out of one buffer
+// the source refills the other, mirroring the double-buffered result latch
+// that gives the hardware its gap-free window hand-off.
+//
+// Telemetry is aggregated two ways: per channel (windows, failures,
+// failures-by-test, an AIS-31-style windowed alarm) and fleet-wide
+// (totals, channels in alarm, wall-clock throughput).
+#pragma once
+
+#include "core/critical_values.hpp"
+#include "core/monitor.hpp"
+#include "hw/config.hpp"
+#include "trng/entropy_source.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace otf::core {
+
+/// \brief Configuration of a monitor fleet.  Every channel runs the same
+/// hardware design point; critical values are inverted once and shared.
+struct fleet_config {
+    /// Per-channel hardware design (testing block configuration).
+    hw::block_config block;
+    /// Per-test level of significance for every channel.
+    double alpha = 0.01;
+    /// Number of independent monitor channels.
+    unsigned channels = 4;
+    /// Worker threads; 0 picks std::thread::hardware_concurrency().
+    /// Thread count never changes the report, only the wall-clock time.
+    unsigned threads = 0;
+    /// Use the word-at-a-time fast lane (default).  The per-bit lane is
+    /// kept selectable as the equivalence oracle: both settings must
+    /// produce identical reports for the same seeds.
+    bool word_path = true;
+    /// AIS-31-style per-channel alarm: raise when at least
+    /// `fail_threshold` of the last `policy_window` window verdicts
+    /// failed.  Mirrors health_monitor::policy.
+    unsigned fail_threshold = 2;
+    unsigned policy_window = 8;
+
+    /// \throws std::invalid_argument on an empty fleet or an inconsistent
+    /// alarm policy.
+    void validate() const;
+};
+
+/// \brief Telemetry of one channel after a fleet run.  All fields are
+/// deterministic functions of the channel's source.
+struct channel_report {
+    unsigned channel = 0;
+    std::string source_name;
+    std::uint64_t windows = 0;
+    std::uint64_t failures = 0;       ///< windows with any failing test
+    bool alarm = false;               ///< windowed-policy alarm (sticky)
+    std::uint64_t bits = 0;           ///< bits tested
+    std::uint64_t sw_cycles = 0;      ///< MCU cycles across all windows
+    std::uint64_t worst_sw_cycles = 0;///< slowest single software pass
+    /// Failure count per test name across the channel's run.
+    std::map<std::string, std::uint64_t> failures_by_test;
+
+    friend bool operator==(const channel_report&,
+                           const channel_report&) = default;
+};
+
+/// \brief Aggregated fleet telemetry: per-channel reports in channel order
+/// plus fleet-wide totals.  Everything except `seconds` is deterministic.
+struct fleet_report {
+    std::vector<channel_report> channels;
+    std::uint64_t windows = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t bits = 0;
+    unsigned channels_in_alarm = 0;
+    std::map<std::string, std::uint64_t> failures_by_test;
+    /// Wall-clock duration of the run (the only nondeterministic field).
+    double seconds = 0.0;
+
+    /// Aggregate simulation throughput over the wall clock.
+    double bits_per_second() const
+    {
+        return seconds > 0.0 ? static_cast<double>(bits) / seconds : 0.0;
+    }
+
+    /// Everything except the wall clock -- what the determinism guarantee
+    /// ("same seeds, any thread count") covers.
+    bool same_counters(const fleet_report& other) const;
+};
+
+/// \brief Runs N independent monitor channels over a worker pool.
+///
+/// Usage:
+///   core::fleet_monitor fleet(cfg);
+///   auto report = fleet.run(
+///       [](unsigned c) { return std::make_unique<trng::ideal_source>(c); },
+///       /*windows_per_channel=*/16);
+class fleet_monitor {
+public:
+    /// Builds the entropy source of channel `channel`; called once per
+    /// channel, in channel order, before any worker starts (so factories
+    /// may carry non-thread-safe state).
+    using source_factory =
+        std::function<std::unique_ptr<trng::entropy_source>(unsigned)>;
+
+    /// \brief Validate the configuration and invert the critical values
+    /// once for the whole fleet.
+    explicit fleet_monitor(fleet_config cfg);
+
+    const fleet_config& config() const { return cfg_; }
+    const critical_values& bounds() const { return cv_; }
+
+    /// \brief Run every channel for `windows_per_channel` windows and
+    /// aggregate.  Blocks until the fleet is done.
+    fleet_report run(const source_factory& make_source,
+                     std::uint64_t windows_per_channel);
+
+private:
+    fleet_config cfg_;
+    critical_values cv_;
+};
+
+} // namespace otf::core

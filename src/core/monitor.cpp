@@ -2,12 +2,19 @@
 
 #include "core/sp80090b.hpp"
 
+#include <string>
+
 namespace otf::core {
 
 monitor::monitor(hw::block_config cfg, double alpha, sw16::cycle_model mcu)
-    : block_(cfg),
-      runner_(cfg, compute_critical_values(cfg, alpha)),
-      cpu_(16), mcu_(std::move(mcu))
+    : monitor(cfg, compute_critical_values(cfg, alpha), std::move(mcu))
+{
+}
+
+monitor::monitor(hw::block_config cfg, critical_values cv,
+                 sw16::cycle_model mcu)
+    : block_(cfg), runner_(cfg, std::move(cv)), cpu_(16),
+      mcu_(std::move(mcu))
 {
 }
 
@@ -38,11 +45,25 @@ window_report monitor::test_window(trng::entropy_source& source)
     return finish_window();
 }
 
+window_report monitor::test_window_words(trng::entropy_source& source)
+{
+    const std::uint64_t n = block_.config().n();
+    word_buffer_.resize(n / 64);
+    source.fill_words(word_buffer_.data(), word_buffer_.size());
+    for (const std::uint64_t w : word_buffer_) {
+        block_.feed_word(w, 64);
+    }
+    return finish_window();
+}
+
 window_report monitor::test_sequence(const bit_sequence& seq)
 {
     if (seq.size() != block_.config().n()) {
         throw std::invalid_argument(
-            "monitor: sequence length must equal the design's n");
+            "monitor: sequence length must equal the design's n ("
+            + std::to_string(block_.config().n()) + " bits for \""
+            + block_.config().name + "\", got "
+            + std::to_string(seq.size()) + ")");
     }
     for (std::size_t i = 0; i < seq.size(); ++i) {
         block_.feed(seq[i]);
@@ -50,15 +71,50 @@ window_report monitor::test_sequence(const bit_sequence& seq)
     return finish_window();
 }
 
+window_report monitor::test_sequence_words(
+    const std::vector<std::uint64_t>& words)
+{
+    if (words.size() * 64 != block_.config().n()) {
+        throw std::invalid_argument(
+            "monitor: word buffer must hold exactly the design's n ("
+            + std::to_string(block_.config().n()) + " bits for \""
+            + block_.config().name + "\", got "
+            + std::to_string(words.size() * 64) + ")");
+    }
+    for (const std::uint64_t w : words) {
+        block_.feed_word(w, 64);
+    }
+    return finish_window();
+}
+
+windowed_alarm::windowed_alarm(unsigned threshold, unsigned window)
+    : threshold_(threshold), window_(window)
+{
+    if (threshold == 0 || window == 0 || threshold > window) {
+        throw std::invalid_argument(
+            "windowed_alarm: need 0 < fail_threshold <= window");
+    }
+}
+
+bool windowed_alarm::record(bool failed)
+{
+    recent_.push_back(failed);
+    recent_failures_ += failed ? 1 : 0;
+    if (recent_.size() > window_) {
+        recent_failures_ -= recent_.front() ? 1 : 0;
+        recent_.pop_front();
+    }
+    if (recent_failures_ >= threshold_) {
+        alarm_ = true;
+    }
+    return alarm_;
+}
+
 health_monitor::health_monitor(hw::block_config cfg, double alpha, policy p,
                                sw16::cycle_model mcu)
-    : mon_(std::move(cfg), alpha, std::move(mcu)), policy_(p)
+    : mon_(std::move(cfg), alpha, std::move(mcu)), policy_(p),
+      windowed_(p.fail_threshold, p.window)
 {
-    if (policy_.fail_threshold == 0 || policy_.window == 0
-        || policy_.fail_threshold > policy_.window) {
-        throw std::invalid_argument(
-            "health_monitor: need 0 < fail_threshold <= window");
-    }
     if (policy_.sp800_90b) {
         rct_ = std::make_unique<hw::repetition_count_hw>(
             rct_cutoff(policy_.entropy_claim));
@@ -71,7 +127,8 @@ health_monitor::health_monitor(hw::block_config cfg, double alpha, policy p,
 
 bool health_monitor::alarm() const
 {
-    return alarm_ || (rct_ && rct_->alarm()) || (apt_ && apt_->alarm());
+    return windowed_.alarm() || (rct_ && rct_->alarm())
+        || (apt_ && apt_->alarm());
 }
 
 window_report health_monitor::observe(trng::entropy_source& source)
@@ -100,17 +157,7 @@ window_report health_monitor::observe(trng::entropy_source& source)
             }
         }
     }
-    recent_.push_back(failed);
-    if (recent_.size() > policy_.window) {
-        recent_.pop_front();
-    }
-    unsigned recent_failures = 0;
-    for (const bool f : recent_) {
-        recent_failures += f ? 1 : 0;
-    }
-    if (recent_failures >= policy_.fail_threshold) {
-        alarm_ = true;
-    }
+    windowed_.record(failed);
     return report;
 }
 

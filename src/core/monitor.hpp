@@ -21,9 +21,11 @@
 #include "sw16/cycle_model.hpp"
 #include "trng/entropy_source.hpp"
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <vector>
 
 namespace otf::core {
 
@@ -39,7 +41,19 @@ struct window_report {
 
 class monitor {
 public:
+    /// \brief Build a monitor for one design point.
+    /// \param cfg    hardware design point (testing block configuration)
+    /// \param alpha  per-test level of significance; critical values are
+    ///               precomputed offline from it
+    /// \param mcu    cycle model of the embedded CPU that runs the
+    ///               software pass
     monitor(hw::block_config cfg, double alpha,
+            sw16::cycle_model mcu = sw16::msp430_model());
+
+    /// \brief Same, with critical values precomputed by the caller --
+    /// lets a fleet of identical channels invert the distributions once
+    /// instead of once per channel.
+    monitor(hw::block_config cfg, critical_values cv,
             sw16::cycle_model mcu = sw16::msp430_model());
 
     const hw::block_config& config() const { return block_.config(); }
@@ -47,12 +61,26 @@ public:
     const hw::testing_block& block() const { return block_; }
     const sw16::cycle_model& mcu() const { return mcu_; }
 
-    /// Stream one n-bit window from `source` through the hardware, then
-    /// run the software pass and return the verdicts.
+    /// \brief Stream one n-bit window from `source` through the hardware
+    /// one bit per clock (the paper's deployment), then run the software
+    /// pass and return the verdicts.
     window_report test_window(trng::entropy_source& source);
 
-    /// Same, for a pre-recorded sequence (length must equal n).
+    /// \brief Word-lane variant of test_window(): bulk-generates the
+    /// window with entropy_source::fill_words and streams it through
+    /// hw::testing_block::feed_word.  Bit-exact with test_window() for
+    /// the same source state; several times faster in simulation.
+    window_report test_window_words(trng::entropy_source& source);
+
+    /// \brief Test a pre-recorded sequence (length must equal n).
+    /// \throws std::invalid_argument naming the expected and actual
+    /// lengths when they differ.
     window_report test_sequence(const bit_sequence& seq);
+
+    /// \brief Word-lane variant of test_sequence() for a pre-packed
+    /// window (`words` must hold exactly n bits, LSB-first per word).
+    window_report test_sequence_words(
+        const std::vector<std::uint64_t>& words);
 
     /// Cumulative instruction counts across all windows so far.
     const sw16::op_counts& lifetime_ops() const { return cpu_.counts(); }
@@ -64,8 +92,35 @@ private:
     sw16::soft_cpu cpu_;
     sw16::cycle_model mcu_;
     std::uint64_t windows_ = 0;
+    /// Scratch buffer for test_window_words (reused across windows).
+    std::vector<std::uint64_t> word_buffer_;
 
     window_report finish_window();
+};
+
+/// \brief The AIS-31-style k-of-w decision rule shared by
+/// health_monitor and the fleet channels: a sticky alarm raised when at
+/// least `threshold` of the last `window` per-window verdicts failed.
+class windowed_alarm {
+public:
+    /// \param threshold minimum failures that raise the alarm
+    /// \param window    how many recent verdicts count
+    /// \throws std::invalid_argument unless 0 < threshold <= window
+    windowed_alarm(unsigned threshold, unsigned window);
+
+    /// \brief Record one window verdict.
+    /// \param failed whether the window failed (any test)
+    /// \return the (sticky) alarm state after recording
+    bool record(bool failed);
+
+    bool alarm() const { return alarm_; }
+
+private:
+    unsigned threshold_;
+    unsigned window_;
+    std::deque<bool> recent_;
+    unsigned recent_failures_ = 0;
+    bool alarm_ = false;
 };
 
 /// AIS-31-style supervision: windowed failure counting with an alarm
@@ -86,16 +141,23 @@ public:
         double entropy_claim = 1.0;
     };
 
+    /// \brief Build the supervisor.
+    /// \param cfg   hardware design point for the inner monitor
+    /// \param alpha per-test level of significance
+    /// \param p     alarm policy (windowed threshold + optional SP
+    ///              800-90B continuous tests)
+    /// \param mcu   cycle model of the embedded CPU
     health_monitor(hw::block_config cfg, double alpha, policy p,
                    sw16::cycle_model mcu = sw16::msp430_model());
 
-    /// Test one window; returns the report and updates the alarm state.
+    /// \brief Test one window; returns the report and updates the alarm
+    /// state (and feeds the continuous health tests when enabled).
     window_report observe(trng::entropy_source& source);
 
-    /// Policy alarm OR either SP 800-90B sticky alarm.
+    /// \brief Policy alarm OR either SP 800-90B sticky alarm.
     bool alarm() const;
     /// The windowed-policy alarm alone.
-    bool policy_alarm() const { return alarm_; }
+    bool policy_alarm() const { return windowed_.alarm(); }
     /// The continuous health-test engines (null unless enabled).
     const hw::repetition_count_hw* rct() const { return rct_.get(); }
     const hw::adaptive_proportion_hw* apt() const { return apt_.get(); }
@@ -111,9 +173,8 @@ public:
 private:
     monitor mon_;
     policy policy_;
-    std::deque<bool> recent_;
+    windowed_alarm windowed_;
     std::uint64_t failed_ = 0;
-    bool alarm_ = false;
     std::map<std::string, std::uint64_t> failures_by_test_;
     std::unique_ptr<hw::repetition_count_hw> rct_;
     std::unique_ptr<hw::adaptive_proportion_hw> apt_;

@@ -9,13 +9,13 @@
 
 namespace otf::core {
 
-/// One line per verdict: test name, pass/fail, statistic vs bound.
+/// \brief One line per verdict: test name, pass/fail, statistic vs bound.
 std::string format_verdicts(const software_result& result);
 
-/// Multi-line window summary (verdicts + latency accounting).
+/// \brief Multi-line window summary (verdicts + latency accounting).
 std::string format_window(const window_report& report);
 
-/// Area/frequency summary of a testing block in Table III layout:
+/// \brief Area/frequency summary of a testing block in Table III layout:
 /// slices / FF / LUT / MaxFreq and the ASIC gate-equivalents.
 std::string format_area(const hw::testing_block& block);
 

@@ -10,18 +10,22 @@
 
 namespace otf::core {
 
-/// Repetition Count Test cutoff: C = 1 + ceil(a / H) where H is the
-/// claimed entropy per sample (bits) and the false-alarm rate is 2^-a.
+/// \brief Repetition Count Test cutoff: C = 1 + ceil(a / H).
+/// \param entropy_per_sample claimed entropy H per sample, in bits
+/// \param alpha_exponent     false-alarm rate 2^-a (the standard uses 20)
 unsigned rct_cutoff(double entropy_per_sample, double alpha_exponent = 20.0);
 
-/// Adaptive Proportion Test cutoff: the smallest c such that
+/// \brief Adaptive Proportion Test cutoff: the smallest c such that
 /// P[Binomial(window, p) >= c] <= 2^-alpha_exponent, with p = 2^-H the
 /// most-likely-value probability under the entropy claim.
+/// \param window             APT window length in samples (a power of two)
+/// \param entropy_per_sample claimed entropy H per sample, in bits
+/// \param alpha_exponent     false-alarm rate 2^-a
 unsigned apt_cutoff(unsigned window, double entropy_per_sample = 1.0,
                     double alpha_exponent = 20.0);
 
-/// Exact binomial survival P[Binomial(n, p) >= k] (log-space summation;
-/// exposed for the health-test property tests).
+/// \brief Exact binomial survival P[Binomial(n, p) >= k] (log-space
+/// summation; exposed for the health-test property tests).
 double binomial_survival(unsigned n, double p, unsigned k);
 
 } // namespace otf::core

@@ -35,9 +35,11 @@ struct suitability_row {
     std::string reason;             ///< why (not) suitable
 };
 
-/// The full 15-row table for a sequence of 2^log2_n bits.  The nine
-/// suitable rows use the actual engine inventories of this library; the
-/// six unsuitable rows use the storage the test's definition forces.
+/// \brief The full 15-row suitability table (paper Table I) for a
+/// sequence of 2^log2_n bits.  The nine suitable rows use the actual
+/// engine inventories of this library; the six unsuitable rows use the
+/// storage the test's definition forces.
+/// \param log2_n sequence-length exponent
 std::vector<suitability_row> nist_suitability(unsigned log2_n);
 
 } // namespace otf::core

@@ -49,12 +49,20 @@ struct software_result {
 
 class software_runner {
 public:
+    /// \brief Bind the software pass to one design point.
+    /// \param cfg the design whose tests the pass must verify
+    /// \param cv  precomputed integer acceptance bounds for that design
     software_runner(hw::block_config cfg, critical_values cv);
 
     const hw::block_config& config() const { return cfg_; }
     const critical_values& bounds() const { return cv_; }
 
-    /// Full pass: read the interface, run every enabled test's routine.
+    /// \brief Full pass: read the interface, run every enabled test's
+    /// routine.
+    /// \param map the testing block's memory-mapped counter values
+    /// \param cpu instruction-accounting CPU that executes (and charges)
+    ///            every READ and every arithmetic instruction
+    /// \return per-test verdicts with raw statistics and op counts
     software_result run(const hw::register_map& map,
                         sw16::soft_cpu& cpu) const;
 

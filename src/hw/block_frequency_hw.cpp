@@ -1,5 +1,6 @@
 #include "hw/block_frequency_hw.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace otf::hw {
@@ -27,6 +28,30 @@ void block_frequency_hw::consume(bool bit, std::uint64_t bit_index)
         const auto slot = static_cast<unsigned>(bit_index >> log2_m_);
         bank_.write(slot, ones_.value());
         ones_.clear();
+    }
+}
+
+void block_frequency_hw::consume_word(std::uint64_t word, unsigned nbits,
+                                      std::uint64_t bit_index)
+{
+    unsigned done = 0;
+    while (done < nbits) {
+        const std::uint64_t pos_in_block = (bit_index + done) & block_mask_;
+        const std::uint64_t to_boundary = (block_mask_ + 1) - pos_in_block;
+        const unsigned take = to_boundary < nbits - done
+            ? static_cast<unsigned>(to_boundary)
+            : nbits - done;
+        const std::uint64_t seg = (word >> done)
+            & (take == 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << take) - 1);
+        ones_.advance(static_cast<std::uint64_t>(std::popcount(seg)));
+        if (pos_in_block + take == block_mask_ + 1) {
+            const auto slot =
+                static_cast<unsigned>((bit_index + done) >> log2_m_);
+            bank_.write(slot, ones_.value());
+            ones_.clear();
+        }
+        done += take;
     }
 }
 

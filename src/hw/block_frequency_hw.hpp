@@ -16,9 +16,16 @@ namespace otf::hw {
 
 class block_frequency_hw final : public engine {
 public:
+    /// \param log2_n sequence-length exponent
+    /// \param log2_m block-length exponent (M = 2^log2_m must divide n)
     block_frequency_hw(unsigned log2_n, unsigned log2_m);
 
     void consume(bool bit, std::uint64_t bit_index) override;
+    /// \brief Batched counting: one popcount per block-bounded segment of
+    /// the word, with the same boundary/bank-slot decode as the per-bit
+    /// path.
+    void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     unsigned block_count() const { return block_count_; }

@@ -87,9 +87,10 @@ struct block_config {
 
     std::uint64_t n() const { return std::uint64_t{1} << log2_n; }
 
-    /// Throws std::invalid_argument when parameters are inconsistent
+    /// \brief Check the design point for internal consistency.
+    /// \throws std::invalid_argument when parameters are inconsistent
     /// (block longer than sequence, categories out of range, template not
-    /// representable, ...).
+    /// representable, ...)
     void validate() const;
 };
 

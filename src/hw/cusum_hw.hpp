@@ -16,11 +16,18 @@ namespace otf::hw {
 
 class cusum_hw final : public engine {
 public:
-    /// `log2_n`: sequence-length exponent; the walk register is sized so
-    /// that the extreme walks +/-n are representable (log2_n + 2 bits).
+    /// \brief Size the walk for 2^log2_n-bit sequences.
+    /// \param log2_n sequence-length exponent; the walk register is sized
+    ///        so that the extreme walks +/-n are representable
+    ///        (log2_n + 2 bits)
     explicit cusum_hw(unsigned log2_n);
 
     void consume(bool bit, std::uint64_t bit_index) override;
+    /// \brief Batched walk update: per-byte lookup of (delta, prefix max,
+    /// prefix min) folded into the running extrema -- 8 table hits
+    /// replace 64 counter steps.
+    void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     std::int64_t s_final() const { return walk_.value(); }

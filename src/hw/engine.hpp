@@ -14,6 +14,8 @@
 #include "rtl/component.hpp"
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace otf::hw {
 
@@ -21,24 +23,68 @@ class engine : public rtl::component {
 public:
     using rtl::component::component;
 
-    /// One clock cycle: consume the next random bit.  `bit_index` is the
-    /// current value of the global bit counter (0-based position of `bit`),
-    /// from which engines derive block boundaries (sharing trick 2: block
-    /// lengths are powers of two, so boundary detection is a decode of the
-    /// counter's low bits, not a private counter).
+    /// \brief One clock cycle: consume the next random bit.
+    /// \param bit       the incoming random bit
+    /// \param bit_index current value of the global bit counter (0-based
+    ///        position of `bit`), from which engines derive block
+    ///        boundaries (sharing trick 2: block lengths are powers of
+    ///        two, so boundary detection is a decode of the counter's low
+    ///        bits, not a private counter)
     virtual void consume(bool bit, std::uint64_t bit_index) = 0;
 
-    /// Cyclic-extension flush cycle `t` (0-based), fed with the stored
-    /// opening bits of the sequence after the real stream has ended.  Only
-    /// the serial/approximate-entropy engine uses these; the default is a
+    /// \brief Word-at-a-time fast lane: consume up to 64 stream bits at
+    /// once.  Must leave the engine in exactly the state that `nbits`
+    /// consume() calls would -- the per-bit path is the equivalence
+    /// oracle, enforced by tests/test_word_path.cpp.  The default simply
+    /// loops consume(); engines override it with popcount / table /
+    /// run-scan batching.
+    ///
+    /// Engines that watch the testing block's *shared* template window
+    /// must return true from watches_shared_window() AND override this,
+    /// reconstructing the sliding window locally from its pre-word state:
+    /// on the word lane the block advances the shared register once per
+    /// word, after dispatching to the engines, not once per bit -- so the
+    /// per-bit default below would read a stale window.  The default
+    /// enforces that contract by refusing to run for such engines
+    /// (loudly, instead of silently producing wrong counters).
+    /// \param word      stream bits packed LSB-first (bit i of `word` is
+    ///                  stream bit `bit_index + i`)
+    /// \param nbits     number of valid bits in `word`, 1..64
+    /// \param bit_index global bit counter value at the word's first bit
+    virtual void consume_word(std::uint64_t word, unsigned nbits,
+                              std::uint64_t bit_index)
+    {
+        if (watches_shared_window()) {
+            throw std::logic_error(
+                "engine '" + name()
+                + "' watches the shared template window and must override "
+                  "consume_word() (the per-bit default would read a stale "
+                  "window on the word lane)");
+        }
+        for (unsigned i = 0; i < nbits; ++i) {
+            consume(((word >> i) & 1u) != 0, bit_index + i);
+        }
+    }
+
+    /// \brief True for engines that read the testing block's shared
+    /// template shift register during consume() (sharing trick 4).
+    /// Paired with the consume_word() contract above.
+    virtual bool watches_shared_window() const { return false; }
+
+    /// \brief Cyclic-extension flush cycle, fed with the stored opening
+    /// bits of the sequence after the real stream has ended.  Only the
+    /// serial/approximate-entropy engine uses these; the default is a
     /// no-op.
+    /// \param bit a replayed opening bit
+    /// \param t   0-based flush cycle index
     virtual void flush(bool bit, unsigned t)
     {
         (void)bit;
         (void)t;
     }
 
-    /// Publish this engine's hardware values into the memory map.
+    /// \brief Publish this engine's hardware values into the memory map.
+    /// \param map the testing block's register map under construction
     virtual void add_registers(register_map& map) const = 0;
 };
 

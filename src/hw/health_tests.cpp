@@ -35,6 +35,40 @@ void repetition_count_hw::consume(bool bit, std::uint64_t bit_index)
     }
 }
 
+void repetition_count_hw::consume_word(std::uint64_t word, unsigned nbits,
+                                       std::uint64_t bit_index)
+{
+    (void)bit_index;
+    const std::uint64_t sat = run_.max_value();
+    std::uint64_t longest = static_cast<std::uint64_t>(longest_.value());
+    unsigned pos = 0;
+    std::uint64_t run = run_.value();
+    while (pos < nbits) {
+        const bool cur = ((word >> pos) & 1u) != 0;
+        // Length of the maximal run of `cur` starting at pos.
+        const std::uint64_t same = cur ? (word >> pos) : ~(word >> pos);
+        unsigned len = static_cast<unsigned>(std::countr_one(same));
+        if (len > nbits - pos) {
+            len = nbits - pos;
+        }
+        if (pos == 0 && primed_ && cur == prev_) {
+            run = run + len >= sat ? sat : run + len; // continue prior run
+        } else {
+            run = len >= sat ? sat : len;
+        }
+        longest = run > longest ? run : longest;
+        if (run >= cutoff_) {
+            alarm_ = true;
+        }
+        prev_ = cur;
+        pos += len;
+    }
+    primed_ = true;
+    run_.clear();
+    run_.advance(run);
+    longest_.observe(static_cast<std::int64_t>(longest));
+}
+
 void repetition_count_hw::add_registers(register_map& map) const
 {
     map.add_scalar("health.rct_longest", longest_.width(), false, [this] {
@@ -83,6 +117,32 @@ void adaptive_proportion_hw::consume(bool bit, std::uint64_t bit_index)
     occurrences_.step(bit == reference_);
     if (occurrences_.value() >= cutoff_) {
         alarm_ = true;
+    }
+}
+
+void adaptive_proportion_hw::consume_word(std::uint64_t word, unsigned nbits,
+                                          std::uint64_t bit_index)
+{
+    unsigned done = 0;
+    while (done < nbits) {
+        const std::uint64_t pos = (bit_index + done) & window_mask_;
+        if (pos == 0) {
+            reference_ = ((word >> done) & 1u) != 0;
+            occurrences_.clear();
+        }
+        const std::uint64_t to_boundary = (window_mask_ + 1) - pos;
+        const unsigned take = to_boundary < nbits - done
+            ? static_cast<unsigned>(to_boundary)
+            : nbits - done;
+        const std::uint64_t seg = (word >> done)
+            & (take == 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << take) - 1);
+        const auto ones = static_cast<unsigned>(std::popcount(seg));
+        occurrences_.advance(reference_ ? ones : take - ones);
+        if (occurrences_.value() >= cutoff_) {
+            alarm_ = true;
+        }
+        done += take;
     }
 }
 

@@ -30,9 +30,16 @@ namespace otf::hw {
 /// false-alarm rate 2^-20 the cutoff is 21 (1 + 20/H with H = 1).
 class repetition_count_hw final : public engine {
 public:
+    /// \param cutoff alarm threshold (see core::rct_cutoff), at least 2
     repetition_count_hw(unsigned cutoff);
 
     void consume(bool bit, std::uint64_t bit_index) override;
+    /// \brief Batched run scan: iterates the word's maximal equal-bit runs with
+    /// count-trailing tricks instead of stepping per bit.  The alarm is
+    /// checked against each run's final length, which is equivalent to
+    /// the per-bit check because runs only grow.
+    void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     bool alarm() const { return alarm_; }
@@ -71,9 +78,17 @@ private:
 /// window.
 class adaptive_proportion_hw final : public engine {
 public:
+    /// \param log2_window window-length exponent, in [4, 16]
+    /// \param cutoff      alarm threshold (see core::apt_cutoff); must
+    ///                    fit inside the window
     adaptive_proportion_hw(unsigned log2_window, unsigned cutoff);
 
     void consume(bool bit, std::uint64_t bit_index) override;
+    /// \brief Batched proportion counting: one popcount per window-bounded
+    /// segment.  The occurrence count is monotone within a window, so
+    /// checking the cutoff at segment ends is equivalent to per-bit.
+    void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     bool alarm() const { return alarm_; }

@@ -1,5 +1,6 @@
 #include "hw/longest_run_hw.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace otf::hw {
@@ -55,6 +56,69 @@ void longest_run_hw::consume(bool bit, std::uint64_t bit_index)
         categories_[category]->step();
         run_length_.clear();
         block_max_.clear();
+    }
+}
+
+void longest_run_hw::consume_word(std::uint64_t word, unsigned nbits,
+                                  std::uint64_t bit_index)
+{
+    unsigned done = 0;
+    while (done < nbits) {
+        const std::uint64_t pos_in_block = (bit_index + done) & block_mask_;
+        const std::uint64_t to_boundary = (block_mask_ + 1) - pos_in_block;
+        const unsigned take = to_boundary < nbits - done
+            ? static_cast<unsigned>(to_boundary)
+            : nbits - done;
+        const std::uint64_t seg = (word >> done)
+            & (take == 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << take) - 1);
+
+        const auto carried = run_length_.value();
+        const unsigned lead =
+            static_cast<unsigned>(std::countr_one(seg)) < take
+            ? static_cast<unsigned>(std::countr_one(seg))
+            : take;
+        std::uint64_t seg_max;
+        std::uint64_t run_out;
+        if (lead == take) {
+            // All ones: the carried run extends across the whole segment.
+            seg_max = carried + take;
+            run_out = seg_max;
+        } else {
+            // Longest interior run of ones via the shift-AND scan; random
+            // segments terminate in a handful of iterations.
+            std::uint64_t y = seg;
+            unsigned interior = 0;
+            while (y != 0) {
+                ++interior;
+                y &= y << 1;
+            }
+            const std::uint64_t head = carried + lead;
+            seg_max = head > interior ? head : interior;
+            run_out = static_cast<unsigned>(
+                std::countl_one(seg << (64 - take)));
+        }
+        if (seg_max > 0) {
+            block_max_.observe(static_cast<std::int64_t>(seg_max));
+        }
+        run_length_.clear();
+        run_length_.advance(run_out);
+
+        if (pos_in_block + take == block_mask_ + 1) {
+            const auto longest = static_cast<unsigned>(block_max_.value());
+            unsigned category;
+            if (longest <= v_lo_) {
+                category = 0;
+            } else if (longest >= v_hi_) {
+                category = v_hi_ - v_lo_;
+            } else {
+                category = longest - v_lo_;
+            }
+            categories_[category]->step();
+            run_length_.clear();
+            block_max_.clear();
+        }
+        done += take;
     }
 }
 

@@ -19,10 +19,20 @@ namespace otf::hw {
 
 class longest_run_hw final : public engine {
 public:
+    /// \param log2_n sequence-length exponent
+    /// \param log2_m block-length exponent (M = 2^log2_m must divide n)
+    /// \param v_lo   first NIST category: longest run <= v_lo
+    /// \param v_hi   last NIST category: longest run >= v_hi
     longest_run_hw(unsigned log2_n, unsigned log2_m, unsigned v_lo,
                    unsigned v_hi);
 
     void consume(bool bit, std::uint64_t bit_index) override;
+    /// \brief Batched run tracking: per block-bounded segment, the
+    /// carried-in run extends by the segment's leading ones, the interior
+    /// maximum comes from the shift-AND longest-run scan, and the
+    /// trailing ones carry out -- no per-bit counter stepping.
+    void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     unsigned category_count() const

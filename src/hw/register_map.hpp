@@ -28,12 +28,22 @@ struct map_entry {
 
 class register_map {
 public:
-    /// Register a scalar value.
+    /// \brief Register a scalar value (one top-level mux input).
+    /// \param name      unique map-wide name, e.g. "cusum.s_final"
+    /// \param width     value width in bits
+    /// \param is_signed two's-complement interpretation for read_value()
+    /// \param read      getter returning the raw hardware value
     void add_scalar(std::string name, unsigned width, bool is_signed,
                     std::function<std::uint64_t()> read);
 
-    /// Register element `index` of a sub-addressed group (bank / counter
-    /// file read port).
+    /// \brief Register one element of a sub-addressed group (bank /
+    /// counter-file read port); the whole group occupies a single
+    /// top-level mux input.
+    /// \param group     group name shared by all elements
+    /// \param name      unique element name, e.g. "serial.nu_m[3]"
+    /// \param width     value width in bits
+    /// \param is_signed two's-complement interpretation for read_value()
+    /// \param read      getter returning the raw hardware value
     void add_group_element(std::string group, std::string name,
                            unsigned width, bool is_signed,
                            std::function<std::uint64_t()> read);

@@ -13,9 +13,15 @@ namespace otf::hw {
 
 class runs_hw final : public engine {
 public:
+    /// \param log2_n sequence-length exponent (sizes the run counter)
     explicit runs_hw(unsigned log2_n);
 
     void consume(bool bit, std::uint64_t bit_index) override;
+    /// \brief Batched run counting: interior transitions are one popcount
+    /// of word ^ (word >> 1); only the seam with the previous bit needs
+    /// the stored flip-flop.
+    void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     std::uint64_t n_runs() const { return runs_.value(); }

@@ -90,6 +90,59 @@ void serial_hw::consume(bool bit, std::uint64_t bit_index)
     count_window(0, false);
 }
 
+void serial_hw::consume_word(std::uint64_t word, unsigned nbits,
+                             std::uint64_t bit_index)
+{
+    // Warm-up (window not yet full / opening bits still latching) runs on
+    // the per-bit path; it only ever covers the first m-1 bits of a
+    // window, so the steady-state loop below stays branch-light.
+    unsigned i = 0;
+    while (i < nbits && seen_ < m_) {
+        consume(((word >> i) & 1u) != 0, bit_index + i);
+        ++i;
+    }
+    if (i == nbits) {
+        return;
+    }
+
+    const unsigned steady_from = i;
+    const std::uint64_t mask_m = (std::uint64_t{1} << m_) - 1;
+    std::uint64_t w = window_.window() & mask_m;
+    std::uint32_t delta_m[256] = {};
+    std::uint32_t delta_m1[128] = {};
+    std::uint32_t delta_m2[64] = {};
+    const bool all_lengths = !marginals_in_software_;
+    for (; i < nbits; ++i) {
+        w = ((w << 1) | ((word >> i) & 1u)) & mask_m;
+        ++delta_m[w];
+        if (all_lengths) {
+            ++delta_m1[w & (mask_m >> 1)];
+            ++delta_m2[w & (mask_m >> 2)];
+        }
+    }
+    // The warm-up bits already went through shift()/seen_ inside consume();
+    // commit only the steady-state tail here.
+    window_.shift_word(word >> steady_from, nbits - steady_from);
+    seen_ += nbits - steady_from;
+    for (std::uint32_t p = 0; p < (1u << m_); ++p) {
+        if (delta_m[p] != 0) {
+            file_m_[p]->advance(delta_m[p]);
+        }
+    }
+    if (all_lengths) {
+        for (std::uint32_t p = 0; p < (1u << (m_ - 1)); ++p) {
+            if (delta_m1[p] != 0) {
+                file_m1_[p]->advance(delta_m1[p]);
+            }
+        }
+        for (std::uint32_t p = 0; p < (1u << (m_ - 2)); ++p) {
+            if (delta_m2[p] != 0) {
+                file_m2_[p]->advance(delta_m2[p]);
+            }
+        }
+    }
+}
+
 void serial_hw::flush(bool bit, unsigned t)
 {
     window_.shift(bit);

@@ -28,25 +28,36 @@ namespace otf::hw {
 
 class serial_hw final : public engine {
 public:
-    /// Counts patterns of lengths m, m-1 and m-2 over a 2^log2_n-bit
-    /// sequence; m must be at least 3.  With `marginals_in_software` the
-    /// (m-1)- and (m-2)-bit counter files are omitted entirely: software
-    /// derives those counts as cyclic marginals of the m-bit file
-    /// (interface-reduction option, see block_config).
+    /// \brief Counts patterns of lengths m, m-1 and m-2 over a
+    /// 2^log2_n-bit sequence.
+    /// \param log2_n sequence-length exponent
+    /// \param m      top pattern length, in [3, 8]
+    /// \param marginals_in_software when set, the (m-1)- and (m-2)-bit
+    ///        counter files are not memory-mapped: software derives those
+    ///        counts as cyclic marginals of the m-bit file
+    ///        (interface-reduction option, see block_config)
     serial_hw(unsigned log2_n, unsigned m,
               bool marginals_in_software = false);
 
     bool marginals_in_software() const { return marginals_in_software_; }
 
     void consume(bool bit, std::uint64_t bit_index) override;
+    /// \brief Batched pattern counting: slides the m-bit window across
+    /// the word in a local register, accumulates per-pattern deltas in
+    /// stack arrays and commits each touched counter once per word.
+    void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
     void flush(bool bit, unsigned t) override;
     void add_registers(register_map& map) const override;
 
     unsigned m() const { return m_; }
-    /// Pattern count nu for a `length`-bit pattern `value` (MSB-first);
-    /// length must be m, m-1 or m-2.
+    /// \brief Pattern count nu for a `length`-bit pattern (MSB-first).
+    /// \param length pattern length: m, m-1 or m-2
+    /// \param value  the pattern, MSB-first
     std::uint64_t count(unsigned length, std::uint32_t value) const;
-    /// The first m-1 bits of the sequence, replayed during the flush.
+    /// \brief The first m-1 bits of the sequence, replayed during the
+    /// cyclic-extension flush.
+    /// \param index opening-bit position, in [0, m-1)
     bool stored_opening_bit(unsigned index) const;
 
 protected:

@@ -32,15 +32,15 @@ class standalone_test : public rtl::component {
 public:
     using rtl::component::component;
 
-    /// One clock cycle with the next random bit.
+    /// \brief One clock cycle with the next random bit.
     virtual void consume(bool bit) = 0;
 
-    /// Run the decision logic after the last bit; returns the alarm value
-    /// (true = randomness hypothesis rejected).
+    /// \brief Run the decision logic after the last bit.
+    /// \return the alarm value (true = randomness hypothesis rejected)
     virtual bool finalize() = 0;
 
-    /// Cycles the decision FSM needs after the last bit (the baseline's
-    /// "latency" in Table IV terms).
+    /// \brief Cycles the decision FSM needs after the last bit (the
+    /// baseline's "latency" in Table IV terms).
     virtual unsigned decision_latency() const = 0;
 
     /// The latched alarm output (valid after finalize()).

@@ -30,12 +30,25 @@ namespace otf::hw {
 
 class non_overlapping_hw final : public engine {
 public:
-    /// `window` is the shared template shift register (not owned).
+    /// \param log2_n          sequence-length exponent
+    /// \param log2_m          block-length exponent
+    /// \param templ           the predefined template, MSB-first
+    /// \param template_length template length in bits (the paper uses 9)
+    /// \param window          the shared template shift register (sharing
+    ///                        trick 4; not owned)
     non_overlapping_hw(unsigned log2_n, unsigned log2_m,
                        std::uint32_t templ, unsigned template_length,
                        rtl::shift_register& window);
 
     void consume(bool bit, std::uint64_t bit_index) override;
+    /// \brief Batched scan: reconstructs the sliding window locally from
+    /// the shared register's pre-word state (the block advances the
+    /// shared register once per word on the fast lane) and accumulates
+    /// matches with the same inhibit/boundary decisions as the per-bit
+    /// path.
+    void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
+    bool watches_shared_window() const override { return true; }
     void add_registers(register_map& map) const override;
 
     unsigned block_count() const { return block_count_; }
@@ -62,11 +75,24 @@ private:
 
 class overlapping_hw final : public engine {
 public:
+    /// \param log2_n          sequence-length exponent
+    /// \param log2_m          block-length exponent
+    /// \param templ           the predefined template, MSB-first
+    /// \param template_length template length in bits
+    /// \param max_count       last NIST category: >= max_count matches
+    /// \param window          the shared template shift register (not
+    ///                        owned)
     overlapping_hw(unsigned log2_n, unsigned log2_m, std::uint32_t templ,
                    unsigned template_length, unsigned max_count,
                    rtl::shift_register& window);
 
     void consume(bool bit, std::uint64_t bit_index) override;
+    /// \brief Batched scan against the locally reconstructed shared
+    /// window (see non_overlapping_hw::consume_word), with the saturating
+    /// per-block match count accumulated in a local and committed once.
+    void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
+    bool watches_shared_window() const override { return true; }
     void add_registers(register_map& map) const override;
 
     unsigned category_count() const

@@ -118,6 +118,42 @@ void testing_block::feed(bool bit)
     global_counter_.step();
 }
 
+void testing_block::feed_word(std::uint64_t word, unsigned nbits)
+{
+    if (nbits == 0 || nbits > 64) {
+        throw std::invalid_argument(
+            "testing_block: feed_word nbits must be in [1, 64]");
+    }
+    if (consumed_ + nbits > config_.n()) {
+        throw std::logic_error(
+            "testing_block: word would run past the end of the sequence");
+    }
+    const std::uint64_t index = consumed_;
+    // Engines that watch the shared template window reconstruct it locally
+    // from its pre-word state, so the shared register advances once, after
+    // the engines have seen the word.
+    for (engine* e : engines_) {
+        e->consume_word(word, nbits, index);
+    }
+    if (template_window_) {
+        template_window_->shift_word(word, nbits);
+    }
+    consumed_ += nbits;
+    global_counter_.advance(nbits);
+}
+
+void testing_block::run_words(const std::vector<std::uint64_t>& words)
+{
+    if (words.size() * 64 != config_.n()) {
+        throw std::invalid_argument(
+            "testing_block: word buffer must hold exactly n bits");
+    }
+    for (const std::uint64_t w : words) {
+        feed_word(w, 64);
+    }
+    finish();
+}
+
 void testing_block::finish()
 {
     if (consumed_ != config_.n()) {

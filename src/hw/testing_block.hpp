@@ -34,25 +34,44 @@ namespace otf::hw {
 
 class testing_block final : public rtl::component {
 public:
+    /// \brief Build the engine set for one design point.
+    /// \param config validated design-point parameters (throws
+    ///        std::invalid_argument on inconsistency)
     explicit testing_block(block_config config);
 
     const block_config& config() const { return config_; }
 
-    /// Consume one random bit (one clock cycle).  Throws if the sequence
-    /// is already complete.
+    /// \brief Consume one random bit (one clock cycle).
+    /// \throws std::logic_error if the sequence is already complete
     void feed(bool bit);
 
-    /// End of sequence: replays the stored opening bits through the serial
-    /// engine (cyclic extension) and latches the done flag.  Throws unless
-    /// exactly n bits have been fed.
+    /// \brief Word-at-a-time fast lane: consume up to 64 bits at once.
+    /// Bit-exact with nbits feed() calls -- the per-bit path stays the
+    /// equivalence oracle.
+    /// \param word  bits packed LSB-first (bit i is stream bit
+    ///              bits_consumed() + i)
+    /// \param nbits number of valid bits in `word`, 1..64
+    /// \throws std::logic_error if the word would run past n
+    void feed_word(std::uint64_t word, unsigned nbits = 64);
+
+    /// \brief Feed a whole pre-packed sequence through the word lane and
+    /// finish.
+    /// \param words exactly n bits (n is a multiple of 64 for every
+    ///        supported design, so there is no partial final word)
+    void run_words(const std::vector<std::uint64_t>& words);
+
+    /// \brief End of sequence: replays the stored opening bits through
+    /// the serial engine (cyclic extension) and latches the done flag.
+    /// \throws std::logic_error unless exactly n bits have been fed
     void finish();
 
-    /// Feed a whole sequence and finish.  The sequence length must be n.
+    /// \brief Feed a whole sequence and finish.
+    /// \param seq the window; its length must equal n
     void run(const bit_sequence& seq);
 
-    /// Clear all engines for a fresh sequence.  With a double-buffered
-    /// configuration the latched results of the previous window stay
-    /// readable while the next window streams.
+    /// \brief Clear all engines for a fresh sequence.  With a
+    /// double-buffered configuration the latched results of the previous
+    /// window stay readable while the next window streams.
     void restart();
 
     /// True when double-buffering holds a latched result set.

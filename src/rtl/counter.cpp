@@ -93,6 +93,13 @@ void up_down_counter::step(bool up)
            "random walk left the sized register range");
 }
 
+void up_down_counter::advance(std::int64_t delta)
+{
+    value_ += delta;
+    assert(value_ >= min_ && value_ <= max_ &&
+           "random walk left the sized register range");
+}
+
 resources up_down_counter::self_cost() const
 {
     // Adder/subtractor: one FF and one LUT per bit plus the carry chain; the

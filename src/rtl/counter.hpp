@@ -36,6 +36,15 @@ public:
     /// Model-only helper for tests: force a value (masked to width).
     void load(std::uint64_t v) { value_ = v & (modulus_ - 1); }
 
+    /// Word-path bulk update: equivalent of `increments` enabled clock
+    /// edges, including the wrap behaviour.  Model-only shortcut -- the
+    /// RTL still steps once per bit; the batched software pipeline uses
+    /// this to commit a whole word's worth of counting at once.
+    void advance(std::uint64_t increments)
+    {
+        value_ = (value_ + increments) & (modulus_ - 1);
+    }
+
     /// Synchronous clear (per-block restart; the clear enable folds into
     /// the counter's existing LUTs).
     void clear() { value_ = 0; }
@@ -68,6 +77,13 @@ public:
     std::uint64_t max_value() const { return max_; }
     bool saturated() const { return value_ == max_; }
 
+    /// Word-path bulk update: equivalent of `increments` enabled clock
+    /// edges, sticking at the all-ones value (model-only shortcut).
+    void advance(std::uint64_t increments)
+    {
+        value_ = (increments >= max_ - value_) ? max_ : value_ + increments;
+    }
+
     /// Synchronous clear (per-block restart).
     void clear() { value_ = 0; }
 
@@ -93,6 +109,12 @@ public:
 
     /// One clock edge: adds +1 if `up`, else -1.
     void step(bool up);
+
+    /// Word-path bulk update: equivalent of a sequence of steps whose ups
+    /// minus downs equals `delta`.  The caller guarantees -- as the
+    /// per-bit path does by construction -- that no intermediate walk
+    /// value leaves the representable range (model-only shortcut).
+    void advance(std::int64_t delta);
 
     std::int64_t value() const { return value_; }
     unsigned width() const { return width_; }

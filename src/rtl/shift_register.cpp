@@ -21,6 +21,23 @@ void shift_register::shift(bool bit)
     }
 }
 
+void shift_register::shift_word(std::uint64_t word, unsigned nbits)
+{
+    if (nbits == 0 || nbits > 64) {
+        throw std::invalid_argument(
+            "shift_register::shift_word: nbits must be in [1, 64]");
+    }
+    // After shifting bits b_0..b_{nbits-1}, tap j (j cycles ago) holds
+    // b_{nbits-1-j}; taps beyond nbits keep the pre-word window shifted up.
+    const unsigned keep = nbits < length_ ? nbits : length_;
+    std::uint64_t w = nbits < length_ ? (window_ << nbits) : 0;
+    for (unsigned j = 0; j < keep; ++j) {
+        w |= ((word >> (nbits - 1 - j)) & 1u) << j;
+    }
+    window_ = w & mask_;
+    fill_ = fill_ + nbits < length_ ? fill_ + nbits : length_;
+}
+
 resources shift_register::self_cost() const
 {
     // Parallel taps force FF implementation: 1 FF per stage, no logic.

@@ -22,6 +22,11 @@ public:
     /// One clock edge: shifts `bit` in at the LSB end.
     void shift(bool bit);
 
+    /// Word-path bulk update: equivalent of `nbits` (1..64) shift() calls
+    /// where bit i of `word` is the i-th bit shifted in (LSB-first stream
+    /// order).  Model-only shortcut for the batched software pipeline.
+    void shift_word(std::uint64_t word, unsigned nbits);
+
     /// Parallel taps: bit i of the result is the value shifted in i cycles
     /// ago (LSB = newest).
     std::uint64_t window() const { return window_; }

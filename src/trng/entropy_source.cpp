@@ -12,4 +12,22 @@ bit_sequence entropy_source::generate(std::size_t n)
     return seq;
 }
 
+void entropy_source::fill_words(std::uint64_t* out, std::size_t nwords)
+{
+    for (std::size_t j = 0; j < nwords; ++j) {
+        std::uint64_t w = 0;
+        for (unsigned i = 0; i < 64; ++i) {
+            w |= static_cast<std::uint64_t>(next_bit() ? 1 : 0) << i;
+        }
+        out[j] = w;
+    }
+}
+
+std::vector<std::uint64_t> entropy_source::generate_words(std::size_t nwords)
+{
+    std::vector<std::uint64_t> words(nwords);
+    fill_words(words.data(), nwords);
+    return words;
+}
+
 } // namespace otf::trng

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace otf::trng {
 
@@ -26,11 +27,22 @@ public:
     /// Produce the next random bit (one bit per TRNG clock cycle).
     virtual bool next_bit() = 0;
 
+    /// Bulk fast lane: fill `out[0..nwords)` with packed words where bit i
+    /// of out[j] is the (64*j + i)-th bit next_bit() would have produced
+    /// (LSB-first stream order, the engine::consume_word convention).
+    /// The default assembles words from next_bit(), so every model is
+    /// automatically bit-exact across both lanes; models with a native
+    /// word generator (ideal_source) override it for speed.
+    virtual void fill_words(std::uint64_t* out, std::size_t nwords);
+
     /// Human-readable model name for reports.
     virtual std::string name() const = 0;
 
     /// Convenience: materialize the next `n` bits as a sequence.
     bit_sequence generate(std::size_t n);
+
+    /// Convenience: the next `nwords * 64` bits through fill_words().
+    std::vector<std::uint64_t> generate_words(std::size_t nwords);
 };
 
 } // namespace otf::trng

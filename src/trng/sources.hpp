@@ -19,6 +19,14 @@ class ideal_source final : public entropy_source {
 public:
     explicit ideal_source(std::uint64_t seed) : rng_(seed) {}
     bool next_bit() override { return rng_.next_bit(); }
+    /// Native word generation (one xoshiro draw per 64 bits) -- bit-exact
+    /// with the per-bit stream in any interleaving.
+    void fill_words(std::uint64_t* out, std::size_t nwords) override
+    {
+        for (std::size_t j = 0; j < nwords; ++j) {
+            out[j] = rng_.next_bits64();
+        }
+    }
     std::string name() const override { return "ideal"; }
 
 private:

@@ -59,4 +59,21 @@ bool xoshiro256ss::next_bit()
     return bit;
 }
 
+std::uint64_t xoshiro256ss::next_bits64()
+{
+    if (bits_left_ == 0) {
+        return next();
+    }
+    // Splice: the remaining buffered bits first (they are already in
+    // LSB-first consumption order), then the low bits of a fresh word.
+    const unsigned buffered = bits_left_;
+    const std::uint64_t low = bit_buffer_;
+    const std::uint64_t fresh = next();
+    const std::uint64_t word = low | (fresh << buffered);
+    bit_buffer_ = fresh >> (64 - buffered);
+    // bits_left_ stays the same: we consumed `buffered` old bits plus the
+    // low 64 - buffered fresh ones, leaving `buffered` fresh bits behind.
+    return word;
+}
+
 } // namespace otf::trng

@@ -24,6 +24,13 @@ public:
     /// One fair bit.
     bool next_bit();
 
+    /// 64 fair bits packed LSB-first in next_bit() order: bit i of the
+    /// result is exactly the bit the i-th of 64 successive next_bit()
+    /// calls would have returned, including any bits still buffered from
+    /// an earlier partial drain.  This is the generation half of the
+    /// word-at-a-time fast lane.
+    std::uint64_t next_bits64();
+
 private:
     std::uint64_t s_[4];
     std::uint64_t bit_buffer_ = 0;

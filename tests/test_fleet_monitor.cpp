@@ -1,0 +1,175 @@
+// Tests of the multi-channel fleet monitor: determinism across thread
+// counts and ingestion lanes, telemetry aggregation, per-channel alarm
+// policy, and configuration validation.
+#include "core/design_config.hpp"
+#include "core/fleet_monitor.hpp"
+#include "trng/sources.hpp"
+
+#include "support/fixed_seed.hpp"
+
+#include <gtest/gtest.h>
+#include <memory>
+#include <stdexcept>
+
+namespace {
+
+using namespace otf;
+using test::fixture_seed;
+
+hw::block_config small_design()
+{
+    // 4096-bit all-tests design: full engine coverage, fast windows.
+    return core::custom_design(
+        12, hw::test_set{}
+                .with(hw::test_id::frequency)
+                .with(hw::test_id::block_frequency)
+                .with(hw::test_id::runs)
+                .with(hw::test_id::longest_run)
+                .with(hw::test_id::non_overlapping_template)
+                .with(hw::test_id::overlapping_template)
+                .with(hw::test_id::serial)
+                .with(hw::test_id::approximate_entropy)
+                .with(hw::test_id::cumulative_sums));
+}
+
+core::fleet_config base_config(unsigned channels, unsigned threads,
+                               bool word_path = true)
+{
+    core::fleet_config cfg;
+    cfg.block = small_design();
+    cfg.block.double_buffered = true;
+    cfg.alpha = 0.01;
+    cfg.channels = channels;
+    cfg.threads = threads;
+    cfg.word_path = word_path;
+    return cfg;
+}
+
+core::fleet_monitor::source_factory ideal_factory()
+{
+    return [](unsigned c) {
+        return std::make_unique<trng::ideal_source>(fixture_seed(c));
+    };
+}
+
+TEST(fleet, report_is_independent_of_thread_count)
+{
+    const std::uint64_t windows = 6;
+    const auto baseline =
+        core::fleet_monitor(base_config(6, 1)).run(ideal_factory(),
+                                                   windows);
+    for (const unsigned threads : {2u, 3u, 6u, 16u}) {
+        const auto report = core::fleet_monitor(base_config(6, threads))
+                                .run(ideal_factory(), windows);
+        EXPECT_TRUE(baseline.same_counters(report))
+            << "thread count " << threads
+            << " changed the aggregated report";
+        ASSERT_EQ(baseline.channels.size(), report.channels.size());
+        for (std::size_t c = 0; c < baseline.channels.size(); ++c) {
+            EXPECT_EQ(baseline.channels[c], report.channels[c])
+                << "channel " << c << " at thread count " << threads;
+        }
+    }
+}
+
+TEST(fleet, word_lane_and_per_bit_lane_agree)
+{
+    const std::uint64_t windows = 4;
+    const auto word = core::fleet_monitor(base_config(4, 2, true))
+                          .run(ideal_factory(), windows);
+    const auto bit = core::fleet_monitor(base_config(4, 2, false))
+                         .run(ideal_factory(), windows);
+    EXPECT_TRUE(word.same_counters(bit));
+    ASSERT_EQ(word.channels.size(), bit.channels.size());
+    for (std::size_t c = 0; c < word.channels.size(); ++c) {
+        EXPECT_EQ(word.channels[c], bit.channels[c]) << "channel " << c;
+    }
+}
+
+TEST(fleet, totals_aggregate_the_channels)
+{
+    const std::uint64_t windows = 3;
+    const auto report = core::fleet_monitor(base_config(5, 2))
+                            .run(ideal_factory(), windows);
+    ASSERT_EQ(report.channels.size(), 5u);
+    std::uint64_t windows_sum = 0;
+    std::uint64_t failures_sum = 0;
+    std::uint64_t bits_sum = 0;
+    unsigned alarms = 0;
+    for (const auto& ch : report.channels) {
+        EXPECT_EQ(ch.windows, windows);
+        EXPECT_EQ(ch.bits, windows * small_design().n());
+        EXPECT_GT(ch.sw_cycles, 0u);
+        EXPECT_LE(ch.worst_sw_cycles, ch.sw_cycles);
+        windows_sum += ch.windows;
+        failures_sum += ch.failures;
+        bits_sum += ch.bits;
+        alarms += ch.alarm ? 1 : 0;
+    }
+    EXPECT_EQ(report.windows, windows_sum);
+    EXPECT_EQ(report.failures, failures_sum);
+    EXPECT_EQ(report.bits, bits_sum);
+    EXPECT_EQ(report.channels_in_alarm, alarms);
+    EXPECT_GT(report.seconds, 0.0);
+    EXPECT_GT(report.bits_per_second(), 0.0);
+}
+
+TEST(fleet, degraded_channel_raises_only_its_own_alarm)
+{
+    auto cfg = base_config(3, 2);
+    cfg.fail_threshold = 3;
+    cfg.policy_window = 8;
+    const auto factory =
+        [](unsigned c) -> std::unique_ptr<trng::entropy_source> {
+        if (c == 1) {
+            return std::make_unique<trng::stuck_source>(true);
+        }
+        return std::make_unique<trng::ideal_source>(fixture_seed(c));
+    };
+    const auto report =
+        core::fleet_monitor(cfg).run(factory, 8);
+    EXPECT_FALSE(report.channels[0].alarm);
+    EXPECT_TRUE(report.channels[1].alarm);
+    EXPECT_FALSE(report.channels[2].alarm);
+    EXPECT_EQ(report.channels_in_alarm, 1u);
+    EXPECT_EQ(report.channels[1].failures, 8u);
+    EXPECT_FALSE(report.channels[1].failures_by_test.empty());
+    EXPECT_EQ(report.channels[1].source_name, "stuck-at-1");
+}
+
+TEST(fleet, channel_reports_keep_channel_order)
+{
+    const auto report = core::fleet_monitor(base_config(4, 4))
+                            .run(ideal_factory(), 2);
+    for (std::size_t c = 0; c < report.channels.size(); ++c) {
+        EXPECT_EQ(report.channels[c].channel, c);
+    }
+}
+
+TEST(fleet, configuration_is_validated)
+{
+    EXPECT_THROW(core::fleet_monitor{base_config(0, 1)},
+                 std::invalid_argument);
+    auto bad_policy = base_config(2, 1);
+    bad_policy.fail_threshold = 0;
+    EXPECT_THROW(core::fleet_monitor{bad_policy}, std::invalid_argument);
+    bad_policy = base_config(2, 1);
+    bad_policy.fail_threshold = 9;
+    bad_policy.policy_window = 8;
+    EXPECT_THROW(core::fleet_monitor{bad_policy}, std::invalid_argument);
+}
+
+TEST(fleet, worker_exception_propagates_to_the_caller)
+{
+    // A replay source that runs dry mid-run throws inside a worker; the
+    // fleet must surface that instead of crashing or hanging.
+    const auto factory =
+        [](unsigned) -> std::unique_ptr<trng::entropy_source> {
+        return std::make_unique<trng::replay_source>(
+            bit_sequence(1024, false)); // far less than one window
+    };
+    core::fleet_monitor fleet(base_config(2, 2));
+    EXPECT_THROW(fleet.run(factory, 1), std::exception);
+}
+
+} // namespace

@@ -1,0 +1,420 @@
+// Word-lane equivalence suite: the per-bit path is the oracle, and every
+// batched fast lane must be bit-exact against it -- engine counters through
+// the whole register map, health-test engines, bulk word generation, and
+// the monitor's end-to-end verdicts.
+#include "core/design_config.hpp"
+#include "core/monitor.hpp"
+#include "hw/health_tests.hpp"
+#include "hw/testing_block.hpp"
+#include "trng/sources.hpp"
+#include "trng/xoshiro.hpp"
+
+#include "support/fixed_seed.hpp"
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace otf;
+using core::paper_design;
+using core::tier;
+using test::fixture_seed;
+using test::kCanonicalSeed;
+
+// ---------------------------------------------------------------------------
+// Sequence classes that stress different batching corner cases.
+// ---------------------------------------------------------------------------
+
+bit_sequence random_sequence(std::uint64_t seed, std::uint64_t n)
+{
+    trng::ideal_source src(seed);
+    return src.generate(n);
+}
+
+bit_sequence alternating_sequence(std::uint64_t n)
+{
+    bit_sequence seq;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        seq.push_back((i & 1) != 0);
+    }
+    return seq;
+}
+
+// Repeats the non-overlapping test's 9-bit template so matches straddle
+// word and block boundaries.
+bit_sequence template_stress_sequence(std::uint64_t n)
+{
+    const bit_sequence pattern = bit_sequence::from_string("000000001");
+    bit_sequence seq;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        seq.push_back(pattern[i % pattern.size()]);
+    }
+    return seq;
+}
+
+std::vector<bit_sequence> stress_sequences(const hw::block_config& cfg)
+{
+    return {random_sequence(kCanonicalSeed, cfg.n()),
+            random_sequence(fixture_seed(1), cfg.n()),
+            bit_sequence(cfg.n(), true),
+            bit_sequence(cfg.n(), false),
+            alternating_sequence(cfg.n()),
+            template_stress_sequence(cfg.n())};
+}
+
+void expect_identical_registers(const hw::testing_block& oracle,
+                                const hw::testing_block& fast,
+                                const std::string& context)
+{
+    ASSERT_EQ(oracle.registers().size(), fast.registers().size());
+    for (std::size_t i = 0; i < oracle.registers().size(); ++i) {
+        EXPECT_EQ(oracle.registers().read_raw(i),
+                  fast.registers().read_raw(i))
+            << context << ": register "
+            << oracle.registers().entry(i).name;
+    }
+    EXPECT_EQ(oracle.bits_consumed(), fast.bits_consumed()) << context;
+    EXPECT_EQ(oracle.done(), fast.done()) << context;
+}
+
+// ---------------------------------------------------------------------------
+// Testing block: run() vs run_words() over every paper design point.
+// ---------------------------------------------------------------------------
+
+class word_path_designs
+    : public ::testing::TestWithParam<hw::block_config> {};
+
+TEST_P(word_path_designs, run_words_matches_run_bit_exactly)
+{
+    const hw::block_config cfg = GetParam();
+    for (const bit_sequence& seq : stress_sequences(cfg)) {
+        hw::testing_block oracle(cfg);
+        hw::testing_block fast(cfg);
+        oracle.run(seq);
+        fast.run_words(seq.to_words());
+        expect_identical_registers(oracle, fast, cfg.name);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    all_paper_designs, word_path_designs,
+    ::testing::ValuesIn(core::all_paper_designs()),
+    [](const ::testing::TestParamInfo<hw::block_config>& info) {
+        std::string name = info.param.name;
+        for (char& c : name) {
+            if (c == '=' || c == ' ') {
+                c = '_';
+            }
+        }
+        return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Option coverage: marginal transfer and double buffering.
+// ---------------------------------------------------------------------------
+
+TEST(word_path, marginal_transfer_configuration_is_bit_exact)
+{
+    hw::block_config cfg = paper_design(16, tier::high);
+    cfg.serial_transfer_marginals = true;
+    const bit_sequence seq = random_sequence(fixture_seed(2), cfg.n());
+    hw::testing_block oracle(cfg);
+    hw::testing_block fast(cfg);
+    oracle.run(seq);
+    fast.run_words(seq.to_words());
+    expect_identical_registers(oracle, fast, "marginal transfer");
+}
+
+TEST(word_path, double_buffered_configuration_is_bit_exact)
+{
+    hw::block_config cfg = paper_design(16, tier::high);
+    cfg.double_buffered = true;
+    const bit_sequence seq = random_sequence(fixture_seed(3), cfg.n());
+    hw::testing_block oracle(cfg);
+    hw::testing_block fast(cfg);
+    oracle.run(seq);
+    fast.run_words(seq.to_words());
+    expect_identical_registers(oracle, fast, "double buffered");
+
+    // Second window through each lane after restart: the latched first
+    // window must be replaced by identical second-window results.
+    const bit_sequence seq2 = random_sequence(fixture_seed(4), cfg.n());
+    oracle.restart();
+    fast.restart();
+    oracle.run(seq2);
+    fast.run_words(seq2.to_words());
+    expect_identical_registers(oracle, fast, "double buffered window 2");
+}
+
+// ---------------------------------------------------------------------------
+// Irregular chunking: feed_word with ragged nbits splits.
+// ---------------------------------------------------------------------------
+
+TEST(word_path, ragged_chunk_sizes_match_per_bit)
+{
+    const hw::block_config cfg = paper_design(16, tier::high);
+    const bit_sequence seq = random_sequence(fixture_seed(5), cfg.n());
+
+    hw::testing_block oracle(cfg);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        oracle.feed(seq[i]);
+    }
+    oracle.finish();
+
+    hw::testing_block fast(cfg);
+    trng::xoshiro256ss chunk_rng(fixture_seed(6));
+    std::size_t pos = 0;
+    while (pos < seq.size()) {
+        std::size_t take = 1 + chunk_rng.next() % 64;
+        if (take > seq.size() - pos) {
+            take = seq.size() - pos;
+        }
+        std::uint64_t word = 0;
+        for (std::size_t i = 0; i < take; ++i) {
+            word |= static_cast<std::uint64_t>(seq[pos + i] ? 1 : 0) << i;
+        }
+        fast.feed_word(word, static_cast<unsigned>(take));
+        pos += take;
+    }
+    fast.finish();
+    expect_identical_registers(oracle, fast, "ragged chunks");
+}
+
+TEST(word_path, feed_word_rejects_bad_sizes)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    EXPECT_THROW(block.feed_word(0, 0), std::invalid_argument);
+    EXPECT_THROW(block.feed_word(0, 65), std::invalid_argument);
+    for (int i = 0; i < 2; ++i) {
+        block.feed_word(0, 64); // n = 128: two full words
+    }
+    EXPECT_THROW(block.feed_word(0, 1), std::logic_error);
+}
+
+TEST(word_path, run_words_rejects_wrong_buffer_size)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    EXPECT_THROW(block.run_words(std::vector<std::uint64_t>(3)),
+                 std::invalid_argument);
+}
+
+TEST(word_path, shared_window_engine_must_override_consume_word)
+{
+    // An engine that declares it watches the shared template window but
+    // inherits the per-bit consume_word default would silently read a
+    // stale window on the word lane; the base class refuses loudly.
+    class lazy_engine final : public hw::engine {
+    public:
+        lazy_engine() : hw::engine("lazy") {}
+        void consume(bool, std::uint64_t) override {}
+        bool watches_shared_window() const override { return true; }
+        void add_registers(hw::register_map&) const override {}
+
+    protected:
+        rtl::resources self_cost() const override { return {}; }
+        void self_reset() override {}
+    };
+    lazy_engine engine;
+    engine.consume(true, 0); // per-bit lane stays usable
+    EXPECT_THROW(engine.consume_word(0, 64, 0), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// SP 800-90B health-test engines.
+// ---------------------------------------------------------------------------
+
+void drive_health_pair(const bit_sequence& seq, unsigned chunk_seed,
+                       hw::repetition_count_hw& rct_oracle,
+                       hw::repetition_count_hw& rct_fast,
+                       hw::adaptive_proportion_hw& apt_oracle,
+                       hw::adaptive_proportion_hw& apt_fast)
+{
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        rct_oracle.consume(seq[i], i);
+        apt_oracle.consume(seq[i], i);
+    }
+    trng::xoshiro256ss chunk_rng(chunk_seed);
+    std::size_t pos = 0;
+    while (pos < seq.size()) {
+        std::size_t take = 1 + chunk_rng.next() % 64;
+        if (take > seq.size() - pos) {
+            take = seq.size() - pos;
+        }
+        std::uint64_t word = 0;
+        for (std::size_t i = 0; i < take; ++i) {
+            word |= static_cast<std::uint64_t>(seq[pos + i] ? 1 : 0) << i;
+        }
+        rct_fast.consume_word(word, static_cast<unsigned>(take), pos);
+        apt_fast.consume_word(word, static_cast<unsigned>(take), pos);
+        pos += take;
+    }
+}
+
+TEST(word_path, health_tests_match_per_bit_on_random_stream)
+{
+    const bit_sequence seq = random_sequence(fixture_seed(7), 1 << 14);
+    hw::repetition_count_hw rct_oracle(21), rct_fast(21);
+    hw::adaptive_proportion_hw apt_oracle(10, 700), apt_fast(10, 700);
+    drive_health_pair(seq, 11, rct_oracle, rct_fast, apt_oracle, apt_fast);
+    EXPECT_EQ(rct_oracle.current_run(), rct_fast.current_run());
+    EXPECT_EQ(rct_oracle.longest_run(), rct_fast.longest_run());
+    EXPECT_EQ(rct_oracle.alarm(), rct_fast.alarm());
+    EXPECT_EQ(apt_oracle.current_count(), apt_fast.current_count());
+    EXPECT_EQ(apt_oracle.alarm(), apt_fast.alarm());
+}
+
+TEST(word_path, health_tests_match_per_bit_on_sticky_stream)
+{
+    // Sticky source: long equal runs trip the RCT on both lanes alike
+    // (runs average ~33 bits, far beyond the cutoff of 21; the APT stays
+    // quiet because the 0-runs and 1-runs balance within its window).
+    trng::markov_source src(fixture_seed(8), 0.97);
+    const bit_sequence seq = src.generate(1 << 12);
+    hw::repetition_count_hw rct_oracle(21), rct_fast(21);
+    hw::adaptive_proportion_hw apt_oracle(10, 700), apt_fast(10, 700);
+    drive_health_pair(seq, 13, rct_oracle, rct_fast, apt_oracle, apt_fast);
+    EXPECT_EQ(rct_oracle.alarm(), rct_fast.alarm());
+    EXPECT_TRUE(rct_fast.alarm());
+    EXPECT_EQ(rct_oracle.longest_run(), rct_fast.longest_run());
+    EXPECT_EQ(apt_oracle.current_count(), apt_fast.current_count());
+    EXPECT_EQ(apt_oracle.alarm(), apt_fast.alarm());
+}
+
+TEST(word_path, health_tests_match_per_bit_on_stuck_stream)
+{
+    // Total failure: every bit matches the window reference, so the APT
+    // must alarm on both lanes (and the RCT trivially does too).
+    const bit_sequence seq(1 << 12, true);
+    hw::repetition_count_hw rct_oracle(21), rct_fast(21);
+    hw::adaptive_proportion_hw apt_oracle(10, 700), apt_fast(10, 700);
+    drive_health_pair(seq, 17, rct_oracle, rct_fast, apt_oracle, apt_fast);
+    EXPECT_EQ(rct_oracle.alarm(), rct_fast.alarm());
+    EXPECT_TRUE(rct_fast.alarm());
+    EXPECT_EQ(rct_oracle.longest_run(), rct_fast.longest_run());
+    EXPECT_EQ(rct_oracle.current_run(), rct_fast.current_run());
+    EXPECT_EQ(apt_oracle.current_count(), apt_fast.current_count());
+    EXPECT_EQ(apt_oracle.alarm(), apt_fast.alarm());
+    EXPECT_TRUE(apt_fast.alarm());
+}
+
+// ---------------------------------------------------------------------------
+// Bulk word generation.
+// ---------------------------------------------------------------------------
+
+TEST(word_path, xoshiro_next_bits64_matches_bit_stream)
+{
+    trng::xoshiro256ss bits(kCanonicalSeed);
+    trng::xoshiro256ss words(kCanonicalSeed);
+    // Misalign the word generator's internal buffer first.
+    for (int i = 0; i < 13; ++i) {
+        EXPECT_EQ(bits.next_bit(), words.next_bit());
+    }
+    for (int w = 0; w < 8; ++w) {
+        const std::uint64_t word = words.next_bits64();
+        for (unsigned i = 0; i < 64; ++i) {
+            ASSERT_EQ(bits.next_bit(), ((word >> i) & 1u) != 0)
+                << "word " << w << " bit " << i;
+        }
+    }
+    // And bits drawn after the bulk run stay in sync.
+    for (int i = 0; i < 13; ++i) {
+        EXPECT_EQ(bits.next_bit(), words.next_bit());
+    }
+}
+
+TEST(word_path, ideal_source_fill_words_matches_bit_stream)
+{
+    trng::ideal_source bit_src(fixture_seed(9));
+    trng::ideal_source word_src(fixture_seed(9));
+    const auto words = word_src.generate_words(16);
+    const bit_sequence seq = bit_src.generate(16 * 64);
+    EXPECT_EQ(bit_sequence::from_words(words, 16 * 64), seq);
+}
+
+TEST(word_path, default_fill_words_matches_bit_stream)
+{
+    // biased_source does not override fill_words: the base-class
+    // assembler must still be bit-exact.
+    trng::biased_source bit_src(fixture_seed(10), 0.3);
+    trng::biased_source word_src(fixture_seed(10), 0.3);
+    const auto words = word_src.generate_words(4);
+    const bit_sequence seq = bit_src.generate(4 * 64);
+    EXPECT_EQ(bit_sequence::from_words(words, 4 * 64), seq);
+}
+
+TEST(word_path, bit_sequence_word_round_trip)
+{
+    const bit_sequence seq = random_sequence(fixture_seed(11), 1000);
+    const auto words = seq.to_words();
+    EXPECT_EQ(words.size(), 16u); // ceil(1000 / 64)
+    EXPECT_EQ(bit_sequence::from_words(words, 1000), seq);
+    EXPECT_THROW(bit_sequence::from_words(words, 1025), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor: end-to-end verdict equivalence and length validation.
+// ---------------------------------------------------------------------------
+
+TEST(word_path, monitor_word_lane_produces_identical_verdicts)
+{
+    const hw::block_config cfg = paper_design(16, tier::high);
+    core::monitor oracle(cfg, 0.01);
+    core::monitor fast(cfg, 0.01);
+    trng::ideal_source bit_src(fixture_seed(12));
+    trng::ideal_source word_src(fixture_seed(12));
+    for (int w = 0; w < 3; ++w) {
+        const auto a = oracle.test_window(bit_src);
+        const auto b = fast.test_window_words(word_src);
+        ASSERT_EQ(a.software.verdicts.size(), b.software.verdicts.size());
+        EXPECT_EQ(a.software.all_pass, b.software.all_pass);
+        for (std::size_t i = 0; i < a.software.verdicts.size(); ++i) {
+            EXPECT_EQ(a.software.verdicts[i].pass,
+                      b.software.verdicts[i].pass);
+            EXPECT_EQ(a.software.verdicts[i].statistic,
+                      b.software.verdicts[i].statistic)
+                << a.software.verdicts[i].name << " window " << w;
+        }
+        EXPECT_EQ(a.sw_cycles, b.sw_cycles);
+    }
+}
+
+TEST(word_path, monitor_sequence_lanes_agree)
+{
+    const hw::block_config cfg = paper_design(7, tier::medium);
+    const bit_sequence seq = random_sequence(fixture_seed(13), cfg.n());
+    core::monitor oracle(cfg, 0.01);
+    core::monitor fast(cfg, 0.01);
+    const auto a = oracle.test_sequence(seq);
+    const auto b = fast.test_sequence_words(seq.to_words());
+    EXPECT_EQ(a.software.all_pass, b.software.all_pass);
+    ASSERT_EQ(a.software.verdicts.size(), b.software.verdicts.size());
+    for (std::size_t i = 0; i < a.software.verdicts.size(); ++i) {
+        EXPECT_EQ(a.software.verdicts[i].statistic,
+                  b.software.verdicts[i].statistic);
+    }
+}
+
+TEST(word_path, monitor_rejects_wrong_length_with_clear_error)
+{
+    core::monitor mon(paper_design(7, tier::light), 0.01);
+    try {
+        mon.test_sequence(bit_sequence(100, false));
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("128"), std::string::npos)
+            << "message should name the expected length: " << what;
+        EXPECT_NE(what.find("100"), std::string::npos)
+            << "message should name the actual length: " << what;
+    }
+    // Too long is rejected up front as well, not mid-stream.
+    EXPECT_THROW(mon.test_sequence(bit_sequence(256, false)),
+                 std::invalid_argument);
+    EXPECT_THROW(mon.test_sequence_words(std::vector<std::uint64_t>(3)),
+                 std::invalid_argument);
+}
+
+} // namespace
