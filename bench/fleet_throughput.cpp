@@ -17,8 +17,11 @@
 //      count; the report prints hardware_concurrency for context).
 //
 // Timing only -- equivalence is proven separately by tests/test_word_path
-// and test_fleet_monitor.
+// and test_fleet_monitor.  Results are also written to BENCH_fleet.json
+// (schema "otf-fleet-bench/1", see docs/BENCHMARKS.md; OTF_BENCH_DIR
+// overrides the output directory) so CI can archive the perf trajectory.
 #include "base/env.hpp"
+#include "base/json.hpp"
 #include "core/design_config.hpp"
 #include "core/fleet_monitor.hpp"
 #include "core/monitor.hpp"
@@ -27,8 +30,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 using namespace otf;
 
@@ -97,6 +103,12 @@ int main()
     // 3. Fleet scaling with the word lane.
     std::printf("%-10s %-8s %12s %12s\n", "channels", "threads",
                 "Mbit/s", "scaling");
+    struct scaling_point {
+        unsigned channels;
+        double mbps;
+        double scaling;
+    };
+    std::vector<scaling_point> scaling;
     double one_channel_mbps = 0.0;
     for (unsigned channels = 1; channels <= max_channels; channels *= 2) {
         core::fleet_config cfg;
@@ -119,6 +131,40 @@ int main()
                              std::max(1u,
                                       std::thread::hardware_concurrency())),
                     mbps, mbps / one_channel_mbps);
+        scaling.push_back({channels, mbps, mbps / one_channel_mbps});
     }
+
+    json_writer json;
+    json.begin_object();
+    json.value("schema", "otf-fleet-bench/1");
+    json.value("smoke", smoke_mode());
+    json.value("design", design.name);
+    json.value("window_bits", n);
+    json.value("windows_per_channel", windows);
+    json.value("hardware_concurrency",
+               std::thread::hardware_concurrency());
+    json.value("per_bit_mbps", bit_mbps);
+    json.value("word_mbps", word_mbps);
+    json.value("word_speedup", word_mbps / bit_mbps);
+    json.begin_array("fleet");
+    for (const scaling_point& p : scaling) {
+        json.begin_object();
+        json.value("channels", p.channels);
+        json.value("mbps", p.mbps);
+        json.value("scaling", p.scaling);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+
+    const std::string path = bench_output_path("BENCH_fleet.json");
+    std::ofstream out(path);
+    out << json.str();
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
     return 0;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <string>
 
 namespace otf {
 
@@ -23,6 +24,18 @@ template <class T>
 T smoke_scaled(T full, T reduced)
 {
     return smoke_mode() ? reduced : full;
+}
+
+/// Where a bench writes its BENCH_*.json telemetry: OTF_BENCH_DIR when
+/// set (CI points it at the build directory and archives the files),
+/// otherwise the current working directory.
+inline std::string bench_output_path(const char* filename)
+{
+    const char* dir = std::getenv("OTF_BENCH_DIR");
+    if (dir == nullptr || dir[0] == '\0') {
+        return filename;
+    }
+    return std::string(dir) + "/" + filename;
 }
 
 } // namespace otf

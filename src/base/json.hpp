@@ -1,0 +1,198 @@
+// Minimal JSON writer for the machine-readable bench telemetry
+// (BENCH_*.json).
+//
+// The benches emit perf/detection numbers that CI archives and future PRs
+// diff; the schema is documented in docs/BENCHMARKS.md.  A dependency-free
+// writer is all that needs: objects, arrays, strings (escaped), integers,
+// doubles and booleans, with commas and indentation handled by a small
+// context stack.  There is deliberately no parser -- the repository only
+// produces this format.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace otf {
+
+class json_writer {
+public:
+    /// Begin a JSON object; `key` is required inside an object context.
+    void begin_object(std::string_view key = {})
+    {
+        open(key, '{', frame::object);
+    }
+    /// Begin a JSON array; `key` is required inside an object context.
+    void begin_array(std::string_view key = {})
+    {
+        open(key, '[', frame::array);
+    }
+    void end_object() { close('}', frame::object); }
+    void end_array() { close(']', frame::array); }
+
+    void value(std::string_view key, std::string_view s)
+    {
+        item(key);
+        append_string(s);
+    }
+    void value(std::string_view key, const char* s)
+    {
+        value(key, std::string_view(s));
+    }
+    void value(std::string_view key, bool b)
+    {
+        item(key);
+        out_ += b ? "true" : "false";
+    }
+    void value(std::string_view key, std::uint64_t v)
+    {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+        item(key);
+        out_ += buf;
+    }
+    void value(std::string_view key, std::int64_t v)
+    {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%" PRId64, v);
+        item(key);
+        out_ += buf;
+    }
+    void value(std::string_view key, unsigned v)
+    {
+        value(key, static_cast<std::uint64_t>(v));
+    }
+    void value(std::string_view key, int v)
+    {
+        value(key, static_cast<std::int64_t>(v));
+    }
+    void value(std::string_view key, double d)
+    {
+        item(key);
+        if (!std::isfinite(d)) {
+            out_ += "null"; // JSON has no NaN/Inf
+            return;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.12g", d);
+        out_ += buf;
+    }
+
+    /// The finished document.  Throws unless every container was closed.
+    std::string str() const
+    {
+        if (!stack_.empty()) {
+            throw std::logic_error("json_writer: unclosed container");
+        }
+        return out_ + "\n";
+    }
+
+private:
+    enum class frame : std::uint8_t { object, array };
+
+    void open(std::string_view key, char brace, frame f)
+    {
+        item(key);
+        out_ += brace;
+        stack_.push_back({f, false});
+    }
+
+    void close(char brace, frame f)
+    {
+        if (stack_.empty() || stack_.back().kind != f) {
+            throw std::logic_error("json_writer: mismatched close");
+        }
+        const bool had_items = stack_.back().has_items;
+        stack_.pop_back();
+        if (had_items) {
+            newline();
+        }
+        out_ += brace;
+    }
+
+    /// Comma/indent bookkeeping plus the `"key": ` prefix where required.
+    void item(std::string_view key)
+    {
+        if (stack_.empty()) {
+            if (!out_.empty()) {
+                throw std::logic_error("json_writer: multiple roots");
+            }
+            if (!key.empty()) {
+                throw std::logic_error("json_writer: key at root");
+            }
+            return;
+        }
+        auto& top = stack_.back();
+        if (top.kind == frame::object && key.empty()) {
+            throw std::logic_error("json_writer: object member needs a key");
+        }
+        if (top.kind == frame::array && !key.empty()) {
+            throw std::logic_error("json_writer: array element has a key");
+        }
+        if (top.has_items) {
+            out_ += ',';
+        }
+        top.has_items = true;
+        newline();
+        if (!key.empty()) {
+            append_string(key);
+            out_ += ": ";
+        }
+    }
+
+    void newline()
+    {
+        out_ += '\n';
+        out_.append(2 * stack_.size(), ' ');
+    }
+
+    void append_string(std::string_view s)
+    {
+        out_ += '"';
+        for (const char c : s) {
+            switch (c) {
+            case '"':
+                out_ += "\\\"";
+                break;
+            case '\\':
+                out_ += "\\\\";
+                break;
+            case '\n':
+                out_ += "\\n";
+                break;
+            case '\t':
+                out_ += "\\t";
+                break;
+            case '\r':
+                out_ += "\\r";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    struct level {
+        frame kind;
+        bool has_items;
+    };
+
+    std::string out_;
+    std::vector<level> stack_;
+};
+
+} // namespace otf

@@ -116,8 +116,14 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
     std::vector<std::unique_ptr<channel_state>> states;
     states.reserve(cfg_.channels);
     for (unsigned c = 0; c < cfg_.channels; ++c) {
-        states.push_back(std::make_unique<channel_state>(cfg_, cv_,
-                                                         make_source(c)));
+        auto source = make_source(c);
+        if (!source) {
+            throw std::invalid_argument(
+                "fleet_monitor: source factory returned null for channel "
+                + std::to_string(c));
+        }
+        states.push_back(std::make_unique<channel_state>(
+            cfg_, cv_, std::move(source)));
         states.back()->report.channel = c;
     }
 
@@ -141,7 +147,16 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
         try {
             for (unsigned c = next.fetch_add(1); c < cfg_.channels;
                  c = next.fetch_add(1)) {
-                states[c]->run_windows(cfg_, windows_per_channel);
+                try {
+                    states[c]->run_windows(cfg_, windows_per_channel);
+                } catch (const std::exception& e) {
+                    // Name the offending channel: "a source threw" is
+                    // undebuggable in an N-channel fleet without it.
+                    throw std::runtime_error(
+                        "fleet_monitor: channel " + std::to_string(c)
+                        + " (source \"" + states[c]->report.source_name
+                        + "\"): " + e.what());
+                }
             }
         } catch (...) {
             const std::lock_guard<std::mutex> lock(failure_mutex);

@@ -123,6 +123,11 @@ public:
 
     /// \brief Run every channel for `windows_per_channel` windows and
     /// aggregate.  Blocks until the fleet is done.
+    /// \throws std::invalid_argument naming the channel index when the
+    /// factory returns null
+    /// \throws std::runtime_error naming the channel index and source of
+    /// a channel whose pipeline throws mid-run (the first failing channel
+    /// in claim order; the fleet drains and joins before rethrowing)
     fleet_report run(const source_factory& make_source,
                      std::uint64_t windows_per_channel);
 

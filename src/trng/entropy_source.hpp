@@ -24,24 +24,32 @@ class entropy_source {
 public:
     virtual ~entropy_source() = default;
 
-    /// Produce the next random bit (one bit per TRNG clock cycle).
+    /// \brief Produce the next random bit (one bit per TRNG clock cycle).
     virtual bool next_bit() = 0;
 
-    /// Bulk fast lane: fill `out[0..nwords)` with packed words where bit i
-    /// of out[j] is the (64*j + i)-th bit next_bit() would have produced
-    /// (LSB-first stream order, the engine::consume_word convention).
+    /// \brief Bulk fast lane: fill `out[0..nwords)` with packed words
+    /// where bit i of out[j] is the (64*j + i)-th bit next_bit() would
+    /// have produced (LSB-first stream order, the engine::consume_word
+    /// convention).
+    ///
     /// The default assembles words from next_bit(), so every model is
     /// automatically bit-exact across both lanes; models with a native
-    /// word generator (ideal_source) override it for speed.
+    /// word generator (ideal_source, the source_model decorators)
+    /// override it for speed.
+    /// \param out    destination buffer of at least `nwords` words
+    /// \param nwords number of 64-bit words (= 64 * nwords stream bits)
     virtual void fill_words(std::uint64_t* out, std::size_t nwords);
 
-    /// Human-readable model name for reports.
+    /// \brief Human-readable model name for reports.
     virtual std::string name() const = 0;
 
-    /// Convenience: materialize the next `n` bits as a sequence.
+    /// \brief Convenience: materialize the next `n` bits as a sequence.
+    /// \param n number of bits to draw through next_bit()
     bit_sequence generate(std::size_t n);
 
-    /// Convenience: the next `nwords * 64` bits through fill_words().
+    /// \brief Convenience: the next `nwords * 64` bits through
+    /// fill_words().
+    /// \param nwords number of 64-bit words to generate
     std::vector<std::uint64_t> generate_words(std::size_t nwords);
 };
 

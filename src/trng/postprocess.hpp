@@ -22,6 +22,9 @@ namespace otf::trng {
 /// at the cost of a data-dependent output rate (<= 1/4 of the input).
 class von_neumann_source final : public entropy_source {
 public:
+    /// \brief Wrap a raw source in the corrector.
+    /// \param raw the unconditioned source (ownership transfers)
+    /// \throws std::invalid_argument when `raw` is null
     explicit von_neumann_source(std::unique_ptr<entropy_source> raw);
 
     bool next_bit() override;
@@ -41,6 +44,10 @@ private:
 /// predictably.
 class xor_decimator_source final : public entropy_source {
 public:
+    /// \brief Wrap a raw source in the decimator.
+    /// \param raw    the unconditioned source (ownership transfers)
+    /// \param factor raw bits XOR-folded per output bit (>= 2)
+    /// \throws std::invalid_argument for a null source or factor < 2
     xor_decimator_source(std::unique_ptr<entropy_source> raw,
                          unsigned factor);
 
@@ -60,6 +67,11 @@ private:
 /// health tests must tap the raw signal.
 class lfsr_whitener_source final : public entropy_source {
 public:
+    /// \brief Wrap a raw source in the whitener.
+    /// \param raw        the unconditioned source (ownership transfers)
+    /// \param seed_state initial LFSR state (the absorbing all-zero
+    /// state is coerced to 1)
+    /// \throws std::invalid_argument when `raw` is null
     lfsr_whitener_source(std::unique_ptr<entropy_source> raw,
                          std::uint32_t seed_state = 0xB5AD4ECEu);
 

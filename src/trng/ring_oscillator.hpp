@@ -37,11 +37,17 @@ public:
         double jitter_per_period = 0.016;
     };
 
+    /// \brief Build the oscillator model.
+    /// \param seed   experiment seed (drives the phase-jitter walk)
+    /// \param params oscillator geometry and jitter (see `parameters`)
+    /// \throws std::invalid_argument for ratio <= 1 or negative jitter
     ring_oscillator_source(std::uint64_t seed, parameters params);
 
-    /// Apply or release the injection attack.  `strength` in [0, 1]:
-    /// 0 = no attack; 1 = full lock (no jitter accumulates and the ratio is
-    /// pulled to the nearest integer, so the same phase is sampled forever).
+    /// \brief Apply or release the injection attack.
+    /// \param strength lock strength in [0, 1]: 0 = no attack; 1 = full
+    /// lock (no jitter accumulates and the ratio is pulled to the nearest
+    /// integer, so the same phase is sampled forever)
+    /// \throws std::invalid_argument outside [0, 1]
     void set_injection(double strength);
     double injection() const { return injection_; }
 

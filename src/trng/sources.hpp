@@ -17,6 +17,9 @@ namespace otf::trng {
 /// Ideal source: independent fair bits from xoshiro256**.
 class ideal_source final : public entropy_source {
 public:
+    /// \brief Seed the generator (any 64-bit value; expanded through
+    /// splitmix64 into a full xoshiro256** state).
+    /// \param seed experiment seed -- equal seeds give equal streams
     explicit ideal_source(std::uint64_t seed) : rng_(seed) {}
     bool next_bit() override { return rng_.next_bit(); }
     /// Native word generation (one xoshiro draw per 64 bits) -- bit-exact
@@ -38,6 +41,10 @@ private:
 /// Models supply-voltage manipulation that shifts the sampling threshold.
 class biased_source final : public entropy_source {
 public:
+    /// \brief Build a biased source.
+    /// \param seed  experiment seed
+    /// \param p_one probability of a 1 bit
+    /// \throws std::invalid_argument unless p_one is in [0, 1]
     biased_source(std::uint64_t seed, double p_one);
     bool next_bit() override;
     std::string name() const override;
@@ -56,6 +63,10 @@ private:
 /// can see the defect -- the case for testing many properties at once.
 class markov_source final : public entropy_source {
 public:
+    /// \brief Build a first-order Markov source.
+    /// \param seed        experiment seed
+    /// \param persistence P[b_i == b_{i-1}]; 0.5 is independent
+    /// \throws std::invalid_argument unless persistence is in [0, 1]
     markov_source(std::uint64_t seed, double persistence);
     bool next_bit() override;
     std::string name() const override;
@@ -73,6 +84,7 @@ private:
 /// Models a cut signal wire -- the trivial attack from Section II-B.
 class stuck_source final : public entropy_source {
 public:
+    /// \param value the constant level the dead source emits
     explicit stuck_source(bool value) : value_(value) {}
     bool next_bit() override { return value_; }
     std::string name() const override
@@ -90,6 +102,8 @@ private:
 /// deterministic and periodic while remaining roughly balanced.
 class periodic_source final : public entropy_source {
 public:
+    /// \param pattern the repeated waveform (non-empty)
+    /// \throws std::invalid_argument on an empty pattern
     explicit periodic_source(bit_sequence pattern);
     bool next_bit() override;
     std::string name() const override { return "periodic"; }
@@ -105,6 +119,12 @@ private:
 /// Models intermittent contact faults and transient environmental upsets.
 class burst_failure_source final : public entropy_source {
 public:
+    /// \brief Build a burst-failure source.
+    /// \param seed         experiment seed
+    /// \param burst_rate   per-bit probability that a stuck run begins
+    /// \param burst_length length of each stuck run in bits (> 0)
+    /// \throws std::invalid_argument for a rate outside [0, 1] or a
+    /// zero burst length
     burst_failure_source(std::uint64_t seed, double burst_rate,
                          std::size_t burst_length);
     bool next_bit() override;
@@ -125,6 +145,12 @@ private:
 /// ones that catch it early.
 class aging_source final : public entropy_source {
 public:
+    /// \brief Build an aging source.
+    /// \param seed          experiment seed
+    /// \param final_bias    P[1] the device ends its life at
+    /// \param lifetime_bits bits over which the drift completes (> 0)
+    /// \throws std::invalid_argument for a bias outside [0, 1] or a
+    /// zero lifetime
     aging_source(std::uint64_t seed, double final_bias,
                  std::uint64_t lifetime_bits);
     bool next_bit() override;
@@ -142,6 +168,8 @@ private:
 /// throws when exhausted.
 class replay_source final : public entropy_source {
 public:
+    /// \param bits the recorded trace; next_bit() throws
+    /// std::out_of_range once it is exhausted
     explicit replay_source(bit_sequence bits);
     bool next_bit() override;
     std::string name() const override { return "replay"; }

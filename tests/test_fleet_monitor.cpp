@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 namespace {
 
@@ -159,17 +160,48 @@ TEST(fleet, configuration_is_validated)
     EXPECT_THROW(core::fleet_monitor{bad_policy}, std::invalid_argument);
 }
 
-TEST(fleet, worker_exception_propagates_to_the_caller)
+TEST(fleet, worker_exception_propagates_naming_the_channel)
 {
     // A replay source that runs dry mid-run throws inside a worker; the
-    // fleet must surface that instead of crashing or hanging.
+    // fleet must surface that instead of crashing or hanging, and the
+    // message must name the offending channel and its source.
     const auto factory =
-        [](unsigned) -> std::unique_ptr<trng::entropy_source> {
-        return std::make_unique<trng::replay_source>(
-            bit_sequence(1024, false)); // far less than one window
+        [](unsigned c) -> std::unique_ptr<trng::entropy_source> {
+        if (c == 1) {
+            return std::make_unique<trng::replay_source>(
+                bit_sequence(1024, false)); // far less than one window
+        }
+        return std::make_unique<trng::ideal_source>(fixture_seed(c));
     };
-    core::fleet_monitor fleet(base_config(2, 2));
-    EXPECT_THROW(fleet.run(factory, 1), std::exception);
+    core::fleet_monitor fleet(base_config(3, 1));
+    try {
+        (void)fleet.run(factory, 1);
+        FAIL() << "expected the replay exhaustion to propagate";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("channel 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("replay"), std::string::npos) << what;
+    }
+}
+
+TEST(fleet, null_source_factory_result_names_the_channel)
+{
+    const auto factory =
+        [](unsigned c) -> std::unique_ptr<trng::entropy_source> {
+        if (c == 2) {
+            return nullptr;
+        }
+        return std::make_unique<trng::ideal_source>(fixture_seed(c));
+    };
+    core::fleet_monitor fleet(base_config(4, 2));
+    try {
+        (void)fleet.run(factory, 1);
+        FAIL() << "expected the null source to be rejected";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("channel 2"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 } // namespace

@@ -1,0 +1,92 @@
+// Tests of the minimal JSON writer behind the BENCH_*.json telemetry:
+// structure, comma/indent bookkeeping, escaping, numeric formatting and
+// misuse detection.
+#include "base/json.hpp"
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <stdexcept>
+
+namespace {
+
+using otf::json_writer;
+
+TEST(json, nested_structure_round_trips)
+{
+    json_writer w;
+    w.begin_object();
+    w.value("schema", "test/1");
+    w.value("count", std::uint64_t{42});
+    w.value("ratio", 0.5);
+    w.value("ok", true);
+    w.begin_array("items");
+    w.begin_object();
+    w.value("name", "a");
+    w.end_object();
+    w.value({}, "bare");
+    w.end_array();
+    w.begin_object("empty");
+    w.end_object();
+    w.end_object();
+    EXPECT_EQ(w.str(), "{\n"
+                       "  \"schema\": \"test/1\",\n"
+                       "  \"count\": 42,\n"
+                       "  \"ratio\": 0.5,\n"
+                       "  \"ok\": true,\n"
+                       "  \"items\": [\n"
+                       "    {\n"
+                       "      \"name\": \"a\"\n"
+                       "    },\n"
+                       "    \"bare\"\n"
+                       "  ],\n"
+                       "  \"empty\": {}\n"
+                       "}\n");
+}
+
+TEST(json, strings_are_escaped)
+{
+    json_writer w;
+    w.begin_object();
+    w.value("k", "a\"b\\c\nd\te\x01");
+    w.end_object();
+    EXPECT_EQ(w.str(),
+              "{\n  \"k\": \"a\\\"b\\\\c\\nd\\te\\u0001\"\n}\n");
+}
+
+TEST(json, negative_and_special_numbers)
+{
+    json_writer w;
+    w.begin_object();
+    w.value("neg", std::int64_t{-7});
+    w.value("nan", 0.0 / 0.0);
+    w.end_object();
+    EXPECT_EQ(w.str(), "{\n  \"neg\": -7,\n  \"nan\": null\n}\n");
+}
+
+TEST(json, misuse_throws)
+{
+    {
+        json_writer w;
+        w.begin_object();
+        EXPECT_THROW((void)w.str(), std::logic_error) << "unclosed object";
+    }
+    {
+        json_writer w;
+        w.begin_object();
+        EXPECT_THROW(w.value({}, "x"), std::logic_error)
+            << "object member without a key";
+    }
+    {
+        json_writer w;
+        w.begin_array();
+        EXPECT_THROW(w.value("k", "x"), std::logic_error)
+            << "array element with a key";
+    }
+    {
+        json_writer w;
+        w.begin_array();
+        EXPECT_THROW(w.end_object(), std::logic_error) << "mismatched close";
+    }
+}
+
+} // namespace
