@@ -3,6 +3,15 @@
 //
 //   $ ./bench_scenario_matrix              # full run (64 windows x 3 trials)
 //   $ OTF_SMOKE=1 ./bench_scenario_matrix  # ctest / verify.sh smoke entry
+//   $ ./bench_scenario_matrix --scenario=bias-drift --design="n=128 light"
+//                                          # reproduce a single cell
+//
+// --scenario=<name> and --design=<name> restrict the sweep so one failing
+// cell can be re-run without the full matrix; an unknown name prints the
+// available ones and exits nonzero.  The cross-design union-detection
+// contract is only enforced on the full (unfiltered) matrix -- a single
+// design may legitimately miss an attack -- but the null scenario must
+// stay silent in any subset.
 //
 // For each of the eight Table III designs the runner executes every
 // standard scenario (six source models + the healthy null) and reports
@@ -19,7 +28,9 @@
 #include "core/design_config.hpp"
 #include "core/scenario.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <set>
@@ -28,7 +39,21 @@
 
 using namespace otf;
 
-int main()
+namespace {
+
+/// Value of `--<key>=` when `arg` matches, nullptr otherwise.
+const char* option_value(const char* arg, const char* key)
+{
+    const std::size_t len = std::strlen(key);
+    if (std::strncmp(arg, key, len) == 0 && arg[len] == '=') {
+        return arg + len + 1;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
 {
     core::scenario_config cfg;
     cfg.alpha = 0.001;
@@ -39,10 +64,54 @@ int main()
 
     const std::uint64_t onset = smoke_scaled<std::uint64_t>(8, 2);
     const std::uint64_t ramp = smoke_scaled<std::uint64_t>(8, 2);
-    const std::vector<core::scenario> scenarios =
+    std::vector<core::scenario> scenarios =
         core::standard_scenarios(onset, ramp);
-    const std::vector<hw::block_config> designs =
-        core::all_paper_designs();
+    std::vector<hw::block_config> designs = core::all_paper_designs();
+
+    // --scenario=<name> / --design=<name> reproduce one failing cell
+    // without the full sweep.
+    std::string scenario_filter;
+    std::string design_filter;
+    for (int i = 1; i < argc; ++i) {
+        if (const char* v = option_value(argv[i], "--scenario")) {
+            scenario_filter = v;
+        } else if (const char* v = option_value(argv[i], "--design")) {
+            design_filter = v;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--scenario=<name>] [--design=<name>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (!scenario_filter.empty()) {
+        std::erase_if(scenarios, [&](const core::scenario& sc) {
+            return sc.name != scenario_filter;
+        });
+        if (scenarios.empty()) {
+            std::fprintf(stderr, "unknown scenario \"%s\"; available:\n",
+                         scenario_filter.c_str());
+            for (const core::scenario& sc : core::standard_scenarios()) {
+                std::fprintf(stderr, "  %s\n", sc.name.c_str());
+            }
+            return 2;
+        }
+    }
+    if (!design_filter.empty()) {
+        std::erase_if(designs, [&](const hw::block_config& d) {
+            return d.name != design_filter;
+        });
+        if (designs.empty()) {
+            std::fprintf(stderr, "unknown design \"%s\"; available:\n",
+                         design_filter.c_str());
+            for (const hw::block_config& d : core::all_paper_designs()) {
+                std::fprintf(stderr, "  %s\n", d.name.c_str());
+            }
+            return 2;
+        }
+    }
+    const bool filtered =
+        !scenario_filter.empty() || !design_filter.empty();
 
     std::printf("scenario matrix: %zu scenarios x %zu designs, "
                 "%llu windows x %u trial(s), alpha = %.4g, "
@@ -110,7 +179,9 @@ int main()
             continue;
         }
         const auto& designs_hit = detected_by[sc.name];
-        ok = ok && !designs_hit.empty();
+        // Union detection is a property of the full matrix; a filtered
+        // subset only reports it.
+        ok = ok && (filtered || !designs_hit.empty());
         std::printf("  %-14s detected by %zu/%zu designs\n",
                     sc.name.c_str(), designs_hit.size(), designs.size());
     }
@@ -119,6 +190,7 @@ int main()
     json.begin_object();
     json.value("schema", "otf-scenario-matrix/1");
     json.value("smoke", smoke_mode());
+    json.value("filtered", filtered);
     json.value("alpha", cfg.alpha);
     json.value("windows_per_trial", cfg.windows);
     json.value("trials", cfg.trials);

@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
 # Tier-1 verify: configure, build, and run the full ctest suite, then the
-# fleet-throughput and scenario-matrix smoke runs (the word-lane/fleet
-# and scenario subsystems must never bit-rot silently, so they run
-# explicitly even outside ctest).  Both benches drop their BENCH_*.json
-# telemetry into the build directory (docs/BENCHMARKS.md); the files are
-# validated as JSON when python3 is available.
+# fleet-throughput, scenario-matrix and stream-throughput smoke runs (the
+# word-lane/fleet, scenario and streaming-pipeline subsystems must never
+# bit-rot silently, so they run explicitly even outside ctest).  The
+# benches drop their BENCH_*.json telemetry into the build directory
+# (docs/BENCHMARKS.md); the files are validated as JSON when python3 is
+# available.
 # Usage: scripts/verify.sh [build-dir] [extra cmake args...]
 set -eu
 
@@ -23,9 +24,13 @@ OTF_SMOKE=1 OTF_BENCH_DIR="$BUILD_DIR" "$BUILD_DIR"/bench/bench_fleet_throughput
 echo "== scenario matrix smoke (OTF_SMOKE=1) =="
 OTF_SMOKE=1 OTF_BENCH_DIR="$BUILD_DIR" "$BUILD_DIR"/bench/bench_scenario_matrix
 
+echo "== stream pipeline smoke (OTF_SMOKE=1) =="
+OTF_SMOKE=1 OTF_BENCH_DIR="$BUILD_DIR" "$BUILD_DIR"/bench/bench_stream_throughput
+
 if command -v python3 >/dev/null 2>&1; then
     echo "== validating BENCH_*.json =="
-    for f in "$BUILD_DIR"/BENCH_fleet.json "$BUILD_DIR"/BENCH_scenarios.json; do
+    for f in "$BUILD_DIR"/BENCH_fleet.json "$BUILD_DIR"/BENCH_scenarios.json \
+             "$BUILD_DIR"/BENCH_stream.json; do
         python3 -m json.tool "$f" >/dev/null
         echo "ok: $f"
     done

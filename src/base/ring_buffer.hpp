@@ -1,0 +1,220 @@
+// Lock-free single-producer/single-consumer ring of 64-bit words.
+//
+// The streaming backbone of the platform (core/stream.hpp): one producer
+// thread generates packed random words (trng::entropy_source::fill_words)
+// and one consumer drains whole windows into the hardware testing block --
+// the software analogue of the FIFO between the paper's free-running TRNG
+// and its testing block, where generation never waits for analysis until
+// the buffer is physically full.
+//
+// Protocol:
+//   * exactly one producer thread calls try_push()/close();
+//   * exactly one consumer thread calls try_pop();
+//   * any thread may read the observers (size, counters) -- they are
+//     monotonic telemetry, exact only once both sides have quiesced.
+//
+// Capacity is rounded up to a power of two so indices wrap by masking.
+// Indices are unbounded 64-bit push/pop counts (they cannot overflow in
+// any realistic run), which makes occupancy a plain subtraction and frees
+// the ring from the classic one-empty-slot ambiguity.
+//
+// close()/drained() is the end-of-stream protocol: the producer closes
+// after its final push; the consumer keeps popping until drained() --
+// closed *and* empty -- so no word is ever lost at shutdown.  The
+// acquire/release pairing on `tail_` (data) and `closed_` (end flag)
+// guarantees the consumer that observes the close also observes every
+// word pushed before it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace otf::base {
+
+class ring_buffer {
+public:
+    /// \brief Build a ring holding at least `min_capacity` words.
+    /// \param min_capacity requested capacity in 64-bit words (>= 1);
+    ///        rounded up to the next power of two
+    /// \throws std::invalid_argument on a zero capacity
+    explicit ring_buffer(std::size_t min_capacity)
+    {
+        if (min_capacity == 0) {
+            throw std::invalid_argument(
+                "ring_buffer: capacity must be at least 1 word");
+        }
+        std::size_t cap = 1;
+        while (cap < min_capacity) {
+            cap <<= 1;
+        }
+        buf_.assign(cap, 0);
+        mask_ = cap - 1;
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    // ---------------------------------------------------------------
+    // Producer side.
+    // ---------------------------------------------------------------
+
+    /// \brief Push up to `nwords` words; partial pushes are normal under
+    /// backpressure.
+    /// \param words source buffer (LSB-first packed stream words)
+    /// \param nwords words offered
+    /// \return words actually copied in (0 when the ring is full; that
+    /// rejection is counted as one producer stall)
+    std::size_t try_push(const std::uint64_t* words, std::size_t nwords)
+    {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        // Refresh the cached consumer position only when the stale view
+        // cannot satisfy the whole request -- the common case touches no
+        // shared cache line.
+        std::size_t free = capacity() - static_cast<std::size_t>(
+                               tail - cached_head_);
+        if (free < nwords) {
+            cached_head_ = head_.load(std::memory_order_acquire);
+            free = capacity() - static_cast<std::size_t>(
+                       tail - cached_head_);
+        }
+        if (free == 0) {
+            producer_stalls_.fetch_add(1, std::memory_order_relaxed);
+            return 0;
+        }
+        const std::size_t n = nwords < free ? nwords : free;
+        for (std::size_t i = 0; i < n; ++i) {
+            buf_[static_cast<std::size_t>(tail + i) & mask_] = words[i];
+        }
+        tail_.store(tail + n, std::memory_order_release);
+        // High-water mark.  The stale cached head can only over-estimate
+        // occupancy, so refresh it before accepting a new maximum: the
+        // recorded value is then an exact instantaneous occupancy.
+        std::size_t occ =
+            static_cast<std::size_t>(tail + n - cached_head_);
+        if (occ > max_occupancy_.load(std::memory_order_relaxed)) {
+            cached_head_ = head_.load(std::memory_order_acquire);
+            occ = static_cast<std::size_t>(tail + n - cached_head_);
+            if (occ > max_occupancy_.load(std::memory_order_relaxed)) {
+                max_occupancy_.store(occ, std::memory_order_relaxed);
+            }
+        }
+        return n;
+    }
+
+    /// \brief End of stream: no further pushes will arrive.  The consumer
+    /// drains what is buffered and then observes drained().
+    void close() { closed_.store(true, std::memory_order_release); }
+
+    // ---------------------------------------------------------------
+    // Consumer side.
+    // ---------------------------------------------------------------
+
+    /// \brief Pop up to `nwords` words in stream order.
+    /// \param out    destination buffer
+    /// \param nwords words requested
+    /// \return words actually copied out (0 when the ring is empty; that
+    /// rejection is counted as one consumer stall)
+    std::size_t try_pop(std::uint64_t* out, std::size_t nwords)
+    {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        std::size_t avail =
+            static_cast<std::size_t>(cached_tail_ - head);
+        if (avail < nwords) {
+            cached_tail_ = tail_.load(std::memory_order_acquire);
+            avail = static_cast<std::size_t>(cached_tail_ - head);
+        }
+        if (avail == 0) {
+            consumer_stalls_.fetch_add(1, std::memory_order_relaxed);
+            return 0;
+        }
+        const std::size_t n = nwords < avail ? nwords : avail;
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i] = buf_[static_cast<std::size_t>(head + i) & mask_];
+        }
+        head_.store(head + n, std::memory_order_release);
+        return n;
+    }
+
+    /// \brief True once the producer closed *and* every pushed word has
+    /// been popped.  Checking closed before emptiness (with the matching
+    /// acquire) closes the race where a final push lands between the two
+    /// reads.
+    bool drained() const
+    {
+        if (!closed_.load(std::memory_order_acquire)) {
+            return false;
+        }
+        return head_.load(std::memory_order_acquire)
+            == tail_.load(std::memory_order_acquire);
+    }
+
+    bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+    // ---------------------------------------------------------------
+    // Telemetry (any thread; exact after both sides quiesce).
+    // ---------------------------------------------------------------
+
+    /// Words currently buffered.
+    std::size_t size() const
+    {
+        return static_cast<std::size_t>(
+            tail_.load(std::memory_order_acquire)
+            - head_.load(std::memory_order_acquire));
+    }
+    bool empty() const { return size() == 0; }
+
+    /// Words pushed / popped over the ring's lifetime.
+    std::uint64_t total_pushed() const
+    {
+        return tail_.load(std::memory_order_acquire);
+    }
+    std::uint64_t total_popped() const
+    {
+        return head_.load(std::memory_order_acquire);
+    }
+
+    /// Backpressure counters: try_push calls rejected because the ring
+    /// was full, and try_pop calls rejected because it was empty.  The
+    /// ratio of stalls to transfers tells which pipeline stage bounds
+    /// throughput.
+    std::uint64_t producer_stalls() const
+    {
+        return producer_stalls_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t consumer_stalls() const
+    {
+        return consumer_stalls_.load(std::memory_order_relaxed);
+    }
+
+    /// High-water occupancy in words (how deep the buffering actually
+    /// ran; capacity-limited runs indicate a consumer-bound pipeline).
+    std::size_t max_occupancy() const
+    {
+        return max_occupancy_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::vector<std::uint64_t> buf_;
+    std::size_t mask_ = 0;
+    // Fields are grouped by *writer* so each side's stores stay on its
+    // own cache line: the producer-owned line holds the push count plus
+    // everything only the producer writes (its cache of head_, its
+    // stall/occupancy telemetry), and symmetrically for the consumer.
+    /// Producer-owned line: push count, producer's cache of head_,
+    /// producer-side telemetry.
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    std::uint64_t cached_head_ = 0;
+    std::atomic<std::uint64_t> producer_stalls_{0};
+    std::atomic<std::size_t> max_occupancy_{0};
+    /// Consumer-owned line: pop count, consumer's cache of tail_,
+    /// consumer-side telemetry.
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    std::uint64_t cached_tail_ = 0;
+    std::atomic<std::uint64_t> consumer_stalls_{0};
+    /// Written once at end-of-stream; keep it off both hot lines.
+    alignas(64) std::atomic<bool> closed_{false};
+};
+
+} // namespace otf::base

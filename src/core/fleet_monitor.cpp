@@ -37,7 +37,8 @@ fleet_monitor::fleet_monitor(fleet_config cfg)
 namespace {
 
 /// One channel's pipeline: a monitor, its source, the windowed alarm
-/// policy and two alternating word buffers for the window hand-off.
+/// policy, and the streaming core (producer thread → ring → pump) that
+/// hands windows from generation to analysis.
 struct channel_state {
     channel_state(const fleet_config& cfg, const critical_values& cv,
                   std::unique_ptr<trng::entropy_source> src)
@@ -54,33 +55,41 @@ struct channel_state {
 
     void run_windows(const fleet_config& cfg, std::uint64_t windows)
     {
-        const std::uint64_t n = cfg.block.n();
-        const std::size_t nwords = static_cast<std::size_t>(n / 64);
-        // Double-buffered hand-off: generation always writes the buffer
-        // the analysis lane is not reading.  In simulation both stages
-        // time-share the worker; the alternation (plus the testing
-        // block's double_buffered result latch, when configured) is what
-        // keeps the pipeline gap-free on real hardware.
-        std::vector<std::uint64_t> buffers[2] = {
-            std::vector<std::uint64_t>(nwords),
-            std::vector<std::uint64_t>(nwords)};
-        if (cfg.word_path) {
-            source->fill_words(buffers[0].data(), nwords);
+        const std::size_t nwords =
+            static_cast<std::size_t>(cfg.block.n() / 64);
+        if (windows == 0) {
+            return; // total_words = 0 would mean open-ended, not empty
         }
-        for (std::uint64_t w = 0; w < windows; ++w) {
-            window_report wr;
-            if (cfg.word_path) {
-                const auto& live = buffers[w % 2];
-                auto& next = buffers[(w + 1) % 2];
-                if (w + 1 < windows) {
-                    source->fill_words(next.data(), nwords);
-                }
-                wr = mon.test_sequence_words(live);
-            } else {
-                wr = mon.test_window(*source);
+        if (nwords == 0) {
+            // Sub-word designs (n < 64) cannot ride the word-granular
+            // ring; keep the direct batch loop for them (the word lane
+            // rejects them with its length error, exactly as before).
+            for (std::uint64_t w = 0; w < windows; ++w) {
+                observe(cfg, cfg.word_path ? mon.test_window_words(*source)
+                                           : mon.test_window(*source));
             }
-            observe(cfg, wr);
+            return;
         }
+        // A two-window ring is the software double buffer: generation
+        // always writes words the analysis lane is not reading, and the
+        // pipeline stays gap-free as long as either stage has work.
+        base::ring_buffer ring(cfg.ring_words != 0
+                                   ? cfg.ring_words
+                                   : default_ring_words(nwords));
+        producer_options opts;
+        opts.total_words = windows * nwords;
+        opts.batch_words = default_batch_words(nwords);
+        word_producer producer(*source, ring, opts);
+        window_pump pump(ring, mon,
+                         cfg.word_path ? ingest_lane::word
+                                       : ingest_lane::per_bit);
+        run_pipeline(producer, pump,
+                     [&](const window_report& wr) {
+                         observe(cfg, wr);
+                         return true;
+                     },
+                     windows);
+        report.stream = snapshot(ring);
     }
 
     void observe(const fleet_config& cfg, const window_report& wr)

@@ -4,21 +4,25 @@
 // The paper deploys one testing block next to one TRNG.  A platform that
 // serves many TRNG channels (multiple oscillator banks on one FPGA, or many
 // devices reporting into one supervisor) replicates that per-channel
-// pipeline; nothing is shared between channels except worker threads, so
-// the aggregated result is a pure function of the per-channel seeds --
-// independent of thread count and scheduling.  Each channel runs the
-// word-at-a-time fast lane by default (hw::testing_block::feed_word) with
-// two alternating word buffers: while window w streams out of one buffer
-// the source refills the other, mirroring the double-buffered result latch
-// that gives the hardware its gap-free window hand-off.
+// pipeline; nothing is shared between channels except the worker pool
+// (each active channel adds its own producer thread), so the aggregated
+// result is a pure function of the per-channel seeds -- independent of
+// thread count and scheduling.  Each channel is one
+// instance of the streaming ingestion core (core/stream.hpp): a
+// word_producer thread generates packed words into a lock-free SPSC ring
+// and a window_pump drains whole windows into the channel's monitor --
+// the software analogue of the FIFO between a free-running TRNG and its
+// testing block, replacing the old inline double-buffer hand-off.
 //
 // Telemetry is aggregated two ways: per channel (windows, failures,
-// failures-by-test, an AIS-31-style windowed alarm) and fleet-wide
-// (totals, channels in alarm, wall-clock throughput).
+// failures-by-test, an AIS-31-style windowed alarm, ring backpressure
+// stats) and fleet-wide (totals, channels in alarm, wall-clock
+// throughput).
 #pragma once
 
 #include "core/critical_values.hpp"
 #include "core/monitor.hpp"
+#include "core/stream.hpp"
 #include "hw/config.hpp"
 #include "trng/entropy_source.hpp"
 
@@ -40,8 +44,11 @@ struct fleet_config {
     double alpha = 0.01;
     /// Number of independent monitor channels.
     unsigned channels = 4;
-    /// Worker threads; 0 picks std::thread::hardware_concurrency().
-    /// Thread count never changes the report, only the wall-clock time.
+    /// Worker (pump) threads; 0 picks
+    /// std::thread::hardware_concurrency().  Every *active* channel also
+    /// runs its own word_producer thread, so up to 2x this many threads
+    /// compute at once.  Thread count never changes the report, only the
+    /// wall-clock time.
     unsigned threads = 0;
     /// Use the word-at-a-time fast lane (default).  The per-bit lane is
     /// kept selectable as the equivalence oracle: both settings must
@@ -52,14 +59,18 @@ struct fleet_config {
     /// failed.  Mirrors health_monitor::policy.
     unsigned fail_threshold = 2;
     unsigned policy_window = 8;
+    /// Per-channel stream ring capacity in 64-bit words; 0 = automatic
+    /// (two windows deep, mirroring the hardware's double-buffered
+    /// hand-off).  Depth changes timing only, never the report.
+    std::size_t ring_words = 0;
 
     /// \throws std::invalid_argument on an empty fleet or an inconsistent
     /// alarm policy.
     void validate() const;
 };
 
-/// \brief Telemetry of one channel after a fleet run.  All fields are
-/// deterministic functions of the channel's source.
+/// \brief Telemetry of one channel after a fleet run.  Every field except
+/// `stream` is a deterministic function of the channel's source.
 struct channel_report {
     unsigned channel = 0;
     std::string source_name;
@@ -71,9 +82,22 @@ struct channel_report {
     std::uint64_t worst_sw_cycles = 0;///< slowest single software pass
     /// Failure count per test name across the channel's run.
     std::map<std::string, std::uint64_t> failures_by_test;
+    /// Ring occupancy/backpressure telemetry of the channel's pipeline
+    /// (scheduling-dependent -- excluded from operator==, which covers
+    /// the determinism guarantee only).
+    stream_stats stream;
 
-    friend bool operator==(const channel_report&,
-                           const channel_report&) = default;
+    /// Compares the deterministic fields; `stream` is telemetry about
+    /// thread timing, not about the data.
+    friend bool operator==(const channel_report& a, const channel_report& b)
+    {
+        return a.channel == b.channel && a.source_name == b.source_name
+            && a.windows == b.windows && a.failures == b.failures
+            && a.alarm == b.alarm && a.bits == b.bits
+            && a.sw_cycles == b.sw_cycles
+            && a.worst_sw_cycles == b.worst_sw_cycles
+            && a.failures_by_test == b.failures_by_test;
+    }
 };
 
 /// \brief Aggregated fleet telemetry: per-channel reports in channel order

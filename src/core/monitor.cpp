@@ -50,10 +50,7 @@ window_report monitor::test_window_words(trng::entropy_source& source)
     const std::uint64_t n = block_.config().n();
     word_buffer_.resize(n / 64);
     source.fill_words(word_buffer_.data(), word_buffer_.size());
-    for (const std::uint64_t w : word_buffer_) {
-        block_.feed_word(w, 64);
-    }
-    return finish_window();
+    return test_packed(word_buffer_.data(), word_buffer_.size());
 }
 
 window_report monitor::test_sequence(const bit_sequence& seq)
@@ -74,15 +71,27 @@ window_report monitor::test_sequence(const bit_sequence& seq)
 window_report monitor::test_sequence_words(
     const std::vector<std::uint64_t>& words)
 {
-    if (words.size() * 64 != block_.config().n()) {
+    return test_packed(words.data(), words.size());
+}
+
+window_report monitor::test_packed(const std::uint64_t* words,
+                                   std::size_t nwords, ingest_lane lane)
+{
+    if (nwords * 64 != block_.config().n()) {
         throw std::invalid_argument(
             "monitor: word buffer must hold exactly the design's n ("
             + std::to_string(block_.config().n()) + " bits for \""
             + block_.config().name + "\", got "
-            + std::to_string(words.size() * 64) + ")");
+            + std::to_string(nwords * 64) + ")");
     }
-    for (const std::uint64_t w : words) {
-        block_.feed_word(w, 64);
+    if (lane == ingest_lane::word) {
+        block_.feed_words(words, nwords);
+    } else {
+        for (std::size_t j = 0; j < nwords; ++j) {
+            for (unsigned i = 0; i < 64; ++i) {
+                block_.feed(((words[j] >> i) & 1u) != 0);
+            }
+        }
     }
     return finish_window();
 }

@@ -23,9 +23,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
+
+namespace otf::base {
+class ring_buffer;
+} // namespace otf::base
 
 namespace otf::core {
 
@@ -38,6 +43,19 @@ struct window_report {
     /// budget the software latency must stay under for gap-free testing.
     std::uint64_t generation_cycles = 0;
 };
+
+/// \brief Which ingestion lane a packed window takes through the hardware.
+/// Both lanes are register-exact for the same words; the per-bit lane is
+/// the paper-faithful equivalence oracle, the word lane the fast path.
+enum class ingest_lane {
+    word,   ///< hw::testing_block::feed_word batching (production default)
+    per_bit ///< one feed() per bit (one hardware clock per bit)
+};
+
+/// \brief Per-window callback of the streaming pipeline (core/stream.hpp):
+/// alarm policies, scenario accounting and fleet aggregation are all sinks
+/// over the shared window stream.  Return false to stop the stream.
+using window_sink = std::function<bool(const window_report&)>;
 
 class monitor {
 public:
@@ -81,6 +99,36 @@ public:
     /// window (`words` must hold exactly n bits, LSB-first per word).
     window_report test_sequence_words(
         const std::vector<std::uint64_t>& words);
+
+    /// \brief Test one pre-packed window from a raw span -- the streaming
+    /// pipeline's allocation-free entry point (core/stream.hpp).
+    /// \param words  LSB-first packed window; `nwords * 64` must equal n
+    /// \param nwords number of 64-bit words
+    /// \param lane   word fast lane or per-bit oracle lane; register-exact
+    ///               either way
+    /// \throws std::invalid_argument naming the expected and actual
+    /// lengths when they differ
+    window_report test_packed(const std::uint64_t* words,
+                              std::size_t nwords,
+                              ingest_lane lane = ingest_lane::word);
+
+    /// \brief Continuous streaming mode: drain whole windows from `ring`
+    /// until the producer closes it (open-ended window count), invoking
+    /// `sink` after every window.  The paper's deployment shape -- the
+    /// FPGA block streams while the MSP430 polls verdicts -- with the
+    /// ring standing in for the hardware FIFO.  Defined in
+    /// core/stream.cpp on top of core::window_pump.
+    /// \param ring        SPSC word ring a core::word_producer (or any
+    ///                    single producer) is feeding
+    /// \param sink        per-window callback; return false to stop early
+    ///                    (may be null)
+    /// \param lane        ingestion lane for every window
+    /// \param max_windows optional cap; 0 = run until the ring drains
+    /// \return windows tested during this call
+    std::uint64_t run_stream(base::ring_buffer& ring,
+                             const window_sink& sink,
+                             ingest_lane lane = ingest_lane::word,
+                             std::uint64_t max_windows = 0);
 
     /// Cumulative instruction counts across all windows so far.
     const sw16::op_counts& lifetime_ops() const { return cpu_.counts(); }

@@ -1,5 +1,7 @@
 #include "core/scenario.hpp"
 
+#include "base/ring_buffer.hpp"
+#include "core/stream.hpp"
 #include "trng/sources.hpp"
 
 #include <chrono>
@@ -122,13 +124,10 @@ scenario_report scenario_runner::run(const scenario& sc) const
 
         bool alarmed = false;
         bool false_alarmed = false;
-        for (std::uint64_t w = 0; w < cfg_.windows; ++w) {
-            if (model) {
-                model->set_severity(sc.schedule.severity_at(w));
-            }
-            const window_report wr = cfg_.word_path
-                ? mon.test_window_words(*source)
-                : mon.test_window(*source);
+        // The detection accounting is a window sink over the stream --
+        // shared by the pipeline and the sub-word fallback below.
+        const window_sink account = [&](const window_report& wr) {
+            const std::uint64_t w = wr.window_index;
             const bool failed = !wr.software.all_pass;
             if (w < rep.onset_window) {
                 ++rep.pre_onset_windows;
@@ -157,6 +156,45 @@ scenario_report scenario_runner::run(const scenario& sc) const
                     }
                 }
             }
+            return true;
+        };
+
+        // One trial = one pass through the streaming ingestion core.
+        // The severity schedule rides the producer's word hook: it is
+        // advanced at word granularity (word_index / words-per-window),
+        // which lands on exactly the per-window steps of the old batch
+        // loop because windows are whole multiples of the hook stride.
+        const std::size_t nwords =
+            static_cast<std::size_t>(block_.n() / 64);
+        if (nwords == 0) {
+            // Sub-word designs (n < 64) cannot ride the word-granular
+            // ring; keep the direct batch loop for them.
+            for (std::uint64_t w = 0; w < cfg_.windows; ++w) {
+                if (model) {
+                    model->set_severity(sc.schedule.severity_at(w));
+                }
+                account(cfg_.word_path ? mon.test_window_words(*source)
+                                       : mon.test_window(*source));
+            }
+        } else {
+            base::ring_buffer ring(default_ring_words(nwords));
+            producer_options opts;
+            opts.total_words = cfg_.windows * nwords;
+            opts.batch_words = default_batch_words(nwords);
+            opts.hook_stride_words = nwords;
+            if (model) {
+                const severity_schedule& schedule = sc.schedule;
+                opts.word_hook = [model, schedule,
+                                  nwords](std::uint64_t word) {
+                    model->set_severity(
+                        schedule.severity_at(word / nwords));
+                };
+            }
+            word_producer producer(*source, ring, opts);
+            window_pump pump(ring, mon,
+                             cfg_.word_path ? ingest_lane::word
+                                            : ingest_lane::per_bit);
+            run_pipeline(producer, pump, account, cfg_.windows);
         }
         rep.trials_alarmed += alarmed ? 1 : 0;
         rep.trials_false_alarmed += false_alarmed ? 1 : 0;

@@ -7,7 +7,11 @@
 // runner executes the scenario against a `monitor` with the AIS-31-style
 // k-of-w alarm policy and reports detection latency, false alarms and
 // per-test failure attribution -- the platform's operating
-// characteristics, measured instead of assumed.  `standard_scenarios()`
+// characteristics, measured instead of assumed.  Each trial is one pass
+// through the streaming ingestion core (core/stream.hpp): the severity
+// schedule rides the producer's word hook, advanced at word granularity
+// (bit-exact with per-window stepping), and the detection accounting is
+// a window sink.  `standard_scenarios()`
 // is the library of the six adversarial models plus the healthy null
 // scenario; `bench/scenario_matrix.cpp` sweeps it across the eight paper
 // designs into BENCH_scenarios.json (schema: docs/BENCHMARKS.md; model

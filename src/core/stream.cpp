@@ -1,0 +1,225 @@
+#include "core/stream.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace otf::core {
+
+namespace {
+
+/// Escalating wait for ring stalls: spin briefly (the partner is mid-copy
+/// on another core), then yield (share an oversubscribed core), then
+/// sleep in window-test-sized slices (a stalled stage on a single core
+/// must get fully out of the way or the context-switch churn eats the
+/// pipeline's throughput).
+class backoff {
+public:
+    void wait()
+    {
+        ++stalls_;
+        if (stalls_ <= 16) {
+            return; // spin: re-poll immediately
+        }
+        if (stalls_ <= 32) {
+            std::this_thread::yield();
+            return;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    void reset() { stalls_ = 0; }
+
+private:
+    unsigned stalls_ = 0;
+};
+
+} // namespace
+
+stream_stats snapshot(const base::ring_buffer& ring)
+{
+    stream_stats s;
+    s.words = ring.total_popped();
+    s.producer_stalls = ring.producer_stalls();
+    s.consumer_stalls = ring.consumer_stalls();
+    s.max_occupancy = ring.max_occupancy();
+    s.ring_capacity = ring.capacity();
+    return s;
+}
+
+std::size_t default_ring_words(std::size_t window_words)
+{
+    return 2 * window_words;
+}
+
+std::size_t default_batch_words(std::size_t window_words)
+{
+    return window_words < std::size_t{512} ? window_words
+                                           : std::size_t{512};
+}
+
+word_producer::word_producer(trng::entropy_source& source,
+                             base::ring_buffer& ring,
+                             producer_options opts)
+    : source_(source), ring_(ring), opts_(std::move(opts))
+{
+    if (opts_.batch_words == 0) {
+        throw std::invalid_argument(
+            "word_producer: batch_words must be at least 1");
+    }
+    scratch_.resize(opts_.batch_words);
+}
+
+void word_producer::run() noexcept
+{
+    try {
+        std::uint64_t produced = produced_.load(std::memory_order_relaxed);
+        while (!stop_.load(std::memory_order_relaxed)) {
+            // Size the next batch: never past the total, never across a
+            // hook stride boundary (so hook-driven source state flips at
+            // exactly the boundary word).
+            std::size_t chunk = opts_.batch_words;
+            if (opts_.total_words != 0) {
+                if (produced >= opts_.total_words) {
+                    break;
+                }
+                const std::uint64_t left = opts_.total_words - produced;
+                if (left < chunk) {
+                    chunk = static_cast<std::size_t>(left);
+                }
+            }
+            if (opts_.hook_stride_words != 0) {
+                const std::uint64_t into =
+                    produced % opts_.hook_stride_words;
+                if (into == 0 && opts_.word_hook) {
+                    opts_.word_hook(produced);
+                }
+                const std::uint64_t to_boundary =
+                    opts_.hook_stride_words - into;
+                if (to_boundary < chunk) {
+                    chunk = static_cast<std::size_t>(to_boundary);
+                }
+            }
+
+            const std::size_t got =
+                source_.fill_words_available(scratch_.data(), chunk);
+            if (got == 0) {
+                if (opts_.total_words != 0) {
+                    // A fixed-length run starving is an error (the old
+                    // batch loops threw from next_bit() here); an
+                    // open-ended stream just ends.
+                    throw std::runtime_error(
+                        "word_producer: source \"" + source_.name()
+                        + "\" ran dry after "
+                        + std::to_string(produced) + " of "
+                        + std::to_string(opts_.total_words) + " words");
+                }
+                break;
+            }
+
+            // Push the whole batch, backing off under backpressure (the
+            // ring counts the stalls).
+            std::size_t pushed = 0;
+            backoff wait;
+            while (pushed < got
+                   && !stop_.load(std::memory_order_relaxed)) {
+                const std::size_t k = ring_.try_push(
+                    scratch_.data() + pushed, got - pushed);
+                if (k == 0) {
+                    wait.wait();
+                } else {
+                    wait.reset();
+                }
+                pushed += k;
+            }
+            produced += pushed;
+            produced_.store(produced, std::memory_order_relaxed);
+            if (pushed < got) {
+                break; // stopped mid-push
+            }
+        }
+    } catch (...) {
+        error_ = std::current_exception();
+    }
+    ring_.close();
+}
+
+window_pump::window_pump(base::ring_buffer& ring, monitor& mon,
+                         ingest_lane lane)
+    : ring_(ring), mon_(mon), lane_(lane),
+      window_(static_cast<std::size_t>(mon.config().n() / 64))
+{
+    if (window_.empty()) {
+        throw std::invalid_argument(
+            "window_pump: design \"" + mon.config().name
+            + "\" has a window shorter than one 64-bit word; use the "
+              "direct batch paths");
+    }
+}
+
+std::uint64_t window_pump::run(const window_sink& sink,
+                               std::uint64_t max_windows)
+{
+    const std::size_t nwords = window_.size();
+    std::uint64_t done = 0;
+    while (max_windows == 0 || done < max_windows) {
+        // Assemble one whole window; a partially filled window survives
+        // across run() calls (continuous mode may resume).
+        backoff wait;
+        while (filled_ < nwords) {
+            const std::size_t got = ring_.try_pop(
+                window_.data() + filled_, nwords - filled_);
+            if (got == 0) {
+                if (ring_.drained()) {
+                    leftover_ = filled_;
+                    return done;
+                }
+                wait.wait();
+            } else {
+                wait.reset();
+            }
+            filled_ += got;
+        }
+        filled_ = 0;
+        const window_report wr =
+            mon_.test_packed(window_.data(), nwords, lane_);
+        ++windows_;
+        ++done;
+        if (sink && !sink(wr)) {
+            break;
+        }
+    }
+    return done;
+}
+
+std::uint64_t monitor::run_stream(base::ring_buffer& ring,
+                                  const window_sink& sink,
+                                  ingest_lane lane,
+                                  std::uint64_t max_windows)
+{
+    window_pump pump(ring, *this, lane);
+    return pump.run(sink, max_windows);
+}
+
+std::uint64_t run_pipeline(word_producer& producer, window_pump& pump,
+                           const window_sink& sink,
+                           std::uint64_t max_windows)
+{
+    std::thread generation([&producer] { producer.run(); });
+    std::uint64_t windows = 0;
+    try {
+        windows = pump.run(sink, max_windows);
+    } catch (...) {
+        producer.request_stop();
+        generation.join();
+        throw;
+    }
+    // The pump may finish first (window cap, sink stop); unblock a
+    // producer spinning against the now-undrained ring.
+    producer.request_stop();
+    generation.join();
+    producer.rethrow_if_failed();
+    return windows;
+}
+
+} // namespace otf::core

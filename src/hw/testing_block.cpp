@@ -142,15 +142,21 @@ void testing_block::feed_word(std::uint64_t word, unsigned nbits)
     global_counter_.advance(nbits);
 }
 
+void testing_block::feed_words(const std::uint64_t* words,
+                               std::size_t nwords)
+{
+    for (std::size_t j = 0; j < nwords; ++j) {
+        feed_word(words[j], 64);
+    }
+}
+
 void testing_block::run_words(const std::vector<std::uint64_t>& words)
 {
     if (words.size() * 64 != config_.n()) {
         throw std::invalid_argument(
             "testing_block: word buffer must hold exactly n bits");
     }
-    for (const std::uint64_t w : words) {
-        feed_word(w, 64);
-    }
+    feed_words(words.data(), words.size());
     finish();
 }
 

@@ -54,6 +54,14 @@ public:
     /// \throws std::logic_error if the word would run past n
     void feed_word(std::uint64_t word, unsigned nbits = 64);
 
+    /// \brief Streaming feed path: consume `nwords` full words from a raw
+    /// span (the pipeline pump's entry point -- no container required).
+    /// Bit-exact with 64 * nwords feed() calls.
+    /// \param words  bits packed LSB-first, in stream order
+    /// \param nwords number of 64-bit words; 64 * nwords bits must still
+    ///        fit in the current sequence
+    void feed_words(const std::uint64_t* words, std::size_t nwords);
+
     /// \brief Feed a whole pre-packed sequence through the word lane and
     /// finish.
     /// \param words exactly n bits (n is a multiple of 64 for every

@@ -23,6 +23,13 @@ void entropy_source::fill_words(std::uint64_t* out, std::size_t nwords)
     }
 }
 
+std::size_t entropy_source::fill_words_available(std::uint64_t* out,
+                                                 std::size_t nwords)
+{
+    fill_words(out, nwords);
+    return nwords;
+}
+
 std::vector<std::uint64_t> entropy_source::generate_words(std::size_t nwords)
 {
     std::vector<std::uint64_t> words(nwords);

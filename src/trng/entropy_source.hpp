@@ -40,6 +40,22 @@ public:
     /// \param nwords number of 64-bit words (= 64 * nwords stream bits)
     virtual void fill_words(std::uint64_t* out, std::size_t nwords);
 
+    /// \brief Streaming-producer adapter hook (core::word_producer): like
+    /// fill_words(), but a *finite* source may deliver fewer words than
+    /// requested once its trace runs dry, and signals end-of-stream by
+    /// returning 0 instead of throwing -- a graceful close is the normal
+    /// end of an open-ended stream, not an error.
+    ///
+    /// The default forwards to fill_words() and reports `nwords` (the
+    /// behavioural models are endless); finite sources (replay_source)
+    /// override it.  Trailing bits short of a full word are not
+    /// reachable through the word-granular stream.
+    /// \param out    destination buffer of at least `nwords` words
+    /// \param nwords words requested
+    /// \return words actually produced; 0 = source exhausted
+    virtual std::size_t fill_words_available(std::uint64_t* out,
+                                             std::size_t nwords);
+
     /// \brief Human-readable model name for reports.
     virtual std::string name() const = 0;
 

@@ -133,4 +133,15 @@ bool replay_source::next_bit()
     return bits_[pos_++];
 }
 
+std::size_t replay_source::fill_words_available(std::uint64_t* out,
+                                                std::size_t nwords)
+{
+    // Capped to whole remaining words, the base packing loop cannot hit
+    // the out_of_range path -- one copy of the LSB-first convention.
+    const std::size_t whole = remaining() / 64;
+    const std::size_t n = nwords < whole ? nwords : whole;
+    fill_words(out, n);
+    return n;
+}
+
 } // namespace otf::trng

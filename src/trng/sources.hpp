@@ -172,6 +172,11 @@ public:
     /// std::out_of_range once it is exhausted
     explicit replay_source(bit_sequence bits);
     bool next_bit() override;
+    /// Streaming hook: delivers the remaining *full* words of the trace
+    /// and then reports end-of-stream (0) instead of throwing, so a
+    /// recorded trace plays back as a finite stream that closes cleanly.
+    std::size_t fill_words_available(std::uint64_t* out,
+                                     std::size_t nwords) override;
     std::string name() const override { return "replay"; }
     std::size_t remaining() const { return bits_.size() - pos_; }
 

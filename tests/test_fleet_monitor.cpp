@@ -147,6 +147,54 @@ TEST(fleet, channel_reports_keep_channel_order)
     }
 }
 
+TEST(fleet, zero_windows_returns_an_empty_report)
+{
+    // windows_per_channel == 0 must come back immediately with zeroed
+    // channels -- it must not be mistaken for the producer's open-ended
+    // mode (total_words == 0), which would never close the ring.
+    const auto report =
+        core::fleet_monitor(base_config(3, 2)).run(ideal_factory(), 0);
+    EXPECT_EQ(report.windows, 0u);
+    EXPECT_EQ(report.bits, 0u);
+    ASSERT_EQ(report.channels.size(), 3u);
+    for (const auto& ch : report.channels) {
+        EXPECT_EQ(ch.windows, 0u);
+        EXPECT_FALSE(ch.alarm);
+    }
+}
+
+TEST(fleet, sub_word_designs_fall_back_to_the_batch_loop)
+{
+    // n < 64 cannot ride the word-granular ring; the per-bit lane must
+    // keep working through the direct loop (and both lanes must agree
+    // with a plain monitor run).
+    hw::block_config tiny;
+    tiny.name = "tiny n=32";
+    tiny.log2_n = 5;
+    tiny.tests = hw::test_set{}
+                     .with(hw::test_id::frequency)
+                     .with(hw::test_id::cumulative_sums);
+    core::fleet_config cfg;
+    cfg.block = tiny;
+    cfg.channels = 2;
+    cfg.threads = 1;
+    cfg.word_path = false;
+    const auto report =
+        core::fleet_monitor(cfg).run(ideal_factory(), 4);
+    ASSERT_EQ(report.channels.size(), 2u);
+    EXPECT_EQ(report.windows, 8u);
+    EXPECT_EQ(report.bits, 8u * 32u);
+
+    core::monitor ref(tiny, cfg.alpha);
+    trng::ideal_source ref_src(fixture_seed(0));
+    std::uint64_t ref_failures = 0;
+    for (int w = 0; w < 4; ++w) {
+        ref_failures +=
+            ref.test_window(ref_src).software.all_pass ? 0 : 1;
+    }
+    EXPECT_EQ(report.channels[0].failures, ref_failures);
+}
+
 TEST(fleet, configuration_is_validated)
 {
     EXPECT_THROW(core::fleet_monitor{base_config(0, 1)},
@@ -160,11 +208,54 @@ TEST(fleet, configuration_is_validated)
     EXPECT_THROW(core::fleet_monitor{bad_policy}, std::invalid_argument);
 }
 
+TEST(fleet, channel_stream_telemetry_is_populated)
+{
+    // Each channel is one producer → ring → pump pipeline; its report
+    // must carry the ring telemetry (words through the ring, capacity)
+    // even though those fields are excluded from the determinism
+    // comparison.
+    const std::uint64_t windows = 4;
+    const auto report = core::fleet_monitor(base_config(3, 2))
+                            .run(ideal_factory(), windows);
+    const std::uint64_t nwords = small_design().n() / 64;
+    for (const auto& ch : report.channels) {
+        EXPECT_EQ(ch.stream.words, windows * nwords)
+            << "channel " << ch.channel;
+        EXPECT_GE(ch.stream.ring_capacity, 2 * nwords)
+            << "channel " << ch.channel;
+        EXPECT_GE(ch.stream.max_occupancy, 1u) << "channel " << ch.channel;
+        EXPECT_LE(ch.stream.max_occupancy, ch.stream.ring_capacity)
+            << "channel " << ch.channel;
+    }
+}
+
+TEST(fleet, ring_depth_never_changes_the_report)
+{
+    const std::uint64_t windows = 5;
+    const auto baseline =
+        core::fleet_monitor(base_config(3, 2)).run(ideal_factory(),
+                                                   windows);
+    for (const std::size_t ring_words : {64u, 1024u}) {
+        auto cfg = base_config(3, 2);
+        cfg.ring_words = ring_words;
+        const auto report =
+            core::fleet_monitor(cfg).run(ideal_factory(), windows);
+        EXPECT_TRUE(baseline.same_counters(report))
+            << "ring_words " << ring_words;
+        ASSERT_EQ(baseline.channels.size(), report.channels.size());
+        for (std::size_t c = 0; c < baseline.channels.size(); ++c) {
+            EXPECT_EQ(baseline.channels[c], report.channels[c])
+                << "channel " << c << " at ring_words " << ring_words;
+        }
+    }
+}
+
 TEST(fleet, worker_exception_propagates_naming_the_channel)
 {
-    // A replay source that runs dry mid-run throws inside a worker; the
-    // fleet must surface that instead of crashing or hanging, and the
-    // message must name the offending channel and its source.
+    // A replay source that runs dry mid-run now starves the channel's
+    // word_producer thread; the failure must cross the producer join,
+    // the worker pool and the fleet barrier, still naming the offending
+    // channel and its source.
     const auto factory =
         [](unsigned c) -> std::unique_ptr<trng::entropy_source> {
         if (c == 1) {
@@ -181,6 +272,35 @@ TEST(fleet, worker_exception_propagates_naming_the_channel)
         const std::string what = e.what();
         EXPECT_NE(what.find("channel 1"), std::string::npos) << what;
         EXPECT_NE(what.find("replay"), std::string::npos) << what;
+    }
+}
+
+TEST(fleet, mid_run_exception_from_a_late_channel_drains_the_fleet)
+{
+    // The dry channel sits last and runs dry only after several good
+    // windows; every worker must drain and join before the rethrow, and
+    // the error must name the right channel even with several threads
+    // racing.
+    const std::uint64_t windows = 6;
+    const std::uint64_t n = small_design().n();
+    const auto factory =
+        [&](unsigned c) -> std::unique_ptr<trng::entropy_source> {
+        if (c == 3) {
+            trng::ideal_source gen(fixture_seed(99));
+            // Three full windows, then mid-window starvation.
+            return std::make_unique<trng::replay_source>(
+                gen.generate(3 * n + 128));
+        }
+        return std::make_unique<trng::ideal_source>(fixture_seed(c));
+    };
+    core::fleet_monitor fleet(base_config(4, 2));
+    try {
+        (void)fleet.run(factory, windows);
+        FAIL() << "expected the mid-run starvation to propagate";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("channel 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("ran dry"), std::string::npos) << what;
     }
 }
 
