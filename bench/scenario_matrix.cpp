@@ -77,9 +77,12 @@ int main(int argc, char** argv)
             scenario_filter = v;
         } else if (const char* v = option_value(argv[i], "--design")) {
             design_filter = v;
+        } else if (parse_bench_dir_flag(argv[i])) {
+            // output-directory override, recorded by the helper
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--scenario=<name>] [--design=<name>]\n",
+                         "usage: %s [--scenario=<name>] [--design=<name>] "
+                         "[--bench-dir=<dir>]\n",
                          argv[0]);
             return 2;
         }

@@ -60,8 +60,16 @@ double mwords_per_s(std::uint64_t words, double seconds)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (!parse_bench_dir_flag(argv[i])) {
+            std::fprintf(stderr, "usage: %s [--bench-dir=<dir>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     hw::block_config design = core::paper_design(16, core::tier::high);
     design.double_buffered = true;
 

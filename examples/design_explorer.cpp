@@ -14,6 +14,8 @@
 #include "trng/sources.hpp"
 
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 using namespace otf;
@@ -58,22 +60,40 @@ int main()
         print_row(cfg);
     }
 
-    std::printf("\n-- custom lengths (future-work flexibility: any "
-                "power-of-two n) --\n");
-    const auto all = hw::test_set{}
-                         .with(hw::test_id::frequency)
-                         .with(hw::test_id::block_frequency)
-                         .with(hw::test_id::runs)
-                         .with(hw::test_id::longest_run)
-                         .with(hw::test_id::non_overlapping_template)
-                         .with(hw::test_id::overlapping_template)
+    // The custom sweep: the paper's future-work flexibility is not just
+    // any power-of-two length but any (length, test-subset) point --
+    // exactly the axis the escalation supervisor moves along when it
+    // reprograms a live block.  Sweep a tier ladder at each custom
+    // length, from the 3-test watchdog to the full battery.
+    std::printf("\n-- custom_design sweep (any power-of-two n x any "
+                "test subset) --\n");
+    const auto watchdog = hw::test_set{}
+                              .with(hw::test_id::frequency)
+                              .with(hw::test_id::runs)
+                              .with(hw::test_id::cumulative_sums);
+    const auto light = hw::test_set{watchdog}
+                           .with(hw::test_id::block_frequency)
+                           .with(hw::test_id::longest_run);
+    const auto patterns = hw::test_set{light}
+                              .with(hw::test_id::non_overlapping_template)
+                              .with(hw::test_id::overlapping_template);
+    const auto all = hw::test_set{patterns}
                          .with(hw::test_id::serial)
-                         .with(hw::test_id::approximate_entropy)
-                         .with(hw::test_id::cumulative_sums);
+                         .with(hw::test_id::approximate_entropy);
+    const std::vector<std::pair<const char*, hw::test_set>> subsets{
+        {"watchdog", watchdog},
+        {"light", light},
+        {"patterns", patterns},
+        {"full", all}};
     const std::vector<unsigned> custom_lengths = otf::smoke_scaled(
         std::vector<unsigned>{13u, 14u, 18u}, std::vector<unsigned>{13u});
     for (const unsigned log2_n : custom_lengths) {
-        print_row(core::custom_design(log2_n, all));
+        for (const auto& [label, tests] : subsets) {
+            hw::block_config cfg = core::custom_design(log2_n, tests);
+            cfg.name = "n=2^" + std::to_string(log2_n) + " "
+                + std::string(label);
+            print_row(cfg);
+        }
     }
 
     std::printf("\nreading the table:\n");

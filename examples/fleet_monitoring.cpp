@@ -14,6 +14,7 @@
 #include "base/env.hpp"
 #include "core/design_config.hpp"
 #include "core/fleet_monitor.hpp"
+#include "core/report.hpp"
 #include "trng/sources.hpp"
 
 #include <cstdio>
@@ -58,26 +59,10 @@ int main()
                 cfg.channels, static_cast<unsigned long long>(windows),
                 cfg.block.name.c_str(), cfg.alpha, cfg.fail_threshold,
                 cfg.policy_window);
-    std::printf("%-8s %-14s %-8s %-9s %-7s %s\n", "channel", "source",
-                "windows", "failures", "alarm", "failing tests");
-    for (const core::channel_report& ch : report.channels) {
-        std::string tests;
-        for (const auto& [name, count] : ch.failures_by_test) {
-            tests += (tests.empty() ? "" : ", ") + name + " x"
-                + std::to_string(count);
-        }
-        std::printf("%-8u %-14s %-8llu %-9llu %-7s %s\n", ch.channel,
-                    ch.source_name.c_str(),
-                    static_cast<unsigned long long>(ch.windows),
-                    static_cast<unsigned long long>(ch.failures),
-                    ch.alarm ? "RAISED" : "-", tests.c_str());
-    }
-
-    std::printf("\nfleet totals: %llu windows, %llu bits tested, "
-                "%u channel(s) in alarm\n",
-                static_cast<unsigned long long>(report.windows),
-                static_cast<unsigned long long>(report.bits),
-                report.channels_in_alarm);
+    // The shared plain-text formatter (core/report.hpp) includes the
+    // per-channel stream telemetry -- occupancy high-water and stall
+    // counters -- that this table used to drop.
+    std::printf("%s", core::format_fleet(report).c_str());
     std::printf("aggregate simulation throughput: %.1f Mbit/s "
                 "(word lane, %.2f s wall clock)\n",
                 report.bits_per_second() / 1e6, report.seconds);

@@ -32,15 +32,19 @@ int main()
     std::printf("%-7s %-10s %-9s %-8s %s\n", "window", "true p(1)",
                 "verdict", "alarm", "note");
 
+    // The alarm path reports its rising edge as an event -- no need to
+    // poll-and-compare around every observe().
     unsigned alarm_window = 0;
+    unsigned alarm_evidence = 0;
+    supervisor.on_alarm([&](const core::alarm_event& ev) {
+        alarm_window = static_cast<unsigned>(ev.window_index);
+        alarm_evidence = ev.recent_failures;
+    });
     for (unsigned window = 0; window < 80 && !supervisor.alarm();
          ++window) {
         const double p_now = device.current_p_one();
         const auto report = supervisor.observe(device);
         const bool failed = !report.software.all_pass;
-        if (supervisor.alarm()) {
-            alarm_window = window;
-        }
         if (window % 8 == 0 || failed || supervisor.alarm()) {
             std::printf("%-7u %-10.4f %-9s %-8s %s\n", window, p_now,
                         failed ? "FAIL" : "pass",
@@ -61,10 +65,12 @@ int main()
                     static_cast<unsigned long long>(count));
     }
     if (alarm_window > 0) {
-        std::printf("\nthe supervisor retired the device at window %u, "
-                    "while its bias was still\nonly %.3f -- long before "
-                    "a catastrophic failure.\n",
-                    alarm_window, device.current_p_one());
+        std::printf("\nthe supervisor retired the device at window %u "
+                    "(%u failures in the policy\nwindow), while its "
+                    "bias was still only %.3f -- long before a "
+                    "catastrophic failure.\n",
+                    alarm_window, alarm_evidence,
+                    device.current_p_one());
     }
 
     std::printf("\nlifetime software cost: %s\n",

@@ -27,10 +27,16 @@ OTF_SMOKE=1 OTF_BENCH_DIR="$BUILD_DIR" "$BUILD_DIR"/bench/bench_scenario_matrix
 echo "== stream pipeline smoke (OTF_SMOKE=1) =="
 OTF_SMOKE=1 OTF_BENCH_DIR="$BUILD_DIR" "$BUILD_DIR"/bench/bench_stream_throughput
 
+echo "== escalation supervisor smoke (OTF_SMOKE=1) =="
+# Exercises the --bench-dir= flag (shared by every JSON-writing bench)
+# instead of OTF_BENCH_DIR; exit status enforces the escalate/confirm/
+# null-silent contract.
+OTF_SMOKE=1 "$BUILD_DIR"/bench/bench_escalation --bench-dir="$BUILD_DIR"
+
 if command -v python3 >/dev/null 2>&1; then
     echo "== validating BENCH_*.json =="
     for f in "$BUILD_DIR"/BENCH_fleet.json "$BUILD_DIR"/BENCH_scenarios.json \
-             "$BUILD_DIR"/BENCH_stream.json; do
+             "$BUILD_DIR"/BENCH_stream.json "$BUILD_DIR"/BENCH_escalation.json; do
         python3 -m json.tool "$f" >/dev/null
         echo "ok: $f"
     done

@@ -1,5 +1,6 @@
 #include "core/fleet_monitor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -18,6 +19,26 @@ void fleet_config::validate() const
     // constructor is the authoritative validity check.
     [[maybe_unused]] const windowed_alarm policy_check(fail_threshold,
                                                       policy_window);
+    if (escalated_block) {
+        // The supervisor's own validation covers both designs and the
+        // escalation knobs.
+        supervised_config().validate();
+    }
+}
+
+supervisor_config fleet_config::supervised_config() const
+{
+    supervisor_config sc;
+    sc.baseline = block;
+    sc.escalated = escalated_block.value();
+    sc.alpha = alpha;
+    sc.fail_threshold = fail_threshold;
+    sc.policy_window = policy_window;
+    sc.evidence_windows = evidence_windows;
+    sc.dwell_windows = dwell_windows;
+    sc.offline_alpha = offline_alpha;
+    sc.word_path = word_path;
+    return sc;
 }
 
 bool fleet_report::same_counters(const fleet_report& other) const
@@ -25,6 +46,8 @@ bool fleet_report::same_counters(const fleet_report& other) const
     return channels == other.channels && windows == other.windows
         && failures == other.failures && bits == other.bits
         && channels_in_alarm == other.channels_in_alarm
+        && escalations == other.escalations
+        && channels_escalated == other.channels_escalated
         && failures_by_test == other.failures_by_test;
 }
 
@@ -32,26 +55,42 @@ fleet_monitor::fleet_monitor(fleet_config cfg)
     : cfg_(std::move(cfg)),
       cv_((cfg_.validate(), compute_critical_values(cfg_.block, cfg_.alpha)))
 {
+    if (cfg_.escalated_block) {
+        cv_escalated_ =
+            compute_critical_values(*cfg_.escalated_block, cfg_.alpha);
+    }
 }
 
 namespace {
 
-/// One channel's pipeline: a monitor, its source, the windowed alarm
-/// policy, and the streaming core (producer thread → ring → pump) that
-/// hands windows from generation to analysis.
+/// One channel's pipeline: a monitor (or an escalation supervisor owning
+/// one), its source, the windowed alarm policy, and the streaming core
+/// (producer thread → ring → pump) that hands windows from generation to
+/// analysis.
 struct channel_state {
     channel_state(const fleet_config& cfg, const critical_values& cv,
+                  const std::optional<critical_values>& cv_escalated,
                   std::unique_ptr<trng::entropy_source> src)
-        : mon(cfg.block, cv), source(std::move(src)),
+        : source(std::move(src)),
           alarm_policy(cfg.fail_threshold, cfg.policy_window)
     {
+        if (cfg.escalated_block) {
+            sup = std::make_unique<supervisor>(cfg.supervised_config(),
+                                               cv, *cv_escalated);
+        } else {
+            mon.emplace(cfg.block, cv);
+        }
         report.source_name = source->name();
     }
 
-    monitor mon;
+    /// Supervised channels own their monitor through the supervisor.
+    std::unique_ptr<supervisor> sup;
+    std::optional<monitor> mon;
     std::unique_ptr<trng::entropy_source> source;
     channel_report report;
     windowed_alarm alarm_policy;
+
+    monitor& active_monitor() { return sup ? sup->inner() : *mon; }
 
     void run_windows(const fleet_config& cfg, std::uint64_t windows)
     {
@@ -64,38 +103,72 @@ struct channel_state {
             // Sub-word designs (n < 64) cannot ride the word-granular
             // ring; keep the direct batch loop for them (the word lane
             // rejects them with its length error, exactly as before).
+            // fleet_config::validate() rejects supervision here.
             for (std::uint64_t w = 0; w < windows; ++w) {
-                observe(cfg, cfg.word_path ? mon.test_window_words(*source)
-                                           : mon.test_window(*source));
+                observe(cfg.word_path ? mon->test_window_words(*source)
+                                      : mon->test_window(*source));
             }
+            finish(windows);
             return;
         }
         // A two-window ring is the software double buffer: generation
         // always writes words the analysis lane is not reading, and the
         // pipeline stays gap-free as long as either stage has work.
-        base::ring_buffer ring(cfg.ring_words != 0
-                                   ? cfg.ring_words
-                                   : default_ring_words(nwords));
+        // Supervised channels may escalate to a longer window, so the
+        // automatic ring covers the larger of the two designs.
+        std::size_t ring_words = cfg.ring_words;
+        if (ring_words == 0) {
+            std::size_t max_words = nwords;
+            if (cfg.escalated_block) {
+                max_words = std::max(
+                    max_words, static_cast<std::size_t>(
+                                   cfg.escalated_block->n() / 64));
+            }
+            ring_words = default_ring_words(max_words);
+        }
+        base::ring_buffer ring(ring_words);
         producer_options opts;
-        opts.total_words = windows * nwords;
+        // A supervised window count is open-ended in *words* (escalation
+        // changes the window length mid-run); the pump caps the windows
+        // and run_pipeline winds the producer down.
+        opts.total_words = sup ? 0 : windows * nwords;
         opts.batch_words = default_batch_words(nwords);
         word_producer producer(*source, ring, opts);
-        window_pump pump(ring, mon,
+        window_pump pump(ring, active_monitor(),
                          cfg.word_path ? ingest_lane::word
                                        : ingest_lane::per_bit);
-        run_pipeline(producer, pump,
-                     [&](const window_report& wr) {
-                         observe(cfg, wr);
-                         return true;
-                     },
-                     windows);
+        if (sup) {
+            pump.set_tap(sup->tap());
+            pump.set_barrier(sup->barrier());
+        }
+        const std::uint64_t pumped =
+            run_pipeline(producer, pump,
+                         [&](const window_report& wr) {
+                             if (sup) {
+                                 sup->observe(wr);
+                             }
+                             observe(wr);
+                             return true;
+                         },
+                         windows);
+        if (pumped < windows) {
+            // Supervised channels produce open-ended (the window length
+            // can change mid-run), so the producer cannot raise the
+            // fixed-total "ran dry" error itself -- keep the failure as
+            // loud as the unsupervised path's.
+            throw std::runtime_error(
+                "source \"" + report.source_name + "\" ran dry after "
+                + std::to_string(pumped) + " of "
+                + std::to_string(windows) + " windows");
+        }
         report.stream = snapshot(ring);
+        finish(windows);
     }
 
-    void observe(const fleet_config& cfg, const window_report& wr)
+    void observe(const window_report& wr)
     {
         ++report.windows;
-        report.bits += cfg.block.n();
+        report.bits += active_monitor().config().n();
         report.sw_cycles += wr.sw_cycles;
         if (wr.sw_cycles > report.worst_sw_cycles) {
             report.worst_sw_cycles = wr.sw_cycles;
@@ -109,7 +182,30 @@ struct channel_state {
                 }
             }
         }
-        report.alarm = alarm_policy.record(failed);
+        // The channel-local policy runs in both modes (in supervised
+        // mode the supervisor's copy decides escalation; this one keeps
+        // the sticky channel alarm and its rise window observable).
+        alarm_policy.record(failed);
+        if (alarm_policy.rose()) {
+            report.first_alarm_window = wr.window_index;
+        }
+        report.alarm = alarm_policy.alarm();
+    }
+
+    /// Post-run bookkeeping: sentinel the never-alarmed case and fold in
+    /// the supervisor's escalation telemetry.
+    void finish(std::uint64_t)
+    {
+        if (!report.alarm) {
+            report.first_alarm_window = report.windows;
+        }
+        if (sup) {
+            const supervision_report sr = sup->report();
+            report.escalations = sr.escalations;
+            report.confirmed_escalations = sr.confirmed_escalations;
+            report.de_escalations = sr.de_escalations;
+            report.windows_escalated = sr.windows_escalated;
+        }
     }
 };
 
@@ -132,7 +228,7 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
                 + std::to_string(c));
         }
         states.push_back(std::make_unique<channel_state>(
-            cfg_, cv_, std::move(source)));
+            cfg_, cv_, cv_escalated_, std::move(source)));
         states.back()->report.channel = c;
     }
 
@@ -199,6 +295,8 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
         fleet.failures += st->report.failures;
         fleet.bits += st->report.bits;
         fleet.channels_in_alarm += st->report.alarm ? 1 : 0;
+        fleet.escalations += st->report.escalations;
+        fleet.channels_escalated += st->report.escalations > 0 ? 1 : 0;
         for (const auto& [name, count] : st->report.failures_by_test) {
             fleet.failures_by_test[name] += count;
         }

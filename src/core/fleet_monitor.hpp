@@ -23,6 +23,7 @@
 #include "core/critical_values.hpp"
 #include "core/monitor.hpp"
 #include "core/stream.hpp"
+#include "core/supervisor.hpp"
 #include "hw/config.hpp"
 #include "trng/entropy_source.hpp"
 
@@ -30,6 +31,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,9 +66,29 @@ struct fleet_config {
     /// hand-off).  Depth changes timing only, never the report.
     std::size_t ring_words = 0;
 
-    /// \throws std::invalid_argument on an empty fleet or an inconsistent
-    /// alarm policy.
+    /// Adaptive escalation (optional): when set, every channel runs
+    /// under a core::supervisor -- `block` is the cheap always-on
+    /// baseline, and this is the heavy design the channel's live testing
+    /// block is reprogrammed to (through the register-map write path) on
+    /// a k-of-w alarm; the channel alarm policy doubles as the
+    /// escalation trigger.  Critical values for both designs are
+    /// inverted once and shared by every channel.
+    std::optional<hw::block_config> escalated_block;
+    /// Supervisor knobs (used with escalated_block only): evidence ring
+    /// depth, clean dwell before de-escalation, and the offline
+    /// confirmation significance level.
+    std::size_t evidence_windows = 8;
+    std::uint64_t dwell_windows = 16;
+    double offline_alpha = 0.01;
+
+    /// \throws std::invalid_argument on an empty fleet, an inconsistent
+    /// alarm policy, or a non-streamable supervised design (supervision
+    /// needs n >= 64 for both tiers).
     void validate() const;
+
+    /// The per-channel supervisor policy this configuration implies.
+    /// \throws std::bad_optional_access unless escalated_block is set
+    supervisor_config supervised_config() const;
 };
 
 /// \brief Telemetry of one channel after a fleet run.  Every field except
@@ -77,9 +99,19 @@ struct channel_report {
     std::uint64_t windows = 0;
     std::uint64_t failures = 0;       ///< windows with any failing test
     bool alarm = false;               ///< windowed-policy alarm (sticky)
+    /// Window index at which the policy alarm first rose; == `windows`
+    /// when it never did (the alarm path as an observable event, not
+    /// just the sticky boolean).
+    std::uint64_t first_alarm_window = 0;
     std::uint64_t bits = 0;           ///< bits tested
     std::uint64_t sw_cycles = 0;      ///< MCU cycles across all windows
     std::uint64_t worst_sw_cycles = 0;///< slowest single software pass
+    /// Escalation telemetry (supervised fleets only; all zero
+    /// otherwise): on-the-fly reconfigurations of the channel's block.
+    unsigned escalations = 0;
+    unsigned confirmed_escalations = 0; ///< offline battery agreed
+    unsigned de_escalations = 0;
+    std::uint64_t windows_escalated = 0;
     /// Failure count per test name across the channel's run.
     std::map<std::string, std::uint64_t> failures_by_test;
     /// Ring occupancy/backpressure telemetry of the channel's pipeline
@@ -93,9 +125,14 @@ struct channel_report {
     {
         return a.channel == b.channel && a.source_name == b.source_name
             && a.windows == b.windows && a.failures == b.failures
-            && a.alarm == b.alarm && a.bits == b.bits
-            && a.sw_cycles == b.sw_cycles
+            && a.alarm == b.alarm
+            && a.first_alarm_window == b.first_alarm_window
+            && a.bits == b.bits && a.sw_cycles == b.sw_cycles
             && a.worst_sw_cycles == b.worst_sw_cycles
+            && a.escalations == b.escalations
+            && a.confirmed_escalations == b.confirmed_escalations
+            && a.de_escalations == b.de_escalations
+            && a.windows_escalated == b.windows_escalated
             && a.failures_by_test == b.failures_by_test;
     }
 };
@@ -108,6 +145,8 @@ struct fleet_report {
     std::uint64_t failures = 0;
     std::uint64_t bits = 0;
     unsigned channels_in_alarm = 0;
+    unsigned escalations = 0;         ///< fleet-wide escalation total
+    unsigned channels_escalated = 0;  ///< channels that escalated at all
     std::map<std::string, std::uint64_t> failures_by_test;
     /// Wall-clock duration of the run (the only nondeterministic field).
     double seconds = 0.0;
@@ -158,6 +197,9 @@ public:
 private:
     fleet_config cfg_;
     critical_values cv_;
+    /// Escalated-design bounds, inverted once for the whole fleet
+    /// (supervised fleets only).
+    std::optional<critical_values> cv_escalated_;
 };
 
 } // namespace otf::core

@@ -96,6 +96,19 @@ window_report monitor::test_packed(const std::uint64_t* words,
     return finish_window();
 }
 
+void monitor::reconfigure(const hw::block_config& target,
+                          critical_values cv)
+{
+    block_.reprogram(target);
+    runner_ = software_runner(block_.config(), std::move(cv));
+    word_buffer_.clear();
+}
+
+void monitor::reconfigure(const hw::block_config& target, double alpha)
+{
+    reconfigure(target, compute_critical_values(target, alpha));
+}
+
 windowed_alarm::windowed_alarm(unsigned threshold, unsigned window)
     : threshold_(threshold), window_(window)
 {
@@ -113,10 +126,19 @@ bool windowed_alarm::record(bool failed)
         recent_failures_ -= recent_.front() ? 1 : 0;
         recent_.pop_front();
     }
+    rose_ = !alarm_ && recent_failures_ >= threshold_;
     if (recent_failures_ >= threshold_) {
         alarm_ = true;
     }
     return alarm_;
+}
+
+void windowed_alarm::reset()
+{
+    recent_.clear();
+    recent_failures_ = 0;
+    alarm_ = false;
+    rose_ = false;
 }
 
 health_monitor::health_monitor(hw::block_config cfg, double alpha, policy p,
@@ -167,6 +189,10 @@ window_report health_monitor::observe(trng::entropy_source& source)
         }
     }
     windowed_.record(failed);
+    if (windowed_.rose() && alarm_hook_) {
+        alarm_hook_(alarm_event{report.window_index,
+                                windowed_.recent_failures()});
+    }
     return report;
 }
 

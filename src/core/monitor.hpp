@@ -130,6 +130,20 @@ public:
                              ingest_lane lane = ingest_lane::word,
                              std::uint64_t max_windows = 0);
 
+    /// \brief On-the-fly reconfiguration: reprogram the live testing
+    /// block to `target` *through the register-map write path*
+    /// (hw::testing_block::reprogram) and swap the software pass to the
+    /// matching precomputed bounds.  The window counter keeps running --
+    /// the monitor's stream continues at the new design point.
+    /// \param target new design point
+    /// \param cv     critical values precomputed for `target` (lets a
+    ///               supervisor invert them once, not per escalation)
+    /// \throws std::logic_error mid-window (only legal between windows)
+    /// \throws std::invalid_argument when `target` is inconsistent
+    void reconfigure(const hw::block_config& target, critical_values cv);
+    /// Same, inverting the critical values for `target` at `alpha` here.
+    void reconfigure(const hw::block_config& target, double alpha);
+
     /// Cumulative instruction counts across all windows so far.
     const sw16::op_counts& lifetime_ops() const { return cpu_.counts(); }
     std::uint64_t windows_tested() const { return windows_; }
@@ -146,9 +160,23 @@ private:
     window_report finish_window();
 };
 
+/// \brief One observable rising edge of an alarm path.  The alarm used
+/// to be a bare boolean; supervision needs the *when* and the evidence
+/// level, so the path reports the transition as an event.
+struct alarm_event {
+    std::uint64_t window_index = 0; ///< window count at the rising edge
+    unsigned recent_failures = 0;   ///< failures inside the policy window
+};
+
+/// Observer of alarm-path transitions.
+using alarm_hook = std::function<void(const alarm_event&)>;
+
 /// \brief The AIS-31-style k-of-w decision rule shared by
-/// health_monitor and the fleet channels: a sticky alarm raised when at
-/// least `threshold` of the last `window` per-window verdicts failed.
+/// health_monitor, the fleet channels and the escalation supervisor: a
+/// sticky alarm raised when at least `threshold` of the last `window`
+/// per-window verdicts failed.  `reset()` clears the stickiness -- the
+/// supervisor's de-escalation path re-arms the policy after a clean
+/// dwell.
 class windowed_alarm {
 public:
     /// \param threshold minimum failures that raise the alarm
@@ -162,6 +190,14 @@ public:
     bool record(bool failed);
 
     bool alarm() const { return alarm_; }
+    /// True when the most recent record() was the rising edge.
+    bool rose() const { return rose_; }
+    /// Failures currently inside the policy window.
+    unsigned recent_failures() const { return recent_failures_; }
+
+    /// \brief Clear the verdict history and the sticky alarm (the policy
+    /// re-arms from scratch).
+    void reset();
 
 private:
     unsigned threshold_;
@@ -169,6 +205,7 @@ private:
     std::deque<bool> recent_;
     unsigned recent_failures_ = 0;
     bool alarm_ = false;
+    bool rose_ = false;
 };
 
 /// AIS-31-style supervision: windowed failure counting with an alarm
@@ -202,6 +239,10 @@ public:
     /// state (and feeds the continuous health tests when enabled).
     window_report observe(trng::entropy_source& source);
 
+    /// \brief Observe alarm-path transitions (the rising edge of the
+    /// windowed policy) as events instead of polling alarm().
+    void on_alarm(alarm_hook hook) { alarm_hook_ = std::move(hook); }
+
     /// \brief Policy alarm OR either SP 800-90B sticky alarm.
     bool alarm() const;
     /// The windowed-policy alarm alone.
@@ -222,6 +263,7 @@ private:
     monitor mon_;
     policy policy_;
     windowed_alarm windowed_;
+    alarm_hook alarm_hook_;
     std::uint64_t failed_ = 0;
     std::map<std::string, std::uint64_t> failures_by_test_;
     std::unique_ptr<hw::repetition_count_hw> rct_;

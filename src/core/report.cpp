@@ -33,6 +33,52 @@ std::string format_window(const window_report& report)
     return out.str();
 }
 
+std::string format_fleet(const fleet_report& report)
+{
+    std::ostringstream out;
+    out << std::left << std::setw(8) << "channel" << std::setw(16)
+        << "source" << std::setw(8) << "windows" << std::setw(9)
+        << "failures" << std::setw(8) << "alarm" << std::setw(18)
+        << "escalations" << "  failing tests\n";
+    for (const channel_report& ch : report.channels) {
+        std::string tests;
+        for (const auto& [name, count] : ch.failures_by_test) {
+            tests += (tests.empty() ? "" : ", ") + name + " x"
+                + std::to_string(count);
+        }
+        std::string escalations = "-";
+        if (ch.escalations > 0) {
+            escalations = std::to_string(ch.escalations) + " ("
+                + std::to_string(ch.confirmed_escalations)
+                + " confirmed)";
+        }
+        out << std::left << std::setw(8) << ch.channel << std::setw(16)
+            << ch.source_name << std::setw(8) << ch.windows
+            << std::setw(9) << ch.failures << std::setw(8)
+            << (ch.alarm ? "RAISED" : "-") << std::setw(18)
+            << escalations << "  " << tests << '\n';
+        // Which pipeline stage bounds the channel's throughput
+        // (scheduling-dependent, so reported, never compared).  Sub-word
+        // channels run the direct batch loop -- no ring, no telemetry.
+        if (ch.stream.ring_capacity > 0) {
+            out << "         stream: " << ch.stream.words
+                << " words, ring " << ch.stream.max_occupancy << "/"
+                << ch.stream.ring_capacity << " high-water, stalls"
+                << " producer=" << ch.stream.producer_stalls
+                << " consumer=" << ch.stream.consumer_stalls << '\n';
+        }
+    }
+    out << "fleet totals: " << report.windows << " windows, "
+        << report.bits << " bits, " << report.channels_in_alarm
+        << " channel(s) in alarm";
+    if (report.channels_escalated > 0) {
+        out << ", " << report.escalations << " escalation(s) across "
+            << report.channels_escalated << " channel(s)";
+    }
+    out << '\n';
+    return out.str();
+}
+
 std::string format_area(const hw::testing_block& block)
 {
     const rtl::resources r = block.cost();

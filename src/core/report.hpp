@@ -1,6 +1,7 @@
 // Plain-text report formatting for monitors, design points and benches.
 #pragma once
 
+#include "core/fleet_monitor.hpp"
 #include "core/monitor.hpp"
 #include "hw/testing_block.hpp"
 #include "rtl/resources.hpp"
@@ -14,6 +15,12 @@ std::string format_verdicts(const software_result& result);
 
 /// \brief Multi-line window summary (verdicts + latency accounting).
 std::string format_window(const window_report& report);
+
+/// \brief Multi-line fleet summary: one row per channel (windows,
+/// failures, alarm, escalations, failing tests) plus the per-channel
+/// stream telemetry -- ring occupancy high-water and producer/consumer
+/// stall counters -- and the fleet totals.
+std::string format_fleet(const fleet_report& report);
 
 /// \brief Area/frequency summary of a testing block in Table III layout:
 /// slices / FF / LUT / MaxFreq and the ASIC gate-equivalents.

@@ -157,12 +157,33 @@ window_pump::window_pump(base::ring_buffer& ring, monitor& mon,
     }
 }
 
+void window_pump::reframe()
+{
+    const std::size_t nwords =
+        static_cast<std::size_t>(mon_.config().n() / 64);
+    if (nwords == 0) {
+        throw std::invalid_argument(
+            "window_pump: reconfigured design \"" + mon_.config().name
+            + "\" has a window shorter than one 64-bit word");
+    }
+    if (nwords != window_.size()) {
+        window_.assign(nwords, 0);
+    }
+}
+
 std::uint64_t window_pump::run(const window_sink& sink,
                                std::uint64_t max_windows)
 {
-    const std::size_t nwords = window_.size();
     std::uint64_t done = 0;
     while (max_windows == 0 || done < max_windows) {
+        if (filled_ == 0 && barrier_) {
+            // The mid-stream reconfiguration barrier: no window is in
+            // flight, so the hook may reprogram the design.  Words stay
+            // queued in the ring; only the framing below changes.
+            barrier_(mon_.windows_tested());
+            reframe();
+        }
+        const std::size_t nwords = window_.size();
         // Assemble one whole window; a partially filled window survives
         // across run() calls (continuous mode may resume).
         backoff wait;
@@ -181,6 +202,9 @@ std::uint64_t window_pump::run(const window_sink& sink,
             filled_ += got;
         }
         filled_ = 0;
+        if (tap_) {
+            tap_(mon_.windows_tested(), window_.data(), nwords);
+        }
         const window_report wr =
             mon_.test_packed(window_.data(), nwords, lane_);
         ++windows_;

@@ -139,6 +139,24 @@ private:
     std::exception_ptr error_;
 };
 
+/// \brief Raw-window observer of the pump: invoked with every assembled
+/// packed window *before* it is tested.  This is the evidence-capture
+/// hook of the escalation supervisor (core/supervisor.hpp): online
+/// verdicts come from the sink, the raw words that produced them from
+/// the tap, so a suspicious stretch can be replayed offline.
+using window_tap = std::function<void(
+    std::uint64_t window_index, const std::uint64_t* words,
+    std::size_t nwords)>;
+
+/// \brief Between-windows callback of the pump: runs at every window
+/// boundary (never mid-window) with the index of the window about to be
+/// assembled.  This is the *mid-stream reconfiguration barrier*: a hook
+/// that reprograms the monitor's testing block here changes the design
+/// point -- including the window length -- and the pump re-frames the
+/// word stream to the new length without dropping a word (the words stay
+/// queued in the ring while the hardware is reprogrammed).
+using window_barrier = std::function<void(std::uint64_t next_window)>;
+
 /// \brief The analysis half of the pipeline: drains whole n-bit windows
 /// from a ring into a monitor and hands every window_report to a sink.
 ///
@@ -169,7 +187,25 @@ public:
     /// Words stranded by a close that landed mid-window.
     std::uint64_t leftover_words() const { return leftover_; }
 
+    /// \brief Install the raw-window evidence tap (may be null).
+    void set_tap(window_tap tap) { tap_ = std::move(tap); }
+
+    /// \brief Install the reconfiguration barrier (may be null).  After
+    /// the barrier returns the pump re-reads the monitor's window length,
+    /// so a barrier that calls monitor::reconfigure() re-frames the
+    /// stream mid-flight.
+    /// \throws std::invalid_argument (from run()) if a reconfiguration
+    /// shrinks the window below one 64-bit word
+    void set_barrier(window_barrier barrier)
+    {
+        barrier_ = std::move(barrier);
+    }
+
 private:
+    /// Match the window buffer to the monitor's current design (legal
+    /// only between windows).
+    void reframe();
+
     base::ring_buffer& ring_;
     monitor& mon_;
     ingest_lane lane_;
@@ -177,6 +213,8 @@ private:
     std::size_t filled_ = 0;
     std::uint64_t windows_ = 0;
     std::uint64_t leftover_ = 0;
+    window_tap tap_;
+    window_barrier barrier_;
 };
 
 /// \brief Run one producer/pump pair to completion: the producer on its

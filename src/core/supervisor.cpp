@@ -1,0 +1,324 @@
+#include "core/supervisor.hpp"
+
+#include "base/ring_buffer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace otf::core {
+
+std::string to_string(supervision_event_kind kind)
+{
+    switch (kind) {
+    case supervision_event_kind::alarm_raised:
+        return "alarm_raised";
+    case supervision_event_kind::escalated:
+        return "escalated";
+    case supervision_event_kind::confirmed:
+        return "confirmed";
+    case supervision_event_kind::alarm_cleared:
+        return "alarm_cleared";
+    case supervision_event_kind::de_escalated:
+        return "de_escalated";
+    }
+    throw std::logic_error("supervision_event_kind: invalid value");
+}
+
+void supervisor_config::validate() const
+{
+    baseline.validate();
+    escalated.validate();
+    if (baseline.n() < 64 || escalated.n() < 64) {
+        throw std::invalid_argument(
+            "supervisor_config: both designs must be streamable "
+            "(n >= 64 bits)");
+    }
+    if (evidence_windows == 0) {
+        throw std::invalid_argument(
+            "supervisor_config: need an evidence ring of >= 1 window");
+    }
+    if (dwell_windows == 0) {
+        throw std::invalid_argument(
+            "supervisor_config: need a de-escalation dwell of >= 1 "
+            "window");
+    }
+    if (offline_tests.empty()) {
+        throw std::invalid_argument(
+            "supervisor_config: offline confirmation needs >= 1 test");
+    }
+    if (offline_min_failures == 0) {
+        throw std::invalid_argument(
+            "supervisor_config: offline_min_failures must be >= 1");
+    }
+    // The alarm policy shares health_monitor's decision rule; its
+    // constructor is the authoritative validity check.
+    [[maybe_unused]] const windowed_alarm policy_check(fail_threshold,
+                                                      policy_window);
+}
+
+supervisor::supervisor(supervisor_config cfg)
+    : supervisor((cfg.validate(), cfg),
+                 compute_critical_values(cfg.baseline, cfg.alpha),
+                 compute_critical_values(cfg.escalated, cfg.alpha))
+{
+}
+
+supervisor::supervisor(supervisor_config cfg, critical_values baseline_cv,
+                       critical_values escalated_cv)
+    : cfg_((cfg.validate(), std::move(cfg))),
+      cv_baseline_(std::move(baseline_cv)),
+      cv_escalated_(std::move(escalated_cv)),
+      mon_(cfg_.baseline, cv_baseline_),
+      alarm_(cfg_.fail_threshold, cfg_.policy_window)
+{
+}
+
+supervision_event& supervisor::push_event(std::uint64_t window,
+                                          supervision_event_kind kind)
+{
+    supervision_event ev;
+    ev.sequence = events_.size();
+    ev.window_index = window;
+    ev.kind = kind;
+    events_.push_back(std::move(ev));
+    return events_.back();
+}
+
+void supervisor::observe(const window_report& report)
+{
+    ++windows_;
+    bits_ += mon_.config().n();
+    if (state_ == supervision_state::escalated) {
+        ++windows_escalated_;
+    }
+    const bool failed = !report.software.all_pass;
+    if (failed) {
+        ++failures_;
+        for (const test_verdict& v : report.software.verdicts) {
+            if (!v.pass) {
+                ++failures_by_test_[v.name];
+            }
+        }
+    }
+    alarm_.record(failed);
+    if (alarm_.rose()) {
+        push_event(report.window_index,
+                   supervision_event_kind::alarm_raised);
+        if (state_ == supervision_state::baseline) {
+            pending_escalation_ = true;
+        }
+    }
+    if (state_ == supervision_state::escalated) {
+        clean_streak_ = failed ? 0 : clean_streak_ + 1;
+    }
+}
+
+void supervisor::capture(std::uint64_t window_index,
+                         const std::uint64_t* words, std::size_t nwords)
+{
+    evidence_window ev;
+    ev.index = window_index;
+    ev.words.assign(words, words + nwords);
+    evidence_.push_back(std::move(ev));
+    while (evidence_.size() > cfg_.evidence_windows) {
+        evidence_.pop_front();
+    }
+}
+
+void supervisor::at_barrier(std::uint64_t next_window)
+{
+    if (pending_escalation_ && state_ == supervision_state::baseline) {
+        escalate(next_window);
+        return;
+    }
+    pending_escalation_ = false;
+    if (state_ == supervision_state::escalated
+        && clean_streak_ >= cfg_.dwell_windows) {
+        de_escalate(next_window);
+    }
+}
+
+void supervisor::escalate(std::uint64_t next_window)
+{
+    pending_escalation_ = false;
+    {
+        supervision_event& ev =
+            push_event(next_window, supervision_event_kind::escalated);
+        ev.from_design = cfg_.baseline.name;
+        ev.to_design = cfg_.escalated.name;
+    }
+    // The on-the-fly reconfiguration itself: the live block is
+    // reprogrammed through the register-map write path; the stream's
+    // words wait in the ring meanwhile.
+    mon_.reconfigure(cfg_.escalated, cv_escalated_);
+    state_ = supervision_state::escalated;
+    clean_streak_ = 0;
+    ++escalations_;
+    if (!first_escalation_window_) {
+        first_escalation_window_ = next_window;
+    }
+
+    // Offline confirmation: replay the captured evidence through the
+    // composable battery.  Runs on the consumer thread -- the deployment
+    // analogue of the MCU shipping the suspicious stretch to a host.
+    confirmation_result conf = confirm_offline();
+    if (conf.confirmed) {
+        ++confirmed_escalations_;
+    }
+    supervision_event& ev =
+        push_event(next_window, supervision_event_kind::confirmed);
+    ev.confirmation = std::move(conf);
+}
+
+void supervisor::de_escalate(std::uint64_t next_window)
+{
+    alarm_.reset();
+    push_event(next_window, supervision_event_kind::alarm_cleared);
+    supervision_event& ev =
+        push_event(next_window, supervision_event_kind::de_escalated);
+    ev.from_design = cfg_.escalated.name;
+    ev.to_design = cfg_.baseline.name;
+    mon_.reconfigure(cfg_.baseline, cv_baseline_);
+    state_ = supervision_state::baseline;
+    clean_streak_ = 0;
+    ++de_escalations_;
+}
+
+confirmation_result supervisor::confirm_offline() const
+{
+    confirmation_result conf;
+    bit_sequence seq;
+    std::size_t total_words = 0;
+    for (const evidence_window& ev : evidence_) {
+        total_words += ev.words.size();
+    }
+    seq.reserve(total_words * 64);
+    for (const evidence_window& ev : evidence_) {
+        for (const std::uint64_t word : ev.words) {
+            for (unsigned i = 0; i < 64; ++i) {
+                seq.push_back(((word >> i) & 1u) != 0);
+            }
+        }
+        ++conf.evidence_windows;
+    }
+    conf.evidence_bits = seq.size();
+    conf.battery =
+        nist::run_battery(seq, cfg_.offline_alpha, cfg_.offline_tests);
+    conf.confirmed = conf.battery.failed >= cfg_.offline_min_failures;
+    return conf;
+}
+
+window_sink supervisor::sink()
+{
+    return [this](const window_report& report) {
+        observe(report);
+        return true;
+    };
+}
+
+window_tap supervisor::tap()
+{
+    return [this](std::uint64_t window_index, const std::uint64_t* words,
+                  std::size_t nwords) {
+        capture(window_index, words, nwords);
+    };
+}
+
+window_barrier supervisor::barrier()
+{
+    return [this](std::uint64_t next_window) { at_barrier(next_window); };
+}
+
+supervision_report supervisor::run(trng::entropy_source& source,
+                                   std::uint64_t windows,
+                                   producer_options opts)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t base_words =
+        static_cast<std::size_t>(cfg_.baseline.n() / 64);
+    const std::size_t esc_words =
+        static_cast<std::size_t>(cfg_.escalated.n() / 64);
+
+    base::ring_buffer ring(
+        default_ring_words(std::max(base_words, esc_words)));
+    // The word total is not knowable up front (escalation changes the
+    // window length mid-run): produce open-ended, let the pump cap the
+    // window count and run_pipeline wind the producer down.
+    opts.total_words = 0;
+    if (opts.batch_words == 0) {
+        opts.batch_words = default_batch_words(base_words);
+    }
+    word_producer producer(source, ring, opts);
+    window_pump pump(ring, mon_,
+                     cfg_.word_path ? ingest_lane::word
+                                    : ingest_lane::per_bit);
+    pump.set_tap(tap());
+    pump.set_barrier(barrier());
+    const std::uint64_t pumped =
+        run_pipeline(producer, pump, sink(), windows);
+    if (pumped < windows) {
+        // The open-ended producer ends an exhausted stream quietly; a
+        // fixed window count starving is still an error, exactly as in
+        // the unsupervised fixed-length loops.
+        throw std::runtime_error(
+            "supervisor: source \"" + source.name() + "\" ran dry after "
+            + std::to_string(pumped) + " of " + std::to_string(windows)
+            + " windows");
+    }
+
+    supervision_report rep = report();
+    rep.stream = snapshot(ring);
+    rep.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    return rep;
+}
+
+supervision_report supervisor::report() const
+{
+    supervision_report rep;
+    rep.windows = windows_;
+    rep.failures = failures_;
+    rep.bits = bits_;
+    rep.escalations = escalations_;
+    rep.confirmed_escalations = confirmed_escalations_;
+    rep.de_escalations = de_escalations_;
+    rep.windows_escalated = windows_escalated_;
+    rep.first_escalation_window =
+        first_escalation_window_.value_or(windows_);
+    rep.alarm = alarm_.alarm();
+    rep.final_state = state_;
+    rep.failures_by_test = failures_by_test_;
+    rep.events = events_;
+    return rep;
+}
+
+void supervisor::write_events(json_writer& json,
+                              std::string_view key) const
+{
+    json.begin_array(key);
+    for (const supervision_event& ev : events_) {
+        json.begin_object();
+        json.value("sequence", ev.sequence);
+        json.value("window", ev.window_index);
+        json.value("kind", to_string(ev.kind));
+        if (!ev.from_design.empty()) {
+            json.value("from", ev.from_design);
+            json.value("to", ev.to_design);
+        }
+        if (ev.confirmation) {
+            const confirmation_result& conf = *ev.confirmation;
+            json.begin_object("confirmation");
+            json.value("evidence_windows", conf.evidence_windows);
+            json.value("evidence_bits", conf.evidence_bits);
+            json.value("confirmed", conf.confirmed);
+            nist::write_battery(json, "battery", conf.battery);
+            json.end_object();
+        }
+        json.end_object();
+    }
+    json.end_array();
+}
+
+} // namespace otf::core

@@ -1,0 +1,244 @@
+// Adaptive escalation supervisor: on-the-fly reconfiguration + offline
+// confirmation as one closed loop.
+//
+// The paper's platform is sold on two mechanisms this module finally wires
+// together: the testing block is *reconfigured on the fly* through its
+// register map, and online hardware verdicts are *re-verified offline in
+// software*.  The supervisor runs the streaming pipeline at a cheap
+// always-on baseline design, keeps a bounded evidence ring of recent raw
+// windows (tapped off the pump), and reacts to a k-of-w alarm in three
+// moves:
+//
+//   1. escalate  -- at the next window boundary the live testing block is
+//                   reprogrammed to a heavier design point through the
+//                   hw::register_map write path (the paper's actual
+//                   reconfiguration mechanism); no word of the stream is
+//                   dropped -- the words wait in the ring while the
+//                   hardware rebuilds, and the pump re-frames to the new
+//                   window length;
+//   2. confirm   -- the captured evidence is replayed offline through the
+//                   composable SP 800-22 battery (nist/battery.hpp), the
+//                   embedded analogue of shipping a suspicious stretch to
+//                   the host for the full software evaluation;
+//   3. de-escalate -- after a clean dwell at the heavy design the block
+//                   is reprogrammed back to the baseline and the alarm
+//                   policy re-arms.
+//
+// Every transition is a structured supervision_event; the timeline
+// serializes via base/json.hpp, so escalation behaviour is machine-
+// checkable (bench/escalation.cpp sweeps the adversarial library over
+// it).  This is the MSP430 control flow of the paper grown into a policy:
+// cheap tests all the time, heavy tests on suspicion, software
+// confirmation before anyone pulls a deployed TRNG.
+#pragma once
+
+#include "core/critical_values.hpp"
+#include "core/monitor.hpp"
+#include "core/stream.hpp"
+#include "nist/battery.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace otf::core {
+
+/// Which design tier the supervised channel is currently running.
+enum class supervision_state { baseline, escalated };
+
+/// \brief Kinds of supervision-timeline events.
+enum class supervision_event_kind {
+    alarm_raised,  ///< the k-of-w policy crossed its threshold
+    escalated,     ///< block reprogrammed to the heavy design
+    confirmed,     ///< offline battery verdict on the captured evidence
+    alarm_cleared, ///< the policy was reset (part of de-escalation)
+    de_escalated   ///< block reprogrammed back to the baseline
+};
+
+std::string to_string(supervision_event_kind kind);
+
+/// \brief Offline confirmation outcome: the captured evidence replayed
+/// through the composable battery.
+struct confirmation_result {
+    std::uint64_t evidence_windows = 0; ///< raw windows replayed
+    std::uint64_t evidence_bits = 0;
+    /// Machine-readable per-test results.
+    nist::battery_report battery;
+    /// True when the battery agrees with the online suspicion (at least
+    /// `supervisor_config::offline_min_failures` failing P-values).
+    bool confirmed = false;
+};
+
+/// \brief One entry of the supervision timeline.
+struct supervision_event {
+    std::uint64_t sequence = 0;     ///< event ordinal within the run
+    std::uint64_t window_index = 0; ///< global window count at the event
+    supervision_event_kind kind = supervision_event_kind::alarm_raised;
+    std::string from_design; ///< design label before (escalate/de-escalate)
+    std::string to_design;   ///< design label after
+    /// Offline verdict (kind == confirmed only).
+    std::optional<confirmation_result> confirmation;
+};
+
+/// \brief Supervision policy: the two design points, the online alarm
+/// rule, the evidence depth and the offline confirmation settings.
+struct supervisor_config {
+    /// Cheap always-on design the channel normally runs.
+    hw::block_config baseline;
+    /// Heavy design the block is reprogrammed to on suspicion.
+    hw::block_config escalated;
+    /// Per-test level of significance for both online designs.
+    double alpha = 0.001;
+    /// k-of-w online alarm: escalate when at least `fail_threshold` of
+    /// the last `policy_window` window verdicts failed.
+    unsigned fail_threshold = 3;
+    unsigned policy_window = 8;
+    /// Evidence ring depth: how many recent raw windows are kept for
+    /// offline confirmation.
+    std::size_t evidence_windows = 8;
+    /// Consecutive clean windows at the escalated design before the
+    /// block de-escalates back to the baseline.
+    std::uint64_t dwell_windows = 16;
+    /// Offline confirmation: significance level, test subset (empty =
+    /// every registered SP 800-22 test) and how many failing P-values
+    /// count as confirmation.
+    double offline_alpha = 0.01;
+    nist::battery_selection offline_tests = nist::battery_selection::all();
+    unsigned offline_min_failures = 2;
+    /// Ingestion lane (word fast lane by default).
+    bool word_path = true;
+
+    /// \throws std::invalid_argument on inconsistent designs (both must
+    /// be streamable: n >= 64), an invalid alarm policy, zero evidence
+    /// depth or zero dwell
+    void validate() const;
+};
+
+/// \brief Aggregated telemetry of one supervised run.  Deterministic for
+/// a fixed source except `seconds` and `stream`.
+struct supervision_report {
+    std::uint64_t windows = 0;  ///< windows tested (all designs)
+    std::uint64_t failures = 0; ///< windows with any failing test
+    std::uint64_t bits = 0;     ///< bits tested
+    unsigned escalations = 0;
+    unsigned confirmed_escalations = 0; ///< offline battery agreed
+    unsigned de_escalations = 0;
+    std::uint64_t windows_escalated = 0; ///< windows spent escalated
+    /// Window index of the first escalation (windows when none).
+    std::uint64_t first_escalation_window = 0;
+    bool alarm = false; ///< online alarm state at the end of the run
+    supervision_state final_state = supervision_state::baseline;
+    std::map<std::string, std::uint64_t> failures_by_test;
+    /// The full structured timeline.
+    std::vector<supervision_event> events;
+    stream_stats stream;  ///< pipeline backpressure (run() only)
+    double seconds = 0.0; ///< wall clock (run() only)
+};
+
+/// \brief The escalation supervisor for one channel.  Owns the monitor
+/// (constructed at the baseline design) and the evidence ring; exposes
+/// the three pipeline hooks -- sink (verdicts), tap (evidence), barrier
+/// (reconfiguration) -- so it drops onto any producer/pump pipeline, and
+/// a one-call run() that builds the pipeline itself.
+class supervisor {
+public:
+    /// \brief Validate the policy and invert both designs' critical
+    /// values (once, up front -- escalation must not pay the inversion).
+    explicit supervisor(supervisor_config cfg);
+
+    /// \brief Same, with both critical-value sets precomputed by the
+    /// caller -- lets a fleet of identical supervised channels invert the
+    /// distributions once instead of once per channel.
+    supervisor(supervisor_config cfg, critical_values baseline_cv,
+               critical_values escalated_cv);
+
+    const supervisor_config& config() const { return cfg_; }
+    supervision_state state() const { return state_; }
+    monitor& inner() { return mon_; }
+    const std::vector<supervision_event>& events() const { return events_; }
+
+    /// \brief Record one window verdict (the sink half of the loop):
+    /// updates the alarm policy, queues an escalation on its rising edge
+    /// and tracks the clean dwell while escalated.
+    void observe(const window_report& report);
+
+    /// \brief Capture one raw window into the evidence ring (bounded at
+    /// `evidence_windows`; oldest window evicted).
+    void capture(std::uint64_t window_index, const std::uint64_t* words,
+                 std::size_t nwords);
+
+    /// \brief The between-windows barrier action: apply a queued
+    /// escalation (reprogram through the register map + offline-confirm
+    /// the evidence) or a matured de-escalation.  Called by the pump's
+    /// barrier hook, never mid-window.
+    void at_barrier(std::uint64_t next_window);
+
+    // Pipeline adapters for external pumps (the fleet's channel loops).
+    window_sink sink();
+    window_tap tap();
+    window_barrier barrier();
+
+    /// \brief Run one source through a private producer/ring/pump
+    /// pipeline for `windows` windows (producer on its own thread).
+    /// \param source   entropy source (typically a source_model stack)
+    /// \param windows  windows to test; counts windows of whatever
+    ///                 design is live when each is assembled
+    /// \param opts     producer pass-through: the severity schedule's
+    ///                 word hook and an optional ring-depth override
+    ///                 (total_words is forced open-ended -- window
+    ///                 length changes mid-run, so the word total is not
+    ///                 knowable up front)
+    /// \return the aggregated report (also available via report())
+    supervision_report run(trng::entropy_source& source,
+                           std::uint64_t windows,
+                           producer_options opts = {});
+
+    /// \brief Aggregate the counters accumulated so far (for external-
+    /// pipeline integrations that drive observe/capture/at_barrier
+    /// themselves; `stream` and `seconds` stay zero).
+    supervision_report report() const;
+
+    /// \brief Serialize the event timeline as a JSON array under `key`
+    /// ("" at the root / inside an array), confirmation payloads
+    /// included.
+    void write_events(json_writer& json, std::string_view key) const;
+
+private:
+    void escalate(std::uint64_t next_window);
+    void de_escalate(std::uint64_t next_window);
+    confirmation_result confirm_offline() const;
+    supervision_event& push_event(std::uint64_t window,
+                                  supervision_event_kind kind);
+
+    supervisor_config cfg_;
+    critical_values cv_baseline_;
+    critical_values cv_escalated_;
+    monitor mon_;
+    windowed_alarm alarm_;
+    supervision_state state_ = supervision_state::baseline;
+    bool pending_escalation_ = false;
+    std::uint64_t clean_streak_ = 0;
+
+    struct evidence_window {
+        std::uint64_t index = 0;
+        std::vector<std::uint64_t> words;
+    };
+    std::deque<evidence_window> evidence_;
+
+    std::vector<supervision_event> events_;
+    std::uint64_t windows_ = 0;
+    std::uint64_t failures_ = 0;
+    std::uint64_t bits_ = 0;
+    std::uint64_t windows_escalated_ = 0;
+    unsigned escalations_ = 0;
+    unsigned confirmed_escalations_ = 0;
+    unsigned de_escalations_ = 0;
+    std::optional<std::uint64_t> first_escalation_window_;
+    std::map<std::string, std::uint64_t> failures_by_test_;
+};
+
+} // namespace otf::core

@@ -39,6 +39,24 @@ public:
     bool has(test_id id) const { return bits_.test(static_cast<unsigned>(id)); }
     unsigned count() const { return static_cast<unsigned>(bits_.count()); }
 
+    /// Raw bitmask (bit i = NIST test i) -- the value the control plane's
+    /// `cfg.tests` register carries during on-the-fly reconfiguration.
+    std::uint16_t to_raw() const
+    {
+        return static_cast<std::uint16_t>(bits_.to_ulong());
+    }
+    static test_set from_raw(std::uint16_t raw)
+    {
+        test_set s;
+        s.bits_ = std::bitset<16>(raw);
+        return s;
+    }
+
+    friend bool operator==(const test_set& a, const test_set& b)
+    {
+        return a.bits_ == b.bits_;
+    }
+
 private:
     std::bitset<16> bits_;
 };

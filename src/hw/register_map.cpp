@@ -96,4 +96,70 @@ unsigned register_map::total_words(unsigned word_bits) const
     return words;
 }
 
+namespace {
+
+std::uint64_t width_mask(unsigned width)
+{
+    return width >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << width) - 1);
+}
+
+} // namespace
+
+void register_map::add_control(std::string name, unsigned width,
+                               std::function<std::uint64_t()> read,
+                               std::function<void(std::uint64_t)> write)
+{
+    if (!read || !write) {
+        throw std::invalid_argument(
+            "register_map: control register \"" + name
+            + "\" needs both a getter and a setter");
+    }
+    controls_.push_back(control_entry{std::move(name), width,
+                                      std::move(read), std::move(write)});
+}
+
+const control_entry& register_map::control(std::size_t index) const
+{
+    return controls_.at(index);
+}
+
+std::size_t register_map::control_index_of(const std::string& name) const
+{
+    for (std::size_t i = 0; i < controls_.size(); ++i) {
+        if (controls_[i].name == name) {
+            return i;
+        }
+    }
+    throw std::out_of_range("register_map: no control register named "
+                            + name);
+}
+
+void register_map::write_control(std::size_t index, std::uint64_t value)
+{
+    const control_entry& e = controls_.at(index);
+    // Copy the setter before invoking it: the reconfigure strobe rebuilds
+    // the whole map from inside its own write, which would otherwise
+    // destroy the std::function it is executing.
+    const auto write = e.write;
+    write(value & width_mask(e.width));
+}
+
+void register_map::write_control(const std::string& name,
+                                 std::uint64_t value)
+{
+    write_control(control_index_of(name), value);
+}
+
+std::uint64_t register_map::read_control(std::size_t index) const
+{
+    const control_entry& e = controls_.at(index);
+    return e.read() & width_mask(e.width);
+}
+
+std::uint64_t register_map::read_control(const std::string& name) const
+{
+    return read_control(control_index_of(name));
+}
+
 } // namespace otf::hw

@@ -7,6 +7,14 @@
 // sub-addressed read port and therefore occupy a single top-level input.
 // The paper points out that this interface "contributes significantly to the
 // overall area", which the resource model here makes measurable.
+//
+// Besides the read-only result plane the map carries a *control plane*:
+// writable configuration registers through which the software platform
+// reconfigures the testing block on the fly (the paper's future-work
+// flexibility -- "software-selectable sequence length and parameters").
+// Control registers live on the MCU's peripheral write bus, not behind the
+// readout mux, so they do not perturb the Table III interface accounting
+// (top_level_inputs / max_width / total_words cover the result plane only).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,15 @@ struct map_entry {
     std::function<std::uint64_t()> read;
     /// Entries of the same non-empty group share one top-level mux input.
     std::string group;
+};
+
+/// One writable configuration register of the control plane.  Reads return
+/// the currently staged value; writes stage a new one (masked to `width`).
+struct control_entry {
+    std::string name;
+    unsigned width = 16;
+    std::function<std::uint64_t()> read;
+    std::function<void(std::uint64_t)> write;
 };
 
 class register_map {
@@ -72,8 +89,38 @@ public:
     /// the READ instruction count of a full collection pass.
     unsigned total_words(unsigned word_bits = 16) const;
 
+    // -- control plane (writable configuration registers) ------------------
+
+    /// \brief Register a writable control register.
+    /// \param name  unique control-plane name, e.g. "cfg.log2_n"
+    /// \param width value width in bits; writes are masked to it
+    /// \param read  getter returning the currently staged value
+    /// \param write setter staging a new value (receives the masked value)
+    void add_control(std::string name, unsigned width,
+                     std::function<std::uint64_t()> read,
+                     std::function<void(std::uint64_t)> write);
+
+    std::size_t control_count() const { return controls_.size(); }
+    const control_entry& control(std::size_t index) const;
+    const std::vector<control_entry>& controls() const { return controls_; }
+
+    /// Index of the control register called `name`, throws if absent.
+    std::size_t control_index_of(const std::string& name) const;
+
+    /// \brief Write a control register (value masked to its width).  Safe
+    /// against self-modifying writes: the setter is copied out of the map
+    /// before it runs, so a write that rebuilds the map (the reconfigure
+    /// strobe) does not destroy the function mid-call.
+    void write_control(std::size_t index, std::uint64_t value);
+    void write_control(const std::string& name, std::uint64_t value);
+
+    /// Currently staged value of a control register (masked to width).
+    std::uint64_t read_control(std::size_t index) const;
+    std::uint64_t read_control(const std::string& name) const;
+
 private:
     std::vector<map_entry> entries_;
+    std::vector<control_entry> controls_;
 };
 
 } // namespace otf::hw

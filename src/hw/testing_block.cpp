@@ -1,15 +1,23 @@
 #include "hw/testing_block.hpp"
 
 #include <stdexcept>
+#include <type_traits>
 
 namespace otf::hw {
 
 testing_block::testing_block(block_config config)
-    : rtl::component("testing_block"), config_(std::move(config)),
-      global_counter_("global_bit_counter", config_.log2_n)
+    : rtl::component("testing_block"), config_(std::move(config))
 {
     config_.validate();
-    adopt(global_counter_);
+    staged_ = config_;
+    build();
+}
+
+void testing_block::build()
+{
+    global_counter_ = std::make_unique<rtl::counter>("global_bit_counter",
+                                                     config_.log2_n);
+    adopt(*global_counter_);
 
     const bool any_template =
         config_.tests.has(test_id::non_overlapping_template)
@@ -99,6 +107,141 @@ testing_block::testing_block(block_config config)
     mux_ = std::make_unique<rtl::readout_mux>(
         "readout_mux", map_.top_level_inputs(), map_.max_width());
     adopt(*mux_);
+    add_control_plane();
+}
+
+namespace {
+
+/// One staged design parameter of the control plane: its register name
+/// and width, and how it maps onto block_config.  The single source of
+/// truth shared by the register registration (add_control_plane) and
+/// the software-side write sequence (reprogram) -- a field added here
+/// is automatically staged, written and read back everywhere.
+struct config_register {
+    const char* name;
+    unsigned width;
+    std::uint64_t (*get)(const block_config&);
+    void (*set)(block_config&, std::uint64_t);
+};
+
+template <auto Member>
+constexpr config_register field(const char* name, unsigned width)
+{
+    return {name, width,
+            [](const block_config& c) {
+                return static_cast<std::uint64_t>(c.*Member);
+            },
+            [](block_config& c, std::uint64_t v) {
+                c.*Member = static_cast<
+                    std::remove_reference_t<decltype(c.*Member)>>(v);
+            }};
+}
+
+constexpr config_register kConfigRegisters[] = {
+    field<&block_config::log2_n>("cfg.log2_n", 5),
+    {"cfg.tests", 16,
+     [](const block_config& c) {
+         return static_cast<std::uint64_t>(c.tests.to_raw());
+     },
+     [](block_config& c, std::uint64_t v) {
+         c.tests = test_set::from_raw(static_cast<std::uint16_t>(v));
+     }},
+    field<&block_config::bf_log2_m>("cfg.bf_log2_m", 5),
+    field<&block_config::lr_log2_m>("cfg.lr_log2_m", 5),
+    // The longest-run category bounds are validated up to the block
+    // length 2^lr_log2_m (lr_log2_m < 30), and template_length up to 16:
+    // the register widths must cover the whole validated domain or a
+    // legal target would be silently truncated on the bus.
+    field<&block_config::lr_v_lo>("cfg.lr_v_lo", 30),
+    field<&block_config::lr_v_hi>("cfg.lr_v_hi", 30),
+    field<&block_config::template_length>("cfg.template_length", 5),
+    field<&block_config::t7_template>("cfg.t7_template", 16),
+    field<&block_config::t7_log2_m>("cfg.t7_log2_m", 5),
+    field<&block_config::t8_template>("cfg.t8_template", 16),
+    field<&block_config::t8_log2_m>("cfg.t8_log2_m", 5),
+    field<&block_config::t8_max_count>("cfg.t8_max_count", 4),
+    field<&block_config::serial_m>("cfg.serial_m", 4),
+    {"cfg.options", 2,
+     [](const block_config& c) {
+         return std::uint64_t{(c.serial_transfer_marginals ? 1u : 0u)
+                              | (c.double_buffered ? 2u : 0u)};
+     },
+     [](block_config& c, std::uint64_t v) {
+         c.serial_transfer_marginals = (v & 1u) != 0;
+         c.double_buffered = (v & 2u) != 0;
+     }},
+};
+
+} // namespace
+
+void testing_block::add_control_plane()
+{
+    // Each cfg.* register stages one design parameter; ctrl.reconfigure
+    // applies the staged set.  Reads return the staged (not yet applied)
+    // values, so software can read back what it wrote before strobing.
+    for (const config_register& reg : kConfigRegisters) {
+        map_.add_control(
+            reg.name, reg.width,
+            [this, &reg] { return reg.get(staged_); },
+            [this, &reg](std::uint64_t v) { reg.set(staged_, v); });
+    }
+    map_.add_control(
+        "ctrl.reconfigure", 1,
+        [this] { return std::uint64_t{0}; },
+        [this](std::uint64_t v) {
+            if (v != 0) {
+                apply_reconfigure();
+            }
+        });
+}
+
+void testing_block::apply_reconfigure()
+{
+    if (consumed_ != 0) {
+        throw std::logic_error(
+            "testing_block: reconfigure mid-sequence (after "
+            + std::to_string(consumed_)
+            + " bits); reprogramming is only legal at a sequence "
+              "boundary");
+    }
+    staged_.validate();
+
+    // Tear the old engine set down and rebuild around the staged design.
+    // The register_map object survives (references held by the software
+    // runner stay valid); its entries are replaced wholesale.
+    disown_all();
+    engines_.clear();
+    cusum_.reset();
+    runs_.reset();
+    bf_.reset();
+    lr_.reset();
+    t7_.reset();
+    t8_.reset();
+    serial_.reset();
+    template_window_.reset();
+    mux_.reset();
+    global_counter_.reset();
+    map_ = register_map{};
+    latch_.clear();
+    latch_valid_ = false;
+    consumed_ = 0;
+    done_ = false;
+
+    config_ = staged_;
+    ++reconfigurations_;
+    build();
+}
+
+void testing_block::reprogram(const block_config& target)
+{
+    // The label is a software-side name, not a hardware parameter; every
+    // numeric field travels through the control plane, driven by the
+    // same register table the plane was built from.
+    staged_.name = target.name;
+    for (const config_register& reg : kConfigRegisters) {
+        map_.write_control(reg.name, reg.get(target));
+    }
+    map_.write_control("ctrl.reconfigure", 1);
 }
 
 void testing_block::feed(bool bit)
@@ -115,7 +258,7 @@ void testing_block::feed(bool bit)
         e->consume(bit, index);
     }
     ++consumed_;
-    global_counter_.step();
+    global_counter_->step();
 }
 
 void testing_block::feed_word(std::uint64_t word, unsigned nbits)
@@ -139,7 +282,7 @@ void testing_block::feed_word(std::uint64_t word, unsigned nbits)
         template_window_->shift_word(word, nbits);
     }
     consumed_ += nbits;
-    global_counter_.advance(nbits);
+    global_counter_->advance(nbits);
 }
 
 void testing_block::feed_words(const std::uint64_t* words,

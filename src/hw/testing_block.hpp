@@ -13,6 +13,15 @@
 //   block.finish();                     // serial cyclic flush (m-1 cycles)
 //   ... software reads block.registers() ...
 //   block.restart();                    // clear for the next sequence
+//
+// On-the-fly reconfiguration (the paper's "software-selectable sequence
+// length and parameters"): the register map's control plane stages a new
+// design point (`cfg.*` registers) and the `ctrl.reconfigure` strobe
+// applies it at a sequence boundary, rebuilding the engine set.  A
+// reprogrammed block is register-exact with a freshly constructed block of
+// the same design on all subsequent words.  `reprogram()` drives the whole
+// handshake through the register write path, exactly as the embedded
+// software would.
 #pragma once
 
 #include "base/bits.hpp"
@@ -88,8 +97,26 @@ public:
     bool done() const { return done_; }
     std::uint64_t bits_consumed() const { return consumed_; }
 
+    /// \brief Reprogram the live block to a new design point *through the
+    /// register map write path*: stages every `cfg.*` control register
+    /// from `target` and strobes `ctrl.reconfigure`.  Only the design
+    /// label travels out of band (it is a software-side name, not a
+    /// hardware parameter).
+    /// \param target the new design point (validated on apply)
+    /// \throws std::invalid_argument when `target` is inconsistent
+    /// \throws std::logic_error when called mid-sequence (reconfiguration
+    /// is only legal at a sequence boundary: 0 bits consumed)
+    void reprogram(const block_config& target);
+
+    /// Number of applied on-the-fly reconfigurations.
+    std::uint64_t reconfigurations() const { return reconfigurations_; }
+
     /// The memory-mapped interface (valid for the lifetime of the block).
     const register_map& registers() const { return map_; }
+
+    /// Writable view of the interface, for software that drives the
+    /// control plane directly (register_map::write_control).
+    register_map& registers() { return map_; }
 
     // Typed access to the engines (null when the test is not in the set).
     const cusum_hw* cusum() const { return cusum_.get(); }
@@ -109,8 +136,21 @@ protected:
     }
 
 private:
+    /// Build the engine set, result plane and readout mux from `config_`.
+    /// Called by the constructor and again on every applied
+    /// reconfiguration (after the old engines are torn down).
+    void build();
+    /// Register the control-plane (`cfg.*` / `ctrl.*`) registers.
+    void add_control_plane();
+    /// The `ctrl.reconfigure` strobe: validate the staged design and
+    /// rebuild the block around it.
+    void apply_reconfigure();
+
     block_config config_;
-    rtl::counter global_counter_;
+    /// Design point staged by the control plane; becomes `config_` when
+    /// `ctrl.reconfigure` is strobed.
+    block_config staged_;
+    std::unique_ptr<rtl::counter> global_counter_;
     std::unique_ptr<rtl::shift_register> template_window_;
     std::unique_ptr<cusum_hw> cusum_;
     std::unique_ptr<runs_hw> runs_;
@@ -126,6 +166,7 @@ private:
     bool latch_valid_ = false;
     std::uint64_t consumed_ = 0;
     bool done_ = false;
+    std::uint64_t reconfigurations_ = 0;
 };
 
 } // namespace otf::hw

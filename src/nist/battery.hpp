@@ -1,14 +1,20 @@
-// One-call runner for the full 15-test SP 800-22 battery.
+// Composable runner for the full 15-test SP 800-22 battery.
 //
 // This is the *offline* evaluation flow the on-the-fly platform
-// complements: run every applicable test on a recorded sequence and
-// collect all P-values.  Used by the examples and by the offline-vs-online
-// bench; parameterization follows the NIST defaults scaled to the
-// sequence length.
+// complements: run statistical tests on a recorded sequence and collect
+// machine-readable per-test results.  The battery is a registry of
+// individually invokable tests (`battery_tests()`), so callers can run the
+// whole suite, or a subset -- the escalation supervisor
+// (core/supervisor.hpp) replays captured evidence through exactly the
+// tests it wants for offline confirmation, and the examples/benches keep
+// their one-call full pass.  Parameterization follows the NIST defaults
+// scaled to the sequence length.
 #pragma once
 
 #include "base/bits.hpp"
+#include "base/json.hpp"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,8 +37,58 @@ struct battery_report {
     bool all_pass() const { return failed == 0; }
 };
 
-/// Run every SP 800-22 test whose minimum-length recommendation the
-/// sequence satisfies.  `alpha` is the per-test significance level.
+/// \brief One composable offline test.  `run` appends one battery_entry
+/// per P-value (several tests emit more than one: serial, cusum, the
+/// excursion families) and maintains the report's pass/fail/skip tallies.
+struct battery_test {
+    unsigned number = 0;        ///< NIST numbering 1..15
+    std::string name;           ///< registry name, e.g. "linear complexity"
+    std::size_t min_length = 0; ///< shortest sequence the test accepts
+    std::function<void(const bit_sequence& seq, double alpha,
+                       battery_report& out)>
+        run;
+};
+
+/// \brief The full SP 800-22 registry in NIST order (one entry per test
+/// number; built once, shared).
+const std::vector<battery_test>& battery_tests();
+
+/// \brief Subset selection over the registry, by NIST test number.
+class battery_selection {
+public:
+    /// Every registered test.
+    static battery_selection all();
+
+    /// \brief Add one test by NIST number.
+    /// \throws std::invalid_argument outside 1..15
+    battery_selection& with(unsigned test_number);
+
+    bool has(unsigned test_number) const
+    {
+        return test_number >= 1 && test_number <= 15
+            && (mask_ & (1u << test_number)) != 0;
+    }
+    bool empty() const { return mask_ == 0; }
+    unsigned count() const;
+
+private:
+    std::uint32_t mask_ = 0;
+};
+
+/// \brief Run the selected tests on `seq`.  Tests whose minimum-length
+/// recommendation the sequence misses are recorded as skipped
+/// (applicable = false) rather than silently dropped.  `alpha` is the
+/// per-test significance level.
+/// \throws std::invalid_argument on an empty selection
+battery_report run_battery(const bit_sequence& seq, double alpha,
+                           const battery_selection& select);
+
+/// Run every registered test (the classic one-call full pass).
 battery_report run_battery(const bit_sequence& seq, double alpha);
+
+/// \brief Serialize a report's machine-readable per-test results as a
+/// JSON object under `key` ("" at the root / inside an array).
+void write_battery(json_writer& json, std::string_view key,
+                   const battery_report& report);
 
 } // namespace otf::nist

@@ -47,6 +47,11 @@ protected:
     /// Register a child; the child must outlive this component.
     void adopt(component& child) { children_.push_back(&child); }
 
+    /// Unregister every child -- used by reconfigurable composites (the
+    /// testing block's on-the-fly reprogramming) that tear their
+    /// sub-blocks down and adopt a fresh set.
+    void disown_all() { children_.clear(); }
+
 private:
     std::string name_;
     std::vector<component*> children_;

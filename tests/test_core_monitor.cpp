@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -217,6 +218,25 @@ TEST(health_monitor, alarm_after_threshold_failures)
     (void)hm.observe(bad);
     EXPECT_TRUE(hm.alarm());
     EXPECT_EQ(hm.windows_failed(), 2u);
+}
+
+TEST(health_monitor, alarm_hook_fires_once_on_the_rising_edge)
+{
+    core::health_monitor hm(fast_cfg(), 0.01, {.fail_threshold = 2,
+                                               .window = 8});
+    std::vector<core::alarm_event> events;
+    hm.on_alarm([&](const core::alarm_event& ev) {
+        events.push_back(ev);
+    });
+    trng::stuck_source bad(false);
+    for (int w = 0; w < 4; ++w) {
+        (void)hm.observe(bad);
+    }
+    // The edge, not the level: one event, at the window that crossed
+    // the threshold, carrying the evidence count.
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].window_index, 1u);
+    EXPECT_EQ(events[0].recent_failures, 2u);
 }
 
 TEST(health_monitor, healthy_source_rarely_alarms)

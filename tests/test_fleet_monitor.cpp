@@ -324,4 +324,100 @@ TEST(fleet, null_source_factory_result_names_the_channel)
     }
 }
 
+// ------------------------------------------- per-channel supervision --
+
+core::fleet_config supervised_config(unsigned channels, unsigned threads)
+{
+    core::fleet_config cfg;
+    cfg.block = core::paper_design(7, core::tier::light);
+    cfg.alpha = 0.001;
+    cfg.channels = channels;
+    cfg.threads = threads;
+    cfg.fail_threshold = 2;
+    cfg.policy_window = 4;
+    cfg.escalated_block = core::paper_design(7, core::tier::medium);
+    cfg.evidence_windows = 4;
+    cfg.dwell_windows = 1000; // stay escalated once triggered
+    return cfg;
+}
+
+core::fleet_monitor::source_factory one_bad_channel(unsigned bad)
+{
+    return [bad](unsigned c) -> std::unique_ptr<trng::entropy_source> {
+        if (c == bad) {
+            return std::make_unique<trng::biased_source>(fixture_seed(c),
+                                                         0.95);
+        }
+        return std::make_unique<trng::ideal_source>(fixture_seed(c));
+    };
+}
+
+TEST(fleet_supervision, only_the_attacked_channel_escalates)
+{
+    core::fleet_monitor fleet(supervised_config(3, 2));
+    const auto report = fleet.run(one_bad_channel(2), 24);
+
+    EXPECT_EQ(report.channels_escalated, 1u);
+    EXPECT_EQ(report.escalations, 1u);
+    for (const core::channel_report& ch : report.channels) {
+        if (ch.channel == 2) {
+            EXPECT_EQ(ch.escalations, 1u);
+            EXPECT_EQ(ch.confirmed_escalations, 1u)
+                << "the offline battery must confirm a 95%-ones stream";
+            EXPECT_GT(ch.windows_escalated, 0u);
+            EXPECT_TRUE(ch.alarm);
+            EXPECT_LT(ch.first_alarm_window, 4u);
+        } else {
+            EXPECT_EQ(ch.escalations, 0u) << "channel " << ch.channel;
+            EXPECT_EQ(ch.windows_escalated, 0u);
+            EXPECT_EQ(ch.first_alarm_window, ch.windows)
+                << "never-alarmed sentinel";
+        }
+    }
+}
+
+TEST(fleet_supervision, report_is_independent_of_thread_count)
+{
+    const auto run_with = [](unsigned threads) {
+        core::fleet_monitor fleet(supervised_config(4, threads));
+        return fleet.run(one_bad_channel(1), 16);
+    };
+    const auto serial = run_with(1);
+    const auto parallel = run_with(4);
+    EXPECT_TRUE(serial.same_counters(parallel));
+    ASSERT_EQ(serial.channels.size(), parallel.channels.size());
+    for (std::size_t c = 0; c < serial.channels.size(); ++c) {
+        EXPECT_EQ(serial.channels[c], parallel.channels[c])
+            << "channel " << c;
+    }
+}
+
+TEST(fleet_supervision, escalated_channels_account_mixed_window_bits)
+{
+    core::fleet_config cfg = supervised_config(2, 2);
+    // Escalate to a 4x longer window so the bit accounting must mix.
+    cfg.escalated_block = core::custom_design(
+        9, hw::test_set{}
+               .with(hw::test_id::frequency)
+               .with(hw::test_id::runs)
+               .with(hw::test_id::cumulative_sums));
+    core::fleet_monitor fleet(cfg);
+    const auto report = fleet.run(one_bad_channel(0), 20);
+
+    const core::channel_report& bad = report.channels[0];
+    ASSERT_GT(bad.escalations, 0u);
+    EXPECT_EQ(bad.bits,
+              (bad.windows - bad.windows_escalated) * 128u
+                  + bad.windows_escalated * 512u);
+    const core::channel_report& good = report.channels[1];
+    EXPECT_EQ(good.bits, good.windows * 128u);
+}
+
+TEST(fleet_supervision, sub_word_baseline_is_rejected)
+{
+    core::fleet_config cfg = supervised_config(2, 1);
+    cfg.block.log2_n = 5; // n = 32: not streamable, cannot supervise
+    EXPECT_THROW(core::fleet_monitor{cfg}, std::invalid_argument);
+}
+
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <gtest/gtest.h>
+#include <memory>
+#include <stdexcept>
 
 namespace {
 
@@ -109,6 +111,88 @@ TEST(register_map, getters_are_live_views)
     EXPECT_EQ(map.read_value("live"), 0);
     counter = 77;
     EXPECT_EQ(map.read_value("live"), 77);
+}
+
+// ----------------------------------------------------- control plane --
+
+TEST(control_plane, write_and_read_back)
+{
+    std::uint64_t staged = 3;
+    register_map map;
+    map.add_control(
+        "cfg.x", 8, [&staged] { return staged; },
+        [&staged](std::uint64_t v) { staged = v; });
+    EXPECT_EQ(map.control_count(), 1u);
+    EXPECT_EQ(map.read_control("cfg.x"), 3u);
+    map.write_control("cfg.x", 42);
+    EXPECT_EQ(staged, 42u);
+    EXPECT_EQ(map.read_control(0), 42u);
+}
+
+TEST(control_plane, writes_mask_to_width)
+{
+    std::uint64_t staged = 0;
+    register_map map;
+    map.add_control(
+        "cfg.narrow", 4, [&staged] { return staged; },
+        [&staged](std::uint64_t v) { staged = v; });
+    map.write_control("cfg.narrow", 0x1FF);
+    EXPECT_EQ(staged, 0xFu) << "a 4-bit register keeps 4 bits";
+    staged = 0x7C;
+    EXPECT_EQ(map.read_control("cfg.narrow"), 0xCu)
+        << "reads mask too (the bus only carries width bits)";
+}
+
+TEST(control_plane, unknown_name_throws)
+{
+    register_map map;
+    EXPECT_THROW(map.write_control("cfg.ghost", 1), std::out_of_range);
+    EXPECT_THROW((void)map.read_control("cfg.ghost"), std::out_of_range);
+    EXPECT_THROW((void)map.control(0), std::out_of_range);
+}
+
+TEST(control_plane, requires_getter_and_setter)
+{
+    register_map map;
+    EXPECT_THROW(map.add_control("cfg.x", 8, nullptr,
+                                 [](std::uint64_t) {}),
+                 std::invalid_argument);
+    EXPECT_THROW(map.add_control("cfg.x", 8, [] { return 0u; }, nullptr),
+                 std::invalid_argument);
+}
+
+TEST(control_plane, separate_from_result_plane_accounting)
+{
+    register_map map = small_map();
+    const unsigned inputs = map.top_level_inputs();
+    const unsigned words = map.total_words(16);
+    std::uint64_t staged = 0;
+    map.add_control(
+        "cfg.x", 16, [&staged] { return staged; },
+        [&staged](std::uint64_t v) { staged = v; });
+    EXPECT_EQ(map.size(), 5u) << "controls are not result entries";
+    EXPECT_EQ(map.top_level_inputs(), inputs);
+    EXPECT_EQ(map.total_words(16), words);
+    EXPECT_THROW((void)map.index_of("cfg.x"), std::out_of_range);
+}
+
+TEST(control_plane, self_modifying_write_is_safe)
+{
+    // The reconfigure strobe rebuilds the whole map from inside its own
+    // setter; write_control must survive the registered function being
+    // destroyed mid-call.
+    auto map = std::make_unique<register_map>();
+    bool fired = false;
+    register_map* raw = map.get();
+    raw->add_control(
+        "ctrl.rebuild", 1, [] { return 0u; },
+        [raw, &fired](std::uint64_t) {
+            *raw = register_map{}; // drops every entry, this one included
+            fired = true;
+        });
+    raw->write_control("ctrl.rebuild", 1);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(raw->control_count(), 0u);
 }
 
 } // namespace

@@ -238,4 +238,169 @@ TEST(area_model, audit_covers_all_engines)
     }
 }
 
+// -------------------------------------- on-the-fly reconfiguration --
+
+/// Feed one full window into `block` from `source`, word lane or per-bit
+/// oracle lane, and finish.
+void run_window(hw::testing_block& block, trng::ideal_source& source,
+                bool word_lane)
+{
+    const std::uint64_t n = block.config().n();
+    if (word_lane && n >= 64) {
+        std::vector<std::uint64_t> words(
+            static_cast<std::size_t>(n / 64));
+        source.fill_words(words.data(), words.size());
+        block.run_words(words);
+    } else {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            block.feed(source.next_bit());
+        }
+        block.finish();
+    }
+}
+
+/// Every mapped value of `a` equals the same-named value of `b`.
+void expect_registers_equal(const hw::testing_block& a,
+                            const hw::testing_block& b,
+                            const std::string& label)
+{
+    const hw::register_map& ma = a.registers();
+    const hw::register_map& mb = b.registers();
+    ASSERT_EQ(ma.size(), mb.size()) << label;
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+        EXPECT_EQ(ma.entry(i).name, mb.entry(i).name) << label;
+        EXPECT_EQ(ma.read_raw(i), mb.read_raw(i))
+            << label << ": " << ma.entry(i).name;
+    }
+}
+
+TEST(reconfigure, reprogrammed_block_is_register_exact_with_fresh)
+{
+    // The acceptance pin: a testing block reprogrammed via the register
+    // map to design D matches a freshly constructed D on the same
+    // subsequent words -- across all 8 paper designs x both lanes.
+    const auto designs = core::all_paper_designs();
+    for (const bool word_lane : {true, false}) {
+        for (std::size_t t = 0; t < designs.size(); ++t) {
+            // Escalate/de-escalate between neighbouring design points.
+            const hw::block_config& from =
+                designs[(t + 1) % designs.size()];
+            const hw::block_config& to = designs[t];
+
+            hw::testing_block reprogrammed(from);
+            reprogrammed.reprogram(to);
+            EXPECT_EQ(reprogrammed.config().name, to.name);
+            EXPECT_EQ(reprogrammed.reconfigurations(), 1u);
+            hw::testing_block fresh(to);
+
+            trng::ideal_source source_a(0xD0 + t), source_b(0xD0 + t);
+            run_window(reprogrammed, source_a, word_lane);
+            run_window(fresh, source_b, word_lane);
+            expect_registers_equal(reprogrammed, fresh,
+                                   to.name
+                                       + (word_lane ? " (word)"
+                                                    : " (per-bit)"));
+        }
+    }
+}
+
+TEST(reconfigure, mid_sequence_strobe_throws)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    block.feed(true);
+    EXPECT_THROW(block.reprogram(paper_design(7, tier::medium)),
+                 std::logic_error);
+    // The failed strobe must not have changed the live design.
+    EXPECT_EQ(block.config().name, "n=128 light");
+    EXPECT_EQ(block.reconfigurations(), 0u);
+}
+
+TEST(reconfigure, window_boundary_strobe_is_legal)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    trng::ideal_source source(3);
+    run_window(block, source, false);
+    block.restart(); // boundary: 0 bits of the next window consumed
+    block.reprogram(paper_design(7, tier::medium));
+    EXPECT_EQ(block.config().name, "n=128 medium");
+    EXPECT_TRUE(block.config().tests.has(hw::test_id::serial));
+}
+
+TEST(reconfigure, invalid_staged_design_throws_and_keeps_the_block)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    hw::block_config bad = paper_design(7, tier::light);
+    bad.bf_log2_m = 30; // block longer than the sequence
+    EXPECT_THROW(block.reprogram(bad), std::invalid_argument);
+    EXPECT_EQ(block.reconfigurations(), 0u);
+    // The block still works at the original design.
+    trng::ideal_source source(4);
+    run_window(block, source, true);
+    EXPECT_TRUE(block.done());
+}
+
+TEST(reconfigure, boundary_parameter_values_survive_the_bus)
+{
+    // Every register width must cover its validated domain: a target
+    // the constructor accepts must reprogram without truncation.
+    hw::block_config target = paper_design(16, tier::medium);
+    target.name = "boundary";
+    target.template_length = 16; // validate() accepts [1, 16]
+    target.t7_template = 0xFFFF;
+    target.lr_v_lo = 60;
+    target.lr_v_hi = 127; // up to 2^lr_log2_m (= 128 here)
+    target.validate();
+
+    hw::testing_block block(paper_design(7, tier::light));
+    block.reprogram(target);
+    EXPECT_EQ(block.config().template_length, 16u);
+    EXPECT_EQ(block.config().t7_template, 0xFFFFu);
+    EXPECT_EQ(block.config().lr_v_lo, 60u);
+    EXPECT_EQ(block.config().lr_v_hi, 127u);
+
+    // And the reprogrammed block still matches fresh construction.
+    hw::testing_block fresh(target);
+    trng::ideal_source source_a(0xB0), source_b(0xB0);
+    run_window(block, source_a, true);
+    run_window(fresh, source_b, true);
+    expect_registers_equal(block, fresh, "boundary");
+}
+
+TEST(reconfigure, control_plane_stages_and_reads_back)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    hw::register_map& map = block.registers();
+    EXPECT_GT(map.control_count(), 0u);
+    // Reads return the staged values (initially the live design).
+    EXPECT_EQ(map.read_control("cfg.log2_n"), 7u);
+    map.write_control("cfg.log2_n", 16);
+    EXPECT_EQ(map.read_control("cfg.log2_n"), 16u);
+    // Staging alone changes nothing until the strobe.
+    EXPECT_EQ(block.config().log2_n, 7u);
+    map.write_control("ctrl.reconfigure", 1);
+    EXPECT_EQ(block.config().log2_n, 16u);
+    EXPECT_EQ(block.reconfigurations(), 1u);
+}
+
+TEST(reconfigure, control_plane_does_not_touch_result_accounting)
+{
+    // The write path must not perturb the Table III interface numbers:
+    // controls live on the peripheral write bus, not behind the readout
+    // mux, so they appear in control_count() only -- never among the
+    // result-plane entries that size() / top_level_inputs() /
+    // total_words() account for.
+    const hw::testing_block block(paper_design(16, tier::high));
+    const hw::register_map& map = block.registers();
+    EXPECT_EQ(map.control_count(), 15u);
+    for (const hw::map_entry& e : map.entries()) {
+        EXPECT_EQ(e.name.rfind("cfg.", 0), std::string::npos) << e.name;
+        EXPECT_EQ(e.name.rfind("ctrl.", 0), std::string::npos) << e.name;
+    }
+    for (const hw::control_entry& c : map.controls()) {
+        EXPECT_TRUE(c.name.rfind("cfg.", 0) == 0
+                    || c.name.rfind("ctrl.", 0) == 0)
+            << c.name;
+    }
+}
+
 } // namespace

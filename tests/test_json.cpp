@@ -4,8 +4,12 @@
 #include "base/json.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <gtest/gtest.h>
+#include <limits>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace {
 
@@ -87,6 +91,116 @@ TEST(json, misuse_throws)
         w.begin_array();
         EXPECT_THROW(w.end_object(), std::logic_error) << "mismatched close";
     }
+}
+
+TEST(json, every_control_char_is_escaped)
+{
+    // 0x00..0x1F must never reach the string region raw; the named
+    // escapes (\n, \t, \r) keep their short form, everything else goes
+    // \u00xx.
+    for (unsigned c = 0; c < 0x20; ++c) {
+        json_writer w;
+        w.begin_object();
+        const char raw[2] = {static_cast<char>(c), '\0'};
+        w.value("k", std::string_view(raw, 1));
+        w.end_object();
+        char escape[16];
+        if (c == '\n') {
+            std::snprintf(escape, sizeof escape, "\\n");
+        } else if (c == '\t') {
+            std::snprintf(escape, sizeof escape, "\\t");
+        } else if (c == '\r') {
+            std::snprintf(escape, sizeof escape, "\\r");
+        } else {
+            std::snprintf(escape, sizeof escape, "\\u%04x", c);
+        }
+        EXPECT_EQ(w.str(),
+                  std::string("{\n  \"k\": \"") + escape + "\"\n}\n")
+            << "control char 0x" << std::hex << c;
+    }
+}
+
+TEST(json, quote_and_backslash_escape_in_keys_too)
+{
+    json_writer w;
+    w.begin_object();
+    w.value("a\"b\\c", "v");
+    w.end_object();
+    EXPECT_EQ(w.str(), "{\n  \"a\\\"b\\\\c\": \"v\"\n}\n");
+}
+
+TEST(json, non_ascii_bytes_pass_through)
+{
+    // UTF-8 multibyte sequences (and DEL) are legal JSON string bytes;
+    // only C0 controls, quote and backslash need escaping.
+    json_writer w;
+    w.begin_object();
+    w.value("k", "caf\xc3\xa9\x7f");
+    w.end_object();
+    EXPECT_EQ(w.str(), "{\n  \"k\": \"caf\xc3\xa9\x7f\"\n}\n");
+}
+
+TEST(json, non_finite_doubles_serialize_as_null)
+{
+    json_writer w;
+    w.begin_object();
+    w.value("pos_inf", std::numeric_limits<double>::infinity());
+    w.value("neg_inf", -std::numeric_limits<double>::infinity());
+    w.value("quiet_nan", std::numeric_limits<double>::quiet_NaN());
+    w.value("finite", 1.5);
+    w.end_object();
+    EXPECT_EQ(w.str(), "{\n  \"pos_inf\": null,\n  \"neg_inf\": null,\n"
+                       "  \"quiet_nan\": null,\n  \"finite\": 1.5\n}\n");
+}
+
+TEST(json, empty_containers_render_compact)
+{
+    {
+        json_writer w;
+        w.begin_array();
+        w.end_array();
+        EXPECT_EQ(w.str(), "[]\n") << "empty root array";
+    }
+    {
+        json_writer w;
+        w.begin_object();
+        w.end_object();
+        EXPECT_EQ(w.str(), "{}\n") << "empty root object";
+    }
+    {
+        json_writer w;
+        w.begin_array();
+        w.begin_object();
+        w.end_object();
+        w.begin_array();
+        w.end_array();
+        w.end_array();
+        EXPECT_EQ(w.str(), "[\n  {},\n  []\n]\n")
+            << "empty containers nested in an array";
+    }
+    {
+        json_writer w;
+        w.begin_object();
+        w.begin_object("o");
+        w.end_object();
+        w.begin_array("a");
+        w.end_array();
+        w.end_object();
+        EXPECT_EQ(w.str(), "{\n  \"o\": {},\n  \"a\": []\n}\n")
+            << "empty containers as object members";
+    }
+}
+
+TEST(json, empty_string_values_and_whole_document)
+{
+    json_writer w;
+    w.begin_object();
+    w.value("empty", "");
+    w.end_object();
+    EXPECT_EQ(w.str(), "{\n  \"empty\": \"\"\n}\n");
+
+    json_writer none;
+    EXPECT_EQ(none.str(), "\n") << "no root at all is just a newline";
 }
 
 } // namespace

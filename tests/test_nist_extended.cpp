@@ -4,6 +4,7 @@
 // universal statistic against the SP 800-22 worked example, excursion
 // probabilities against their closed forms, and defect-detection
 // properties for each test.
+#include "base/json.hpp"
 #include "nist/battery.hpp"
 #include "nist/extended_tests.hpp"
 #include "nist/fft.hpp"
@@ -14,6 +15,8 @@
 #include <cstdint>
 #include <gtest/gtest.h>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace {
@@ -336,6 +339,95 @@ TEST(battery, stuck_source_fails_broadly)
     const auto report = run_battery(bit_sequence(65536, true), 0.01);
     EXPECT_GT(report.failed, 3u);
     EXPECT_FALSE(report.all_pass());
+}
+
+TEST(battery, registry_covers_all_fifteen_tests_in_order)
+{
+    const auto& tests = battery_tests();
+    ASSERT_EQ(tests.size(), 15u);
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+        EXPECT_EQ(tests[i].number, i + 1);
+        EXPECT_FALSE(tests[i].name.empty());
+        EXPECT_TRUE(static_cast<bool>(tests[i].run));
+    }
+}
+
+TEST(battery, subset_selection_runs_only_the_selected_tests)
+{
+    trng::ideal_source src(31);
+    const bit_sequence seq = src.generate(65536);
+    const auto report = run_battery(
+        seq, 0.01,
+        battery_selection{}.with(1).with(3).with(13));
+    // frequency (1 P-value) + runs (1) + cusum (2 P-values).
+    ASSERT_EQ(report.entries.size(), 4u);
+    EXPECT_EQ(report.entries[0].test_number, 1u);
+    EXPECT_EQ(report.entries[1].test_number, 3u);
+    EXPECT_EQ(report.entries[2].test_number, 13u);
+    EXPECT_EQ(report.entries[3].test_number, 13u);
+    EXPECT_EQ(report.skipped, 0u);
+}
+
+TEST(battery, subset_matches_the_full_pass_entry_for_entry)
+{
+    // No duplicated implementations: the subset API and the classic
+    // full pass must produce identical P-values for the shared tests.
+    trng::ideal_source src(32);
+    const bit_sequence seq = src.generate(65536);
+    const auto full = run_battery(seq, 0.01);
+    const auto subset =
+        run_battery(seq, 0.01, battery_selection{}.with(6).with(11));
+    for (const auto& e : subset.entries) {
+        bool found = false;
+        for (const auto& f : full.entries) {
+            if (f.test_number == e.test_number && f.name == e.name) {
+                EXPECT_EQ(f.p_value, e.p_value) << e.name;
+                EXPECT_EQ(f.pass, e.pass) << e.name;
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found) << e.name;
+    }
+}
+
+TEST(battery, short_sequences_record_skips_instead_of_dropping)
+{
+    trng::ideal_source src(33);
+    const bit_sequence seq = src.generate(1024);
+    const auto report =
+        run_battery(seq, 0.01, battery_selection{}.with(8).with(10));
+    // Both tests need more than 1024 bits: each must appear as a
+    // skipped (inapplicable) entry, not vanish.
+    ASSERT_EQ(report.entries.size(), 2u);
+    EXPECT_EQ(report.skipped, 2u);
+    EXPECT_FALSE(report.entries[0].applicable);
+    EXPECT_FALSE(report.entries[1].applicable);
+}
+
+TEST(battery, selection_validates_test_numbers)
+{
+    EXPECT_THROW(battery_selection{}.with(0), std::invalid_argument);
+    EXPECT_THROW(battery_selection{}.with(16), std::invalid_argument);
+    trng::ideal_source src(34);
+    EXPECT_THROW(run_battery(src.generate(1024), 0.01,
+                             battery_selection{}),
+                 std::invalid_argument);
+    EXPECT_EQ(battery_selection::all().count(), 15u);
+}
+
+TEST(battery, report_serializes_as_json)
+{
+    trng::ideal_source src(35);
+    const auto report = run_battery(
+        src.generate(4096), 0.01,
+        battery_selection{}.with(1).with(13));
+    json_writer json;
+    write_battery(json, {}, report);
+    const std::string text = json.str();
+    EXPECT_NE(text.find("\"entries\""), std::string::npos);
+    EXPECT_NE(text.find("\"cusum forward\""), std::string::npos);
+    EXPECT_NE(text.find("\"p_value\""), std::string::npos);
+    EXPECT_NE(text.find("\"all_pass\""), std::string::npos);
 }
 
 } // namespace
