@@ -33,10 +33,16 @@ echo "== escalation supervisor smoke (OTF_SMOKE=1) =="
 # null-silent contract.
 OTF_SMOKE=1 "$BUILD_DIR"/bench/bench_escalation --bench-dir="$BUILD_DIR"
 
+echo "== population fleet smoke (OTF_SMOKE=1) =="
+# Sharded fleet-of-fleets: exit status enforces detections, full queue
+# delivery, and same_counters determinism across shard/thread layouts.
+OTF_SMOKE=1 OTF_BENCH_DIR="$BUILD_DIR" "$BUILD_DIR"/bench/bench_population
+
 if command -v python3 >/dev/null 2>&1; then
     echo "== validating BENCH_*.json =="
     for f in "$BUILD_DIR"/BENCH_fleet.json "$BUILD_DIR"/BENCH_scenarios.json \
-             "$BUILD_DIR"/BENCH_stream.json "$BUILD_DIR"/BENCH_escalation.json; do
+             "$BUILD_DIR"/BENCH_stream.json "$BUILD_DIR"/BENCH_escalation.json \
+             "$BUILD_DIR"/BENCH_population.json; do
         python3 -m json.tool "$f" >/dev/null
         echo "ok: $f"
     done

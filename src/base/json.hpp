@@ -9,6 +9,7 @@
 // produces this format.
 #pragma once
 
+#include <charconv>
 #include <cinttypes>
 #include <cmath>
 #include <cstdint>
@@ -78,9 +79,13 @@ public:
             out_ += "null"; // JSON has no NaN/Inf
             return;
         }
+        // std::to_chars is locale-independent by specification (printf
+        // under a comma-decimal global locale would emit "0,5" and
+        // corrupt the document); general/12 matches C-locale %.12g.
         char buf[40];
-        std::snprintf(buf, sizeof buf, "%.12g", d);
-        out_ += buf;
+        const auto res = std::to_chars(buf, buf + sizeof buf, d,
+                                       std::chars_format::general, 12);
+        out_.append(buf, res.ptr);
     }
 
     /// The finished document.  Throws unless every container was closed.

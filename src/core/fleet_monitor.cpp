@@ -37,6 +37,7 @@ supervisor_config fleet_config::supervised_config() const
     sc.evidence_windows = evidence_windows;
     sc.dwell_windows = dwell_windows;
     sc.offline_alpha = offline_alpha;
+    sc.offline_min_failures = offline_min_failures;
     sc.word_path = word_path;
     return sc;
 }
@@ -48,6 +49,7 @@ bool fleet_report::same_counters(const fleet_report& other) const
         && channels_in_alarm == other.channels_in_alarm
         && escalations == other.escalations
         && channels_escalated == other.channels_escalated
+        && confirmed_escalations == other.confirmed_escalations
         && failures_by_test == other.failures_by_test;
 }
 
@@ -58,6 +60,18 @@ fleet_monitor::fleet_monitor(fleet_config cfg)
     if (cfg_.escalated_block) {
         cv_escalated_ =
             compute_critical_values(*cfg_.escalated_block, cfg_.alpha);
+    }
+}
+
+fleet_monitor::fleet_monitor(fleet_config cfg, critical_values cv,
+                             std::optional<critical_values> cv_escalated)
+    : cfg_((cfg.validate(), std::move(cfg))), cv_(std::move(cv)),
+      cv_escalated_(std::move(cv_escalated))
+{
+    if (cfg_.escalated_block.has_value() != cv_escalated_.has_value()) {
+        throw std::invalid_argument(
+            "fleet_monitor: escalated critical values must be provided "
+            "exactly when an escalated design is configured");
     }
 }
 
@@ -141,16 +155,25 @@ struct channel_state {
             pump.set_tap(sup->tap());
             pump.set_barrier(sup->barrier());
         }
-        const std::uint64_t pumped =
-            run_pipeline(producer, pump,
-                         [&](const window_report& wr) {
-                             if (sup) {
-                                 sup->observe(wr);
-                             }
-                             observe(wr);
-                             return true;
-                         },
-                         windows);
+        std::uint64_t pumped = 0;
+        try {
+            pumped = run_pipeline(producer, pump,
+                                  [&](const window_report& wr) {
+                                      if (sup) {
+                                          sup->observe(wr);
+                                      }
+                                      observe(wr);
+                                      return true;
+                                  },
+                                  windows);
+        } catch (...) {
+            // The backpressure stats are exactly what explains a stalled
+            // or dried-up pipeline -- they must survive into the error
+            // report, not just the success path.
+            report.stream = snapshot(ring);
+            throw;
+        }
+        report.stream = snapshot(ring);
         if (pumped < windows) {
             // Supervised channels produce open-ended (the window length
             // can change mid-run), so the producer cannot raise the
@@ -161,7 +184,6 @@ struct channel_state {
                 + std::to_string(pumped) + " of "
                 + std::to_string(windows) + " windows");
         }
-        report.stream = snapshot(ring);
         finish(windows);
     }
 
@@ -212,7 +234,8 @@ struct channel_state {
 } // namespace
 
 fleet_report fleet_monitor::run(const source_factory& make_source,
-                                std::uint64_t windows_per_channel)
+                                std::uint64_t windows_per_channel,
+                                const channel_hook& on_channel)
 {
     const auto start = std::chrono::steady_clock::now();
 
@@ -257,10 +280,28 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
                 } catch (const std::exception& e) {
                     // Name the offending channel: "a source threw" is
                     // undebuggable in an N-channel fleet without it.
-                    throw std::runtime_error(
-                        "fleet_monitor: channel " + std::to_string(c)
-                        + " (source \"" + states[c]->report.source_name
-                        + "\"): " + e.what());
+                    // The ring telemetry (snapshotted on the throw path
+                    // too) explains *why* a pipeline stalled or dried up,
+                    // so carry it into the message when there is any.
+                    std::string what = "fleet_monitor: channel "
+                        + std::to_string(c) + " (source \""
+                        + states[c]->report.source_name + "\"): "
+                        + e.what();
+                    const stream_stats& ss = states[c]->report.stream;
+                    if (ss.ring_capacity > 0) {
+                        what += " [stream: words="
+                            + std::to_string(ss.words) + ", producer_stalls="
+                            + std::to_string(ss.producer_stalls)
+                            + ", consumer_stalls="
+                            + std::to_string(ss.consumer_stalls)
+                            + ", max_occupancy="
+                            + std::to_string(ss.max_occupancy) + "/"
+                            + std::to_string(ss.ring_capacity) + "]";
+                    }
+                    throw std::runtime_error(what);
+                }
+                if (on_channel) {
+                    on_channel(states[c]->report);
                 }
             }
         } catch (...) {
@@ -297,6 +338,7 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
         fleet.channels_in_alarm += st->report.alarm ? 1 : 0;
         fleet.escalations += st->report.escalations;
         fleet.channels_escalated += st->report.escalations > 0 ? 1 : 0;
+        fleet.confirmed_escalations += st->report.confirmed_escalations;
         for (const auto& [name, count] : st->report.failures_by_test) {
             fleet.failures_by_test[name] += count;
         }

@@ -75,11 +75,13 @@ struct fleet_config {
     /// inverted once and shared by every channel.
     std::optional<hw::block_config> escalated_block;
     /// Supervisor knobs (used with escalated_block only): evidence ring
-    /// depth, clean dwell before de-escalation, and the offline
-    /// confirmation significance level.
+    /// depth, clean dwell before de-escalation, the offline confirmation
+    /// significance level, and how many failing offline P-values confirm
+    /// an escalation.
     std::size_t evidence_windows = 8;
     std::uint64_t dwell_windows = 16;
     double offline_alpha = 0.01;
+    unsigned offline_min_failures = 2;
 
     /// \throws std::invalid_argument on an empty fleet, an inconsistent
     /// alarm policy, or a non-streamable supervised design (supervision
@@ -147,6 +149,7 @@ struct fleet_report {
     unsigned channels_in_alarm = 0;
     unsigned escalations = 0;         ///< fleet-wide escalation total
     unsigned channels_escalated = 0;  ///< channels that escalated at all
+    unsigned confirmed_escalations = 0; ///< offline battery agreed
     std::map<std::string, std::uint64_t> failures_by_test;
     /// Wall-clock duration of the run (the only nondeterministic field).
     double seconds = 0.0;
@@ -177,22 +180,45 @@ public:
     using source_factory =
         std::function<std::unique_ptr<trng::entropy_source>(unsigned)>;
 
+    /// Observer of finished channels: invoked on the *worker thread* that
+    /// ran the channel, immediately after it completes, so telemetry can
+    /// stream out while other channels are still running (the population
+    /// layer feeds its aggregator queue through this).  Must be
+    /// thread-safe; must not throw.
+    using channel_hook = std::function<void(const channel_report&)>;
+
     /// \brief Validate the configuration and invert the critical values
     /// once for the whole fleet.
     explicit fleet_monitor(fleet_config cfg);
+
+    /// \brief Reuse already-inverted critical values (population shards:
+    /// every shard runs the same design point, so the inversion is done
+    /// once for the whole population, not once per shard).
+    /// \param cv           bounds for `cfg.block` at `cfg.alpha`
+    /// \param cv_escalated bounds for `cfg.escalated_block`; required
+    ///        exactly when that design is set
+    /// \throws std::invalid_argument when the escalated design and its
+    /// bounds do not match up
+    fleet_monitor(fleet_config cfg, critical_values cv,
+                  std::optional<critical_values> cv_escalated);
 
     const fleet_config& config() const { return cfg_; }
     const critical_values& bounds() const { return cv_; }
 
     /// \brief Run every channel for `windows_per_channel` windows and
     /// aggregate.  Blocks until the fleet is done.
+    /// \param on_channel optional observer of each finished channel (see
+    /// channel_hook); not called for channels that failed or never ran
     /// \throws std::invalid_argument naming the channel index when the
     /// factory returns null
     /// \throws std::runtime_error naming the channel index and source of
     /// a channel whose pipeline throws mid-run (the first failing channel
-    /// in claim order; the fleet drains and joins before rethrowing)
+    /// in claim order; the fleet drains and joins before rethrowing).
+    /// The message carries the channel's ring backpressure stats when the
+    /// streaming pipeline got far enough to have any.
     fleet_report run(const source_factory& make_source,
-                     std::uint64_t windows_per_channel);
+                     std::uint64_t windows_per_channel,
+                     const channel_hook& on_channel = {});
 
 private:
     fleet_config cfg_;

@@ -1,0 +1,448 @@
+#include "core/population.hpp"
+
+#include "base/event_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace otf::core {
+
+namespace {
+
+std::string format_line(const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+std::string format_line(const char* fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    return buf;
+}
+
+} // namespace
+
+void population_config::validate() const
+{
+    if (devices == 0) {
+        throw std::invalid_argument(
+            "population_config: need at least 1 device");
+    }
+    if (shards == 0) {
+        throw std::invalid_argument(
+            "population_config: need at least 1 shard");
+    }
+    if (shards > devices) {
+        throw std::invalid_argument(
+            "population_config: more shards (" + std::to_string(shards)
+            + ") than devices (" + std::to_string(devices) + ")");
+    }
+    if (windows_per_device == 0) {
+        throw std::invalid_argument(
+            "population_config: need at least 1 window per device");
+    }
+    if (block.n() < 64 || block.n() % 64 != 0) {
+        throw std::invalid_argument(
+            "population_config: per-device variation schedules attack "
+            "onset on word boundaries; the window length must be a "
+            "multiple of 64 bits");
+    }
+    if (!(device_bits_per_second > 0.0)) {
+        throw std::invalid_argument(
+            "population_config: device_bits_per_second must be positive");
+    }
+    if (queue_records == 0) {
+        throw std::invalid_argument(
+            "population_config: telemetry queue needs capacity >= 1");
+    }
+    profile.validate();
+    // The per-shard fleet config is the authoritative check for the
+    // design point, alarm policy and supervision knobs.
+    fleet_config shard = shard_fleet_config();
+    shard.channels = 1;
+    shard.validate();
+}
+
+fleet_config population_config::shard_fleet_config() const
+{
+    fleet_config fc;
+    fc.block = block;
+    fc.escalated_block = escalated_block;
+    fc.alpha = alpha;
+    fc.fail_threshold = fail_threshold;
+    fc.policy_window = policy_window;
+    fc.evidence_windows = evidence_windows;
+    fc.dwell_windows = dwell_windows;
+    fc.offline_alpha = offline_alpha;
+    fc.offline_min_failures = offline_min_failures;
+    fc.word_path = word_path;
+    fc.ring_words = ring_words;
+    return fc;
+}
+
+std::uint64_t nearest_rank(const std::vector<std::uint64_t>& sorted,
+                           double q)
+{
+    if (sorted.empty()) {
+        return 0;
+    }
+    if (!(q > 0.0 && q <= 1.0)) {
+        throw std::invalid_argument(
+            "nearest_rank: quantile must be in (0, 1]");
+    }
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return sorted[std::max<std::size_t>(rank, 1) - 1];
+}
+
+bool population_report::same_counters(const population_report& other) const
+{
+    return devices == other.devices
+        && windows == other.windows && failures == other.failures
+        && bits == other.bits && devices_attacked == other.devices_attacked
+        && devices_healthy == other.devices_healthy
+        && devices_churned == other.devices_churned
+        && devices_alarmed == other.devices_alarmed
+        && healthy_alarms == other.healthy_alarms
+        && attacked_alarmed == other.attacked_alarmed
+        && detected == other.detected
+        && healthy_windows == other.healthy_windows
+        && escalations == other.escalations
+        && channels_escalated == other.channels_escalated
+        && confirmed_escalations == other.confirmed_escalations
+        && by_kind == other.by_kind && alarm_latency == other.alarm_latency
+        && false_alarm_rate_per_window == other.false_alarm_rate_per_window
+        && false_escalations_per_device_day
+        == other.false_escalations_per_device_day
+        && failures_by_test == other.failures_by_test
+        && device_records == other.device_records;
+}
+
+population_monitor::population_monitor(population_config cfg)
+    : cfg_((cfg.validate(), std::move(cfg))),
+      cv_(compute_critical_values(cfg_.block, cfg_.alpha))
+{
+    if (cfg_.escalated_block) {
+        cv_escalated_ =
+            compute_critical_values(*cfg_.escalated_block, cfg_.alpha);
+    }
+}
+
+population_report population_monitor::run()
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    // Profiles are pure functions of (master_seed, device): sampling them
+    // up front is equivalent to sampling inside any shard, so the shard
+    // layout cannot leak into the population.
+    std::vector<trng::device_profile> profiles;
+    profiles.reserve(cfg_.devices);
+    for (std::uint32_t d = 0; d < cfg_.devices; ++d) {
+        profiles.push_back(
+            trng::sample_device(cfg_.profile, cfg_.master_seed, d));
+    }
+
+    // Contiguous device ranges per shard (remainder spread over the
+    // first shards).
+    const std::uint32_t base = cfg_.devices / cfg_.shards;
+    const std::uint32_t rem = cfg_.devices % cfg_.shards;
+    std::vector<std::uint32_t> first(cfg_.shards + 1, 0);
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        first[s + 1] = first[s] + base + (s < rem ? 1 : 0);
+    }
+
+    unsigned threads_per_shard = cfg_.threads_per_shard;
+    if (threads_per_shard == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads_per_shard = std::max(1u, hw / cfg_.shards);
+    }
+
+    base::event_queue<device_record> queue(cfg_.queue_records);
+
+    population_report report;
+    report.devices = cfg_.devices;
+    report.shards = cfg_.shards;
+    report.queue_capacity = queue.capacity();
+    if (cfg_.keep_device_records) {
+        report.device_records.resize(cfg_.devices);
+    }
+    std::vector<std::uint64_t> latencies;
+
+    // The single aggregator drains records as channels finish, while the
+    // shards are still running.  All accumulation is order-independent
+    // (integer sums; the latency sample is sorted before the percentile
+    // cut), so arrival order -- the one thing scheduling controls --
+    // cannot reach the report.
+    std::thread aggregator([&] {
+        device_record rec;
+        for (;;) {
+            if (!queue.try_pop(rec)) {
+                if (queue.drained()) {
+                    return;
+                }
+                std::this_thread::yield();
+                continue;
+            }
+            report.windows += rec.windows;
+            report.failures += rec.failures;
+            report.bits += rec.bits;
+            report.escalations += rec.escalations;
+            report.channels_escalated += rec.escalations > 0 ? 1 : 0;
+            report.confirmed_escalations += rec.confirmed_escalations;
+            auto& kind = report.by_kind[static_cast<std::size_t>(rec.kind)];
+            ++kind.devices;
+            if (rec.attacked) {
+                ++report.devices_attacked;
+                if (rec.alarm) {
+                    ++report.attacked_alarmed;
+                    ++kind.alarmed;
+                }
+                if (rec.detected()) {
+                    ++report.detected;
+                    ++kind.detected;
+                    latencies.push_back(rec.detection_latency());
+                }
+            } else {
+                ++report.devices_healthy;
+                report.healthy_windows += rec.windows;
+                if (rec.churned) {
+                    ++report.devices_churned;
+                }
+                if (rec.alarm) {
+                    ++report.healthy_alarms;
+                    ++kind.alarmed;
+                }
+            }
+            if (rec.alarm) {
+                ++report.devices_alarmed;
+            }
+            if (cfg_.keep_device_records) {
+                report.device_records[rec.device] = rec;
+            }
+        }
+    });
+
+    // One thread per shard; each owns a full fleet_monitor (worker pool,
+    // channel pipelines) over its device range and re-uses the
+    // population-wide critical values.
+    std::vector<fleet_report> shard_results(cfg_.shards);
+    std::vector<std::exception_ptr> shard_errors(cfg_.shards);
+    std::vector<std::thread> shard_threads;
+    shard_threads.reserve(cfg_.shards);
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        shard_threads.emplace_back([&, s] {
+            try {
+                fleet_config fcfg = cfg_.shard_fleet_config();
+                fcfg.channels = first[s + 1] - first[s];
+                fcfg.threads = threads_per_shard;
+                fleet_monitor fleet(std::move(fcfg), cv_, cv_escalated_);
+                const auto hook = [&](const channel_report& cr) {
+                    const trng::device_profile& p =
+                        profiles[first[s] + cr.channel];
+                    device_record rec;
+                    rec.device = p.device;
+                    rec.shard = s;
+                    rec.kind = p.kind;
+                    rec.attacked = p.attacked();
+                    rec.churned = p.churns;
+                    rec.alarm = cr.alarm;
+                    rec.onset_window = p.onset_window;
+                    rec.first_alarm_window = cr.first_alarm_window;
+                    rec.windows = cr.windows;
+                    rec.failures = cr.failures;
+                    rec.bits = cr.bits;
+                    rec.escalations = cr.escalations;
+                    rec.confirmed_escalations = cr.confirmed_escalations;
+                    rec.de_escalations = cr.de_escalations;
+                    rec.windows_escalated = cr.windows_escalated;
+                    rec.producer_stalls = cr.stream.producer_stalls;
+                    rec.consumer_stalls = cr.stream.consumer_stalls;
+                    while (!queue.try_push(rec)) {
+                        // Bounded queue full: the aggregator is behind;
+                        // yield until a slot frees (backpressure, never
+                        // loss -- capacity changes timing, not data).
+                        std::this_thread::yield();
+                    }
+                };
+                shard_results[s] = fleet.run(
+                    [&](unsigned c) {
+                        return trng::make_device_source(
+                            profiles[first[s] + c], cfg_.block.n());
+                    },
+                    cfg_.windows_per_device, hook);
+            } catch (...) {
+                shard_errors[s] = std::current_exception();
+            }
+        });
+    }
+    for (std::thread& t : shard_threads) {
+        t.join();
+    }
+    // All producers have quiesced; let the aggregator drain and finish.
+    queue.close();
+    aggregator.join();
+
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        if (shard_errors[s]) {
+            try {
+                std::rethrow_exception(shard_errors[s]);
+            } catch (const std::exception& e) {
+                throw std::runtime_error("population_monitor: shard "
+                                         + std::to_string(s) + ": "
+                                         + e.what());
+            }
+        }
+    }
+
+    // Per-shard summaries and the failures-by-test merge come from the
+    // shard fleet_reports, folded in shard order (device_records carry no
+    // strings -- the queue payload stays trivially copyable).
+    report.shard_reports.reserve(cfg_.shards);
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        const fleet_report& fr = shard_results[s];
+        population_shard_report sr;
+        sr.shard = s;
+        sr.first_device = first[s];
+        sr.device_count = first[s + 1] - first[s];
+        sr.windows = fr.windows;
+        sr.failures = fr.failures;
+        sr.bits = fr.bits;
+        sr.channels_in_alarm = fr.channels_in_alarm;
+        sr.escalations = fr.escalations;
+        sr.channels_escalated = fr.channels_escalated;
+        sr.confirmed_escalations = fr.confirmed_escalations;
+        sr.seconds = fr.seconds;
+        for (const channel_report& cr : fr.channels) {
+            sr.producer_stalls += cr.stream.producer_stalls;
+            sr.consumer_stalls += cr.stream.consumer_stalls;
+        }
+        report.shard_reports.push_back(std::move(sr));
+        for (const auto& [name, count] : fr.failures_by_test) {
+            report.failures_by_test[name] += count;
+        }
+    }
+
+    std::sort(latencies.begin(), latencies.end());
+    report.alarm_latency.samples = latencies.size();
+    if (!latencies.empty()) {
+        report.alarm_latency.p50 = nearest_rank(latencies, 0.50);
+        report.alarm_latency.p95 = nearest_rank(latencies, 0.95);
+        report.alarm_latency.p99 = nearest_rank(latencies, 0.99);
+        report.alarm_latency.worst = latencies.back();
+        std::uint64_t sum = 0;
+        for (const std::uint64_t l : latencies) {
+            sum += l;
+        }
+        report.alarm_latency.mean = static_cast<double>(sum)
+            / static_cast<double>(latencies.size());
+    }
+
+    // The long-horizon extrapolation: the observed per-window hazard of a
+    // healthy device tripping the escalation trigger, scaled to a day of
+    // the real device's bit rate -- the number a fleet operator budgets
+    // response capacity against.
+    if (report.healthy_windows > 0) {
+        report.false_alarm_rate_per_window =
+            static_cast<double>(report.healthy_alarms)
+            / static_cast<double>(report.healthy_windows);
+        const double windows_per_day = cfg_.device_bits_per_second * 86400.0
+            / static_cast<double>(cfg_.block.n());
+        report.false_escalations_per_device_day =
+            report.false_alarm_rate_per_window * windows_per_day;
+    }
+
+    report.queue_pushed = queue.total_pushed();
+    report.queue_push_stalls = queue.push_stalls();
+    report.queue_pop_stalls = queue.pop_stalls();
+    report.queue_max_occupancy = queue.max_occupancy();
+    report.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return report;
+}
+
+std::string format_population(const population_report& report)
+{
+    std::string out = format_line(
+        "population: %u devices over %u shards, %llu windows, %llu "
+        "failing, %.3g Mbit tested in %.2fs (%.2f Mbit/s)\n",
+        report.devices, report.shards,
+        static_cast<unsigned long long>(report.windows),
+        static_cast<unsigned long long>(report.failures),
+        static_cast<double>(report.bits) / 1.0e6, report.seconds,
+        report.bits_per_second() / 1.0e6);
+    out += format_line("%-18s %9s %9s %9s\n", "kind", "devices", "alarmed",
+                       "detected");
+    for (std::size_t k = 0; k < report.by_kind.size(); ++k) {
+        const kind_summary& ks = report.by_kind[k];
+        if (ks.devices == 0) {
+            continue;
+        }
+        const auto kind = static_cast<trng::device_kind>(k);
+        if (kind == trng::device_kind::healthy) {
+            out += format_line("%-18s %9u %9u %9s\n",
+                               trng::to_string(kind).c_str(), ks.devices,
+                               ks.alarmed, "-");
+        } else {
+            out += format_line("%-18s %9u %9u %9u\n",
+                               trng::to_string(kind).c_str(), ks.devices,
+                               ks.alarmed, ks.detected);
+        }
+    }
+    if (report.alarm_latency.samples > 0) {
+        out += format_line(
+            "alarm latency (windows since onset): p50=%llu p95=%llu "
+            "p99=%llu worst=%llu mean=%.2f over %llu devices\n",
+            static_cast<unsigned long long>(report.alarm_latency.p50),
+            static_cast<unsigned long long>(report.alarm_latency.p95),
+            static_cast<unsigned long long>(report.alarm_latency.p99),
+            static_cast<unsigned long long>(report.alarm_latency.worst),
+            report.alarm_latency.mean,
+            static_cast<unsigned long long>(report.alarm_latency.samples));
+    } else {
+        out += "alarm latency: no attacked device detected\n";
+    }
+    out += format_line(
+        "false alarms: %u of %u healthy devices (rate %.3g/window) -> "
+        "%.3g expected false escalations per device-day\n",
+        report.healthy_alarms, report.devices_healthy,
+        report.false_alarm_rate_per_window,
+        report.false_escalations_per_device_day);
+    if (report.escalations > 0 || report.confirmed_escalations > 0) {
+        out += format_line(
+            "escalations: %u (%u confirmed offline) across %u devices\n",
+            report.escalations, report.confirmed_escalations,
+            report.channels_escalated);
+    }
+    for (const population_shard_report& sr : report.shard_reports) {
+        out += format_line(
+            "shard %-3u devices [%u, %u): %llu windows, %llu failing, "
+            "%u in alarm, %u escalations, %.2fs\n",
+            sr.shard, sr.first_device, sr.first_device + sr.device_count,
+            static_cast<unsigned long long>(sr.windows),
+            static_cast<unsigned long long>(sr.failures),
+            sr.channels_in_alarm, sr.escalations, sr.seconds);
+    }
+    out += format_line(
+        "queue: %llu records through %zu slots, high-water %zu, "
+        "push stalls %llu, pop stalls %llu\n",
+        static_cast<unsigned long long>(report.queue_pushed),
+        report.queue_capacity, report.queue_max_occupancy,
+        static_cast<unsigned long long>(report.queue_push_stalls),
+        static_cast<unsigned long long>(report.queue_pop_stalls));
+    return out;
+}
+
+} // namespace otf::core

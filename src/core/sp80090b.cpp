@@ -1,5 +1,7 @@
 #include "core/sp80090b.hpp"
 
+#include "nist/special_functions.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -31,8 +33,8 @@ double binomial_survival(unsigned n, double p, unsigned k)
     // lchoose(n, i) + i log p + (n - i) log(1 - p).
     double total = 0.0;
     for (unsigned i = k; i <= n; ++i) {
-        const double log_pmf = std::lgamma(n + 1.0) - std::lgamma(i + 1.0)
-            - std::lgamma(static_cast<double>(n) - i + 1.0)
+        const double log_pmf = nist::log_gamma(n + 1.0) - nist::log_gamma(i + 1.0)
+            - nist::log_gamma(static_cast<double>(n) - i + 1.0)
             + i * std::log(p)
             + (static_cast<double>(n) - i) * std::log1p(-p);
         total += std::exp(log_pmf);

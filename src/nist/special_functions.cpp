@@ -149,6 +149,18 @@ double igamc_continued_fraction(double a, double x)
 
 } // namespace
 
+double log_gamma(double x)
+{
+#if defined(__GLIBC__) || defined(__APPLE__)
+    // Reentrant form: the sign lands in a local instead of the shared
+    // `signgam` global (all our arguments are positive anyway).
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
+
 double igam(double a, double x)
 {
     if (a <= 0.0 || x < 0.0) {
@@ -157,7 +169,7 @@ double igam(double a, double x)
     if (x == 0.0) {
         return 0.0;
     }
-    const double log_prefix = a * std::log(x) - x - std::lgamma(a);
+    const double log_prefix = a * std::log(x) - x - log_gamma(a);
     if (x < a + 1.0) {
         return igam_series(a, x) * std::exp(log_prefix);
     }
@@ -172,7 +184,7 @@ double igamc(double a, double x)
     if (x == 0.0) {
         return 1.0;
     }
-    const double log_prefix = a * std::log(x) - x - std::lgamma(a);
+    const double log_prefix = a * std::log(x) - x - log_gamma(a);
     if (x < a + 1.0) {
         return 1.0 - igam_series(a, x) * std::exp(log_prefix);
     }

@@ -23,6 +23,12 @@ double normal_cdf(double x);
 /// Wichura's AS241 rational approximation refined by one Halley step.
 double normal_quantile(double p);
 
+/// Thread-safe log-gamma: ln |Γ(x)|.  std::lgamma writes the process-wide
+/// `signgam` global on every call, which is a data race when fleet workers
+/// evaluate P-values concurrently; this wrapper uses the reentrant
+/// lgamma_r where available and never touches the global.
+double log_gamma(double x);
+
 /// Regularized upper incomplete gamma function Q(a, x) = Γ(a, x) / Γ(a),
 /// for a > 0, x >= 0.  Series expansion for x < a + 1, Lentz continued
 /// fraction otherwise (double precision, ~1e-14 relative accuracy).

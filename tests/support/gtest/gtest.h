@@ -141,6 +141,23 @@ inline CmpResult cmp_near(const char* as, const char* bs, double a, double b,
                        + " evaluates to " + print_value(b)};
 }
 
+inline CmpResult cmp_streq(const char* as, const char* bs, const char* a,
+                           const char* b)
+{
+    const bool ok = (a == nullptr || b == nullptr)
+        ? a == b
+        : std::strcmp(a, b) == 0;
+    if (ok) {
+        return {true, {}};
+    }
+    const auto quote = [](const char* s) {
+        return s ? "\"" + std::string(s) + "\"" : std::string("NULL");
+    };
+    return {false, std::string("Expected equality of these values:\n  ") + as
+                       + "\n    Which is: " + quote(a) + "\n  " + bs
+                       + "\n    Which is: " + quote(b)};
+}
+
 // 4-ULP comparison, mirroring gtest's AlmostEquals for doubles.
 inline bool almost_equal(double a, double b)
 {
@@ -514,6 +531,9 @@ inline void InitGoogleTest(int* = nullptr, char** = nullptr) {}
 #define ASSERT_NEAR(a, b, tol) OTF_GTEST_AR_(::otf_gtest::cmp_near(#a, #b, (a), (b), (tol)), OTF_GTEST_FATAL_)
 #define EXPECT_DOUBLE_EQ(a, b) OTF_GTEST_AR_(::otf_gtest::cmp_double_eq(#a, #b, (a), (b)), OTF_GTEST_NONFATAL_)
 #define ASSERT_DOUBLE_EQ(a, b) OTF_GTEST_AR_(::otf_gtest::cmp_double_eq(#a, #b, (a), (b)), OTF_GTEST_FATAL_)
+
+#define EXPECT_STREQ(a, b) OTF_GTEST_AR_(::otf_gtest::cmp_streq(#a, #b, (a), (b)), OTF_GTEST_NONFATAL_)
+#define ASSERT_STREQ(a, b) OTF_GTEST_AR_(::otf_gtest::cmp_streq(#a, #b, (a), (b)), OTF_GTEST_FATAL_)
 
 #define OTF_GTEST_THROW_RESULT_(statement, expected)                         \
     [&]() -> ::otf_gtest::CmpResult {                                        \

@@ -195,6 +195,68 @@ TEST(fleet, sub_word_designs_fall_back_to_the_batch_loop)
     EXPECT_EQ(report.channels[0].failures, ref_failures);
 }
 
+TEST(fleet, first_alarm_window_is_stamped_alike_by_batch_and_stream)
+{
+    // The sub-word batch loop bypasses the window_pump, but both lanes
+    // take their window numbering from the monitor's own counter through
+    // the shared observe() path -- so a channel failing from the first
+    // window must stamp the same 0-based first_alarm_window whether it
+    // rode the n=32 batch loop or the n=4096 streamed pipeline.  Pin both
+    // against the policy replayed by hand.
+    hw::block_config tiny;
+    tiny.name = "tiny n=32";
+    tiny.log2_n = 5;
+    tiny.tests = hw::test_set{}
+                     .with(hw::test_id::frequency)
+                     .with(hw::test_id::cumulative_sums);
+    core::fleet_config tiny_cfg;
+    tiny_cfg.block = tiny;
+    tiny_cfg.alpha = 0.01;
+    tiny_cfg.channels = 2;
+    tiny_cfg.threads = 1;
+    tiny_cfg.word_path = false;
+    tiny_cfg.fail_threshold = 2;
+    tiny_cfg.policy_window = 8;
+    const std::uint64_t windows = 6;
+    const auto factory =
+        [](unsigned c) -> std::unique_ptr<trng::entropy_source> {
+        if (c == 0) {
+            return std::make_unique<trng::stuck_source>(true);
+        }
+        return std::make_unique<trng::ideal_source>(fixture_seed(c));
+    };
+
+    // Reference: replay the k-of-w policy over a plain monitor's verdicts.
+    core::monitor ref(tiny, tiny_cfg.alpha);
+    trng::stuck_source ref_src(true);
+    core::windowed_alarm policy(tiny_cfg.fail_threshold,
+                                tiny_cfg.policy_window);
+    std::uint64_t want = windows; // never-alarmed sentinel
+    for (std::uint64_t w = 0; w < windows; ++w) {
+        policy.record(!ref.test_window(ref_src).software.all_pass);
+        if (policy.rose()) {
+            want = w;
+        }
+    }
+    ASSERT_LT(want, windows) << "a stuck source must trip 2-of-8";
+
+    const auto batch = core::fleet_monitor(tiny_cfg).run(factory, windows);
+    EXPECT_TRUE(batch.channels[0].alarm);
+    EXPECT_EQ(batch.channels[0].first_alarm_window, want);
+    EXPECT_FALSE(batch.channels[1].alarm);
+    EXPECT_EQ(batch.channels[1].first_alarm_window, windows)
+        << "never-alarmed sentinel on the batch lane";
+
+    auto streamed_cfg = base_config(2, 1);
+    streamed_cfg.fail_threshold = tiny_cfg.fail_threshold;
+    streamed_cfg.policy_window = tiny_cfg.policy_window;
+    const auto streamed =
+        core::fleet_monitor(streamed_cfg).run(factory, windows);
+    EXPECT_TRUE(streamed.channels[0].alarm);
+    EXPECT_EQ(streamed.channels[0].first_alarm_window, want)
+        << "the streamed lane numbers windows differently";
+}
+
 TEST(fleet, configuration_is_validated)
 {
     EXPECT_THROW(core::fleet_monitor{base_config(0, 1)},
@@ -301,6 +363,40 @@ TEST(fleet, mid_run_exception_from_a_late_channel_drains_the_fleet)
         const std::string what = e.what();
         EXPECT_NE(what.find("channel 3"), std::string::npos) << what;
         EXPECT_NE(what.find("ran dry"), std::string::npos) << what;
+    }
+}
+
+TEST(fleet, failed_channel_error_carries_its_ring_telemetry)
+{
+    // Regression: run_windows used to snapshot the ring only on the
+    // success path, so the backpressure stats that explain a stalled or
+    // dried-up pipeline were lost exactly when they mattered.  The error
+    // must now carry the stream telemetry of the failed channel.
+    const std::uint64_t n = small_design().n();
+    const auto factory =
+        [&](unsigned c) -> std::unique_ptr<trng::entropy_source> {
+        if (c == 0) {
+            trng::ideal_source gen(fixture_seed(5));
+            // Two full windows, then mid-window starvation.
+            return std::make_unique<trng::replay_source>(
+                gen.generate(2 * n + 64));
+        }
+        return std::make_unique<trng::ideal_source>(fixture_seed(c));
+    };
+    core::fleet_monitor fleet(base_config(2, 1));
+    try {
+        (void)fleet.run(factory, 4);
+        FAIL() << "expected the starvation to propagate";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("ran dry"), std::string::npos) << what;
+        EXPECT_NE(what.find("[stream:"), std::string::npos)
+            << "ring telemetry missing from the failure: " << what;
+        // The replay carried two whole windows plus a partial one; all of
+        // it went through the ring before the pipeline died.
+        EXPECT_NE(what.find("words=" + std::to_string(2 * n / 64 + 1)),
+                  std::string::npos)
+            << what;
     }
 }
 
@@ -418,6 +514,65 @@ TEST(fleet_supervision, sub_word_baseline_is_rejected)
     core::fleet_config cfg = supervised_config(2, 1);
     cfg.block.log2_n = 5; // n = 32: not streamable, cannot supervise
     EXPECT_THROW(core::fleet_monitor{cfg}, std::invalid_argument);
+}
+
+TEST(fleet_supervision, mixed_outcomes_aggregate_channel_by_channel)
+{
+    // Escalated-but-unconfirmed is a distinct outcome from confirmed and
+    // from never-escalated: with the offline bar set out of reach, the
+    // attacked channel still escalates online but the confirmation count
+    // must stay zero, and every fleet total must equal its channel sum.
+    core::fleet_config cfg = supervised_config(3, 2);
+    cfg.offline_min_failures = 100; // the offline battery cannot confirm
+    const auto report = core::fleet_monitor(cfg).run(one_bad_channel(1), 24);
+
+    unsigned escalations = 0;
+    unsigned confirmed = 0;
+    unsigned channels_escalated = 0;
+    for (const core::channel_report& ch : report.channels) {
+        escalations += ch.escalations;
+        confirmed += ch.confirmed_escalations;
+        channels_escalated += ch.escalations > 0 ? 1 : 0;
+        EXPECT_LE(ch.confirmed_escalations, ch.escalations)
+            << "channel " << ch.channel;
+    }
+    EXPECT_EQ(report.escalations, escalations);
+    EXPECT_EQ(report.confirmed_escalations, confirmed);
+    EXPECT_EQ(report.channels_escalated, channels_escalated);
+
+    EXPECT_GT(report.channels[1].escalations, 0u)
+        << "the attacked channel must still escalate online";
+    EXPECT_EQ(report.channels[1].confirmed_escalations, 0u)
+        << "an unreachable offline bar must never confirm";
+    EXPECT_EQ(report.confirmed_escalations, 0u);
+    EXPECT_EQ(report.channels_escalated, 1u);
+    for (const unsigned good : {0u, 2u}) {
+        EXPECT_EQ(report.channels[good].escalations, 0u)
+            << "channel " << good;
+    }
+
+    // The same fleet with the standard bar confirms: all three outcomes
+    // (confirmed, unconfirmed, never-escalated) are distinguishable.
+    const auto confirmed_report =
+        core::fleet_monitor(supervised_config(3, 2))
+            .run(one_bad_channel(1), 24);
+    EXPECT_GT(confirmed_report.confirmed_escalations, 0u);
+    EXPECT_EQ(confirmed_report.escalations, report.escalations)
+        << "the offline bar must not change the online trigger";
+}
+
+TEST(fleet, bits_per_second_handles_a_zero_duration_run)
+{
+    // Smoke runs can complete in under the clock tick; the throughput
+    // accessor must define that case instead of dividing by zero.
+    core::fleet_report report;
+    report.bits = 1u << 20;
+    report.seconds = 0.0;
+    EXPECT_EQ(report.bits_per_second(), 0.0);
+    report.seconds = -1.0; // defensive: a clock that stepped backwards
+    EXPECT_EQ(report.bits_per_second(), 0.0);
+    report.seconds = 2.0;
+    EXPECT_DOUBLE_EQ(report.bits_per_second(), (1u << 20) / 2.0);
 }
 
 } // namespace

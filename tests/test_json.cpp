@@ -3,6 +3,7 @@
 // misuse detection.
 #include "base/json.hpp"
 
+#include <clocale>
 #include <cstdint>
 #include <cstdio>
 #include <gtest/gtest.h>
@@ -189,6 +190,46 @@ TEST(json, empty_containers_render_compact)
         EXPECT_EQ(w.str(), "{\n  \"o\": {},\n  \"a\": []\n}\n")
             << "empty containers as object members";
     }
+}
+
+TEST(json, doubles_ignore_a_comma_decimal_locale)
+{
+    // Regression: formatting through the global C locale can emit "0,5"
+    // under a comma-decimal locale, silently corrupting every
+    // BENCH_*.json.  The writer must produce the same bytes whatever the
+    // process locale is.  Minimal containers only ship C/POSIX, so skip
+    // (not pass) when no comma-decimal locale is installed.
+    const char* const candidates[] = {
+        "de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+        "fr_FR.utf8",  "fr_FR",      "es_ES.UTF-8", "it_IT.UTF-8",
+        "nl_NL.UTF-8", "pt_BR.UTF-8",
+    };
+    const std::string original = std::setlocale(LC_ALL, nullptr);
+    const char* comma_locale = nullptr;
+    for (const char* const candidate : candidates) {
+        if (std::setlocale(LC_ALL, candidate) != nullptr
+            && std::localeconv()->decimal_point[0] == ',') {
+            comma_locale = candidate;
+            break;
+        }
+    }
+    if (comma_locale == nullptr) {
+        std::setlocale(LC_ALL, original.c_str());
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+    char smoke[32];
+    std::snprintf(smoke, sizeof smoke, "%.1f", 0.5);
+    EXPECT_STREQ(smoke, "0,5")
+        << "printf honours " << comma_locale << " -- the hazard is real";
+
+    json_writer w;
+    w.begin_object();
+    w.value("ratio", 0.5);
+    w.value("tiny", 2.5e-05);
+    w.end_object();
+    const std::string got = w.str();
+    std::setlocale(LC_ALL, original.c_str());
+    EXPECT_EQ(got, "{\n  \"ratio\": 0.5,\n  \"tiny\": 2.5e-05\n}\n");
 }
 
 TEST(json, empty_string_values_and_whole_document)

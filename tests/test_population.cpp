@@ -1,0 +1,279 @@
+// Tests of the population-scale fleet-of-fleets: layout-independent
+// determinism (the master-seed guarantee across shard and thread counts),
+// aggregation invariants between the queue-fed totals and the per-shard
+// fleet reports, the false-escalation extrapolation, nearest-rank
+// percentiles, queue-capacity independence and configuration validation.
+#include "core/design_config.hpp"
+#include "core/population.hpp"
+
+#include "support/fixed_seed.hpp"
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace otf;
+using test::fixture_seed;
+
+core::population_config small_config()
+{
+    core::population_config cfg;
+    cfg.block = core::paper_design(7, core::tier::light);
+    cfg.devices = 64;
+    cfg.shards = 2;
+    cfg.threads_per_shard = 2;
+    cfg.windows_per_device = 6;
+    cfg.master_seed = fixture_seed(11);
+    // Half the population attacked: plenty of detections at this scale.
+    cfg.profile.attacked_fraction = 0.5;
+    cfg.keep_device_records = true;
+    return cfg;
+}
+
+core::population_config supervised_config()
+{
+    core::population_config cfg = small_config();
+    cfg.escalated_block = core::paper_design(7, core::tier::medium);
+    cfg.dwell_windows = 1000; // stay escalated once triggered
+    return cfg;
+}
+
+TEST(nearest_rank, picks_the_ceiling_rank)
+{
+    const std::vector<std::uint64_t> ten = {1, 2, 3, 4, 5,
+                                            6, 7, 8, 9, 10};
+    EXPECT_EQ(core::nearest_rank(ten, 0.50), 5u);
+    EXPECT_EQ(core::nearest_rank(ten, 0.95), 10u);
+    EXPECT_EQ(core::nearest_rank(ten, 0.99), 10u);
+    EXPECT_EQ(core::nearest_rank(ten, 1.0), 10u);
+    EXPECT_EQ(core::nearest_rank(ten, 0.05), 1u);
+    EXPECT_EQ(core::nearest_rank({7}, 0.5), 7u);
+    EXPECT_EQ(core::nearest_rank({}, 0.5), 0u) << "empty sample";
+    EXPECT_THROW(core::nearest_rank(ten, 0.0), std::invalid_argument);
+    EXPECT_THROW(core::nearest_rank(ten, 1.5), std::invalid_argument);
+}
+
+TEST(population, report_is_independent_of_shard_and_thread_layout)
+{
+    // The tentpole guarantee: the same master seed gives the same
+    // population outcome -- per-device records included -- under any
+    // sharding and any worker-thread count.
+    struct layout {
+        unsigned shards;
+        unsigned threads_per_shard;
+    };
+    const auto run_with = [](layout l) {
+        core::population_config cfg = small_config();
+        cfg.shards = l.shards;
+        cfg.threads_per_shard = l.threads_per_shard;
+        return core::population_monitor(cfg).run();
+    };
+    const core::population_report baseline = run_with({1, 1});
+    for (const layout l : {layout{2, 1}, layout{2, 2}, layout{4, 2},
+                           layout{3, 0}}) {
+        const core::population_report report = run_with(l);
+        EXPECT_TRUE(baseline.same_counters(report))
+            << l.shards << " shards x " << l.threads_per_shard
+            << " threads changed the population report";
+        ASSERT_EQ(report.device_records.size(), baseline.devices);
+        for (std::uint32_t d = 0; d < baseline.devices; ++d) {
+            ASSERT_EQ(baseline.device_records[d], report.device_records[d])
+                << "device " << d << " at " << l.shards << "x"
+                << l.threads_per_shard;
+        }
+    }
+}
+
+TEST(population, aggregates_match_the_shard_reports_and_device_records)
+{
+    const core::population_report report =
+        core::population_monitor(supervised_config()).run();
+
+    // Queue-fed totals vs the per-shard fleet reports: two independent
+    // aggregation paths over the same run must agree exactly.
+    std::uint64_t windows = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t bits = 0;
+    unsigned alarms = 0;
+    unsigned escalations = 0;
+    unsigned confirmed = 0;
+    std::uint32_t shard_devices = 0;
+    for (const core::population_shard_report& sr : report.shard_reports) {
+        windows += sr.windows;
+        failures += sr.failures;
+        bits += sr.bits;
+        alarms += sr.channels_in_alarm;
+        escalations += sr.escalations;
+        confirmed += sr.confirmed_escalations;
+        shard_devices += sr.device_count;
+    }
+    EXPECT_EQ(report.windows, windows);
+    EXPECT_EQ(report.failures, failures);
+    EXPECT_EQ(report.bits, bits);
+    EXPECT_EQ(report.devices_alarmed, alarms);
+    EXPECT_EQ(report.escalations, escalations);
+    EXPECT_EQ(report.confirmed_escalations, confirmed);
+    EXPECT_EQ(shard_devices, report.devices);
+
+    // Population-level bookkeeping.
+    EXPECT_EQ(report.queue_pushed, report.devices);
+    EXPECT_EQ(report.devices_attacked + report.devices_healthy,
+              report.devices);
+    std::uint32_t kind_devices = 0;
+    for (const core::kind_summary& ks : report.by_kind) {
+        kind_devices += ks.devices;
+    }
+    EXPECT_EQ(kind_devices, report.devices);
+    EXPECT_LE(report.detected, report.attacked_alarmed);
+    EXPECT_LE(report.attacked_alarmed, report.devices_attacked);
+    EXPECT_EQ(report.alarm_latency.samples, report.detected);
+    EXPECT_LE(report.confirmed_escalations, report.escalations);
+
+    // And against the per-device records.
+    ASSERT_EQ(report.device_records.size(), report.devices);
+    std::uint64_t record_windows = 0;
+    std::uint64_t healthy_windows = 0;
+    std::uint32_t detected = 0;
+    for (std::uint32_t d = 0; d < report.devices; ++d) {
+        const core::device_record& rec = report.device_records[d];
+        EXPECT_EQ(rec.device, d) << "records are indexed by device";
+        record_windows += rec.windows;
+        if (!rec.attacked) {
+            healthy_windows += rec.windows;
+        }
+        detected += rec.detected() ? 1 : 0;
+    }
+    EXPECT_EQ(report.windows, record_windows);
+    EXPECT_EQ(report.healthy_windows, healthy_windows);
+    EXPECT_EQ(report.detected, detected);
+}
+
+TEST(population, attacks_are_detected_with_ordered_percentiles)
+{
+    const core::population_report report =
+        core::population_monitor(small_config()).run();
+    EXPECT_GT(report.devices_attacked, 0u);
+    EXPECT_GT(report.detected, 0u)
+        << "half the population attacked at n=128: something must trip";
+    EXPECT_GT(report.alarm_latency.samples, 0u);
+    EXPECT_GE(report.alarm_latency.p50, 1u)
+        << "latency is counted inclusively from the onset window";
+    EXPECT_LE(report.alarm_latency.p50, report.alarm_latency.p95);
+    EXPECT_LE(report.alarm_latency.p95, report.alarm_latency.p99);
+    EXPECT_LE(report.alarm_latency.p99, report.alarm_latency.worst);
+    EXPECT_GT(report.alarm_latency.mean, 0.0);
+    EXPECT_LE(report.alarm_latency.mean,
+              static_cast<double>(report.alarm_latency.worst));
+}
+
+TEST(population, false_escalation_extrapolation_recomputes)
+{
+    core::population_config cfg = small_config();
+    cfg.device_bits_per_second = 2.0e6;
+    const core::population_report report =
+        core::population_monitor(cfg).run();
+    ASSERT_GT(report.healthy_windows, 0u);
+    const double rate = static_cast<double>(report.healthy_alarms)
+        / static_cast<double>(report.healthy_windows);
+    EXPECT_DOUBLE_EQ(report.false_alarm_rate_per_window, rate);
+    const double windows_per_day =
+        cfg.device_bits_per_second * 86400.0 / 128.0;
+    EXPECT_DOUBLE_EQ(report.false_escalations_per_device_day,
+                     rate * windows_per_day);
+}
+
+TEST(population, queue_capacity_never_changes_the_report)
+{
+    // A minimum-size queue forces constant producer backpressure; the
+    // report must not notice (capacity is timing, never data).
+    const core::population_report roomy =
+        core::population_monitor(small_config()).run();
+    core::population_config tight_cfg = small_config();
+    tight_cfg.queue_records = 1;
+    const core::population_report tight =
+        core::population_monitor(tight_cfg).run();
+    EXPECT_EQ(tight.queue_capacity, 2u) << "the queue's two-cell floor";
+    EXPECT_TRUE(roomy.same_counters(tight));
+    EXPECT_EQ(roomy.shard_reports, tight.shard_reports)
+        << "same layout: the per-shard breakdown must match too";
+}
+
+TEST(population, device_records_are_off_by_default)
+{
+    core::population_config cfg = small_config();
+    cfg.keep_device_records = false;
+    const core::population_report report =
+        core::population_monitor(cfg).run();
+    EXPECT_TRUE(report.device_records.empty());
+    EXPECT_EQ(report.queue_pushed, report.devices)
+        << "aggregation still flows through the queue";
+}
+
+TEST(population, shard_ranges_are_contiguous)
+{
+    core::population_config cfg = small_config();
+    cfg.devices = 10;
+    cfg.shards = 3; // 4 + 3 + 3
+    const core::population_report report =
+        core::population_monitor(cfg).run();
+    ASSERT_EQ(report.shard_reports.size(), 3u);
+    EXPECT_EQ(report.shard_reports[0].first_device, 0u);
+    EXPECT_EQ(report.shard_reports[0].device_count, 4u);
+    EXPECT_EQ(report.shard_reports[1].first_device, 4u);
+    EXPECT_EQ(report.shard_reports[1].device_count, 3u);
+    EXPECT_EQ(report.shard_reports[2].first_device, 7u);
+    EXPECT_EQ(report.shard_reports[2].device_count, 3u);
+    for (const core::device_record& rec : report.device_records) {
+        const unsigned want_shard = rec.device < 4 ? 0
+            : rec.device < 7                       ? 1
+                                                   : 2;
+        EXPECT_EQ(rec.shard, want_shard) << "device " << rec.device;
+    }
+}
+
+TEST(population, configuration_is_validated)
+{
+    {
+        core::population_config cfg = small_config();
+        cfg.devices = 0;
+        EXPECT_THROW(core::population_monitor{cfg}, std::invalid_argument);
+    }
+    {
+        core::population_config cfg = small_config();
+        cfg.shards = 0;
+        EXPECT_THROW(core::population_monitor{cfg}, std::invalid_argument);
+    }
+    {
+        core::population_config cfg = small_config();
+        cfg.devices = 4;
+        cfg.shards = 8;
+        EXPECT_THROW(core::population_monitor{cfg}, std::invalid_argument);
+    }
+    {
+        core::population_config cfg = small_config();
+        cfg.windows_per_device = 0;
+        EXPECT_THROW(core::population_monitor{cfg}, std::invalid_argument);
+    }
+    {
+        core::population_config cfg = small_config();
+        cfg.queue_records = 0;
+        EXPECT_THROW(core::population_monitor{cfg}, std::invalid_argument);
+    }
+    {
+        // Sub-word designs cannot host per-device variation: onset and
+        // churn are scheduled on word boundaries.
+        core::population_config cfg = small_config();
+        cfg.block.log2_n = 5;
+        EXPECT_THROW(core::population_monitor{cfg}, std::invalid_argument);
+    }
+    {
+        core::population_config cfg = small_config();
+        cfg.profile.attacked_fraction = 2.0;
+        EXPECT_THROW(core::population_monitor{cfg}, std::invalid_argument);
+    }
+}
+
+} // namespace
