@@ -4,27 +4,34 @@
 //   $ ./bench_fleet_throughput            # full run
 //   $ OTF_SMOKE=1 ./bench_fleet_throughput  # ctest smoke entry
 //
-// Three measurements on the n = 65536 high-tier design (all nine tests,
-// double-buffered):
+// Four measurements, the first three on the n = 65536 high-tier design
+// (all nine tests, double-buffered):
 //
 //   1. single-channel per-bit lane  -- the paper-faithful oracle path
 //      (hw::testing_block::feed, one virtual dispatch per engine per bit);
-//   2. single-channel word lane     -- hw::testing_block::feed_word with
-//      popcount/table batching; the acceptance target is >= 5x over (1);
+//   2. single-channel word and span lanes -- hw::testing_block::feed_word
+//      batching and the feed_span kernels; the acceptance target for the
+//      word lane is >= 5x over (1);
 //   3. fleet scaling                -- core::fleet_monitor over 1..C
-//      channels with the word lane, reporting aggregate Mbit/s and the
+//      channels with the span lane, reporting aggregate Mbit/s and the
 //      efficiency relative to one channel (bounded by the machine's core
-//      count; the report prints hardware_concurrency for context).
+//      count; the report prints hardware_concurrency for context);
+//   4. sliced lane                  -- a 64-channel fleet on the cheap
+//      always-on design (frequency + runs, n = 2^16), span lane vs the
+//      bit-sliced transposed lane (hw::sliced_block), reporting the
+//      aggregate Mbit/s of each and their ratio.
 //
-// Timing only -- equivalence is proven separately by tests/test_word_path
-// and test_fleet_monitor.  Results are also written to BENCH_fleet.json
-// (schema "otf-fleet-bench/1", see docs/BENCHMARKS.md; OTF_BENCH_DIR
-// overrides the output directory) so CI can archive the perf trajectory.
+// Timing only -- equivalence is proven separately by tests/test_word_path,
+// test_kernel_oracle and test_fleet_monitor.  Results are also written to
+// BENCH_fleet.json (schema "otf-fleet-bench/2", see docs/BENCHMARKS.md;
+// OTF_BENCH_DIR overrides the output directory) so CI can archive the
+// perf trajectory.
 #include "base/env.hpp"
 #include "base/json.hpp"
 #include "core/design_config.hpp"
 #include "core/fleet_monitor.hpp"
 #include "core/monitor.hpp"
+#include "hw/sliced_block.hpp"
 #include "trng/sources.hpp"
 
 #include <algorithm>
@@ -93,7 +100,7 @@ int main(int argc, char** argv)
         std::printf("per-bit lane : %8.1f Mbit/s\n", bit_mbps);
     }
 
-    // 2. Single channel, word lane.
+    // 2. Single channel, word and span lanes.
     double word_mbps;
     {
         core::monitor mon(design, 0.01);
@@ -104,11 +111,24 @@ int main(int argc, char** argv)
         }
         const double s = seconds_since(t0);
         word_mbps = mbit_per_s(windows * n, s);
-        std::printf("word lane    : %8.1f Mbit/s   (%.1fx per-bit)\n\n",
+        std::printf("word lane    : %8.1f Mbit/s   (%.1fx per-bit)\n",
                     word_mbps, word_mbps / bit_mbps);
     }
+    double span_mbps;
+    {
+        core::monitor mon(design, 0.01);
+        trng::ideal_source src(2025);
+        const auto t0 = clock_type::now();
+        for (std::uint64_t w = 0; w < windows; ++w) {
+            mon.test_window_words(src, core::ingest_lane::span);
+        }
+        const double s = seconds_since(t0);
+        span_mbps = mbit_per_s(windows * n, s);
+        std::printf("span lane    : %8.1f Mbit/s   (%.1fx per-bit)\n\n",
+                    span_mbps, span_mbps / bit_mbps);
+    }
 
-    // 3. Fleet scaling with the word lane.
+    // 3. Fleet scaling with the span lane.
     std::printf("%-10s %-8s %12s %12s\n", "channels", "threads",
                 "Mbit/s", "scaling");
     struct scaling_point {
@@ -123,7 +143,7 @@ int main(int argc, char** argv)
         cfg.block = design;
         cfg.channels = channels;
         cfg.threads = 0; // hardware concurrency
-        cfg.word_path = true;
+        cfg.lane = core::ingest_lane::span;
         core::fleet_monitor fleet(cfg);
         const auto report = fleet.run(
             [](unsigned c) {
@@ -142,9 +162,42 @@ int main(int argc, char** argv)
         scaling.push_back({channels, mbps, mbps / one_channel_mbps});
     }
 
+    // 4. Sliced lane: 64 channels of the cheap always-on design, span
+    // lane per channel vs one bit-sliced group advancing all 64 together.
+    hw::block_config cheap = core::custom_design(
+        16, hw::test_set{}
+                .with(hw::test_id::frequency)
+                .with(hw::test_id::runs));
+    cheap.name = "frequency+runs n=2^16";
+    const unsigned sliced_channels = hw::sliced_block::lanes;
+    const std::uint64_t sliced_windows = smoke_scaled<std::uint64_t>(8, 1);
+    const auto run_cheap_fleet = [&](core::ingest_lane lane) {
+        core::fleet_config cfg;
+        cfg.block = cheap;
+        cfg.channels = sliced_channels;
+        cfg.threads = 0;
+        cfg.lane = lane;
+        core::fleet_monitor fleet(cfg);
+        const auto report = fleet.run(
+            [](unsigned c) {
+                return std::make_unique<trng::ideal_source>(3000 + c);
+            },
+            sliced_windows);
+        return report.bits_per_second() / 1e6;
+    };
+    std::printf("\nsliced lane (%s, %u channels):\n", cheap.name.c_str(),
+                sliced_channels);
+    const double cheap_span_mbps = run_cheap_fleet(core::ingest_lane::span);
+    const double cheap_sliced_mbps =
+        run_cheap_fleet(core::ingest_lane::sliced);
+    std::printf("  span lane   : %10.1f Mbit/s\n"
+                "  sliced lane : %10.1f Mbit/s   (%.2fx span)\n",
+                cheap_span_mbps, cheap_sliced_mbps,
+                cheap_sliced_mbps / cheap_span_mbps);
+
     json_writer json;
     json.begin_object();
-    json.value("schema", "otf-fleet-bench/1");
+    json.value("schema", "otf-fleet-bench/2");
     json.value("smoke", smoke_mode());
     json.value("design", design.name);
     json.value("window_bits", n);
@@ -154,6 +207,16 @@ int main(int argc, char** argv)
     json.value("per_bit_mbps", bit_mbps);
     json.value("word_mbps", word_mbps);
     json.value("word_speedup", word_mbps / bit_mbps);
+    json.value("span_mbps", span_mbps);
+    json.value("span_speedup", span_mbps / bit_mbps);
+    json.begin_object("sliced");
+    json.value("design", cheap.name);
+    json.value("channels", sliced_channels);
+    json.value("windows_per_channel", sliced_windows);
+    json.value("span_mbps", cheap_span_mbps);
+    json.value("sliced_mbps", cheap_sliced_mbps);
+    json.value("sliced_over_span", cheap_sliced_mbps / cheap_span_mbps);
+    json.end_object();
     json.begin_array("fleet");
     for (const scaling_point& p : scaling) {
         json.begin_object();

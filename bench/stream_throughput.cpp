@@ -4,26 +4,32 @@
 //   $ ./bench_stream_throughput            # full run (enforces the bar)
 //   $ OTF_SMOKE=1 ./bench_stream_throughput  # ctest / verify.sh smoke entry
 //
-// Three measurements on the n = 65536 high-tier design (all nine tests,
+// Four measurements on the n = 65536 high-tier design (all nine tests,
 // double-buffered):
 //
 //   1. fused loop      -- the pre-pipeline shape: one thread alternating
 //      fill_words and the word-lane window test (the old fleet channel
 //      body), the baseline the pipeline must not regress;
-//   2. streamed channel -- core::word_producer on its own thread, a
+//   2. span kernels    -- the same fused loop on the bulk-span lane
+//      (testing_block::feed_span), swept over the base/bits.hpp kernel
+//      variants (reference / portable / simd); the acceptance bar is
+//      >= 2x the word lane for the dispatched (simd-or-portable) variant
+//      on full runs;
+//   3. streamed channel -- core::word_producer on its own thread, a
 //      two-window base::ring_buffer, core::window_pump on the caller;
 //      the acceptance bar is >= 0.9x the fused loop (full runs exit
 //      nonzero below it; generation overlaps analysis, so at one channel
 //      the pipeline should roughly break even and win as generation
 //      cost grows);
-//   3. streamed fleet  -- core::fleet_monitor (now pipeline-backed) over
+//   4. streamed fleet  -- core::fleet_monitor (now pipeline-backed) over
 //      1..C channels, reporting aggregate Mbit/s plus the per-channel
 //      ring backpressure stats that tell which stage bounds throughput.
 //
-// Equivalence is proven separately (tests/test_stream.cpp); this is
-// timing only.  Results go to BENCH_stream.json (schema
-// "otf-stream-bench/1", docs/BENCHMARKS.md; OTF_BENCH_DIR overrides the
-// output directory).
+// Equivalence is proven separately (tests/test_stream.cpp and
+// tests/test_kernel_oracle.cpp); this is timing only.  Results go to
+// BENCH_stream.json (schema "otf-stream-bench/2", docs/BENCHMARKS.md;
+// OTF_BENCH_DIR overrides the output directory).
+#include "base/bits.hpp"
 #include "base/env.hpp"
 #include "base/json.hpp"
 #include "base/ring_buffer.hpp"
@@ -107,7 +113,55 @@ int main(int argc, char** argv)
     }
     std::printf("fused loop      : %8.2f Mwords/s\n", fused_mwps);
 
-    // 2. Streamed channel: producer thread -> ring -> pump.
+    // 2. Span kernels: the same fused loop on the bulk-span lane, once
+    // per kernel variant.  The variant the runtime dispatch would pick on
+    // its own (simd when compiled in, portable otherwise) carries the
+    // acceptance bar.
+    struct kernel_point {
+        const char* variant;
+        bool dispatched; // the variant runtime dispatch picks by default
+        double mwps;
+    };
+    const bits::kernel_variant best = bits::simd_compiled()
+        ? bits::kernel_variant::simd
+        : bits::kernel_variant::portable;
+    const std::pair<const char*, bits::kernel_variant> variants[] = {
+        {"reference", bits::kernel_variant::reference},
+        {"portable", bits::kernel_variant::portable},
+        {"simd", bits::kernel_variant::simd},
+    };
+    std::vector<kernel_point> kernels;
+    double span_mwps = 0.0;
+    for (const auto& [vname, variant] : variants) {
+        bits::set_kernel_variant(variant);
+        double mwps = 0.0;
+        for (unsigned r = 0; r < reps; ++r) {
+            core::monitor mon(design, 0.01);
+            trng::ideal_source src(2025);
+            std::vector<std::uint64_t> buffer(nwords);
+            const auto t0 = clock_type::now();
+            for (std::uint64_t w = 0; w < windows; ++w) {
+                src.fill_words(buffer.data(), nwords);
+                mon.test_packed(buffer.data(), nwords,
+                                core::ingest_lane::span);
+            }
+            const double s = seconds_since(t0);
+            mwps = std::max(mwps, mwords_per_s(total_words, s));
+        }
+        const bool dispatched = variant == best;
+        if (dispatched) {
+            span_mwps = mwps;
+        }
+        kernels.push_back({vname, dispatched, mwps});
+        std::printf("span lane (%-9s): %8.2f Mwords/s   (%.2fx word "
+                    "lane%s)\n",
+                    vname, mwps, mwps / fused_mwps,
+                    dispatched ? ", dispatched" : "");
+    }
+    bits::set_kernel_variant(bits::kernel_variant::simd);
+    const double span_over_word = span_mwps / fused_mwps;
+
+    // 3. Streamed channel: producer thread -> ring -> pump.
     double streamed_mwps = 0.0;
     core::stream_stats channel_stats;
     for (unsigned r = 0; r < reps; ++r) {
@@ -138,7 +192,7 @@ int main(int argc, char** argv)
                     channel_stats.consumer_stalls));
     const double ratio = streamed_mwps / fused_mwps;
 
-    // 3. Streamed fleet scaling.
+    // 4. Streamed fleet scaling.
     const unsigned max_channels = smoke_scaled(8u, 2u);
     std::printf("\n%-10s %12s %12s %16s\n", "channels", "Mbit/s",
                 "scaling", "max stalls p/c");
@@ -156,7 +210,7 @@ int main(int argc, char** argv)
         cfg.block = design;
         cfg.channels = channels;
         cfg.threads = 0;
-        cfg.word_path = true;
+        cfg.lane = core::ingest_lane::span;
         core::fleet_monitor fleet(cfg);
         const auto report = fleet.run(
             [](unsigned c) {
@@ -187,7 +241,7 @@ int main(int argc, char** argv)
 
     json_writer json;
     json.begin_object();
-    json.value("schema", "otf-stream-bench/1");
+    json.value("schema", "otf-stream-bench/2");
     json.value("smoke", smoke_mode());
     json.value("design", design.name);
     json.value("window_bits", design.n());
@@ -195,7 +249,19 @@ int main(int argc, char** argv)
     json.value("windows", windows);
     json.value("hardware_concurrency",
                std::thread::hardware_concurrency());
+    json.value("simd_compiled", bits::simd_compiled());
     json.value("fused_mwords_per_s", fused_mwps);
+    json.begin_array("span_kernels");
+    for (const kernel_point& k : kernels) {
+        json.begin_object();
+        json.value("variant", k.variant);
+        json.value("dispatched", k.dispatched);
+        json.value("mwords_per_s", k.mwps);
+        json.value("over_word_lane", k.mwps / fused_mwps);
+        json.end_object();
+    }
+    json.end_array();
+    json.value("span_over_word", span_over_word);
     json.value("streamed_mwords_per_s", streamed_mwps);
     json.value("streamed_over_fused", ratio);
     json.begin_object("channel_ring");
@@ -229,14 +295,26 @@ int main(int argc, char** argv)
     }
     std::printf("\nwrote %s\n", path.c_str());
 
-    // Acceptance bar: the decoupled pipeline must stay within 10% of the
-    // fused loop.  Smoke runs are too short to time reliably (thread
-    // start-up dominates two windows), so only full runs enforce it.
+    // Acceptance bars (full runs only -- smoke runs are too short to
+    // time reliably): the decoupled pipeline must stay within 10% of the
+    // fused loop, and the dispatched span kernels must at least double
+    // the word lane.
+    bool failed = false;
     if (!smoke_mode() && ratio < 0.9) {
         std::printf("BAR FAILED: streamed/fused = %.3f < 0.9\n", ratio);
+        failed = true;
+    }
+    if (!smoke_mode() && span_over_word < 2.0) {
+        std::printf("BAR FAILED: span/word = %.3f < 2.0\n",
+                    span_over_word);
+        failed = true;
+    }
+    if (failed) {
         return 1;
     }
     std::printf("streamed/fused = %.3f (bar: >= 0.9%s)\n", ratio,
+                smoke_mode() ? ", not enforced in smoke mode" : "");
+    std::printf("span/word      = %.3f (bar: >= 2.0%s)\n", span_over_word,
                 smoke_mode() ? ", not enforced in smoke mode" : "");
     return 0;
 }

@@ -1,18 +1,33 @@
-// Bit-sequence container shared by every layer of the platform.
+// Bit-sequence container and span-kernel primitives shared by every layer
+// of the platform.
 //
 // The TRNG delivers one bit per clock; the hardware models consume bits one
 // at a time; the reference NIST implementations and the golden models in the
 // test suite work on whole sequences.  `bit_sequence` is the common currency:
 // a simple dynamic array of bits with the few bulk operations the statistical
 // tests need (population count, slicing, parsing from ASCII).
+//
+// `otf::bits` holds the portable kernel primitives behind the span ingestion
+// lane (engine::consume_span) and the bit-sliced fleet lane
+// (hw::sliced_block): span popcount, transition counting, the SWAR +/-1
+// walk summary that replaces the cusum byte table, and the 64x64 bit-matrix
+// transpose.  Every primitive is runtime-dispatched through a process-wide
+// kernel_variant so the differential test harness can pin each variant
+// against the per-bit oracle and the benches can report a per-variant axis.
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 namespace otf {
 
@@ -136,5 +151,306 @@ public:
 private:
     std::vector<std::uint8_t> bits_;
 };
+
+namespace bits {
+
+/// \brief Which implementation the span/sliced kernel primitives use.
+/// All variants are register-exact by contract (tests/test_kernel_oracle
+/// is the fuzz oracle); they differ only in speed.
+enum class kernel_variant {
+    reference, ///< naive per-bit loops -- the in-module oracle
+    portable,  ///< SWAR / std::popcount batching, plain C++
+    simd,      ///< AVX2 kernels when compiled in, else == portable
+};
+
+/// True when the translation unit was built with AVX2 enabled
+/// (e.g. the -march=x86-64-v3 CI leg); the `simd` variant silently
+/// behaves like `portable` otherwise.
+constexpr bool simd_compiled()
+{
+#if defined(__AVX2__)
+    return true;
+#else
+    return false;
+#endif
+}
+
+namespace detail {
+inline std::atomic<kernel_variant> g_kernel_variant{kernel_variant::simd};
+} // namespace detail
+
+inline kernel_variant active_kernel_variant()
+{
+    return detail::g_kernel_variant.load(std::memory_order_relaxed);
+}
+
+/// \brief Select the process-wide kernel variant (benches sweep this as a
+/// measurement axis; tests pin each variant against the per-bit oracle).
+inline void set_kernel_variant(kernel_variant v)
+{
+    detail::g_kernel_variant.store(v, std::memory_order_relaxed);
+}
+
+inline std::uint64_t low_mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << nbits) - 1;
+}
+
+/// \brief Population count of the low `k` bits of `w` (k in [0, 64]).
+inline unsigned prefix_popcount(std::uint64_t w, unsigned k)
+{
+    if (active_kernel_variant() == kernel_variant::reference) {
+        unsigned total = 0;
+        for (unsigned i = 0; i < k; ++i) {
+            total += static_cast<unsigned>((w >> i) & 1u);
+        }
+        return total;
+    }
+    return static_cast<unsigned>(std::popcount(w & low_mask(k)));
+}
+
+/// \brief Ones in the first `nbits` bits of a packed span (LSB-first words,
+/// ragged lengths allowed; bits past `nbits` in the tail word are masked).
+inline std::uint64_t span_popcount(const std::uint64_t* words,
+                                   std::size_t nbits)
+{
+    const std::size_t nwords = nbits / 64;
+    const unsigned tail = static_cast<unsigned>(nbits % 64);
+    const kernel_variant variant = active_kernel_variant();
+    std::uint64_t total = 0;
+    if (variant == kernel_variant::reference) {
+        for (std::size_t i = 0; i < nbits; ++i) {
+            total += (words[i / 64] >> (i % 64)) & 1u;
+        }
+        return total;
+    }
+    std::size_t j = 0;
+#if defined(__AVX2__)
+    if (variant == kernel_variant::simd && nwords >= 4) {
+        // Nibble-LUT popcount (no AVX-512 vpopcnt needed): per-byte counts
+        // via pshufb, folded with sad against zero.
+        const __m256i lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+        const __m256i nibble = _mm256_set1_epi8(0x0f);
+        __m256i acc = _mm256_setzero_si256();
+        for (; j + 4 <= nwords; j += 4) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(words + j));
+            const __m256i lo = _mm256_shuffle_epi8(
+                lut, _mm256_and_si256(v, nibble));
+            const __m256i hi = _mm256_shuffle_epi8(
+                lut, _mm256_and_si256(_mm256_srli_epi32(v, 4), nibble));
+            acc = _mm256_add_epi64(
+                acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi),
+                                     _mm256_setzero_si256()));
+        }
+        alignas(32) std::uint64_t lanes[4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+        total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    }
+#endif
+    for (; j + 4 <= nwords; j += 4) {
+        total += static_cast<std::uint64_t>(std::popcount(words[j]))
+            + static_cast<std::uint64_t>(std::popcount(words[j + 1]))
+            + static_cast<std::uint64_t>(std::popcount(words[j + 2]))
+            + static_cast<std::uint64_t>(std::popcount(words[j + 3]));
+    }
+    for (; j < nwords; ++j) {
+        total += static_cast<std::uint64_t>(std::popcount(words[j]));
+    }
+    if (tail != 0) {
+        total += static_cast<std::uint64_t>(
+            std::popcount(words[nwords] & low_mask(tail)));
+    }
+    return total;
+}
+
+/// \brief Adjacent-bit transitions inside a full-word span: transitions
+/// within each word plus the seams between consecutive words (the runs
+/// test's shifted-XOR popcount, batched over the whole span).
+inline std::uint64_t span_transitions(const std::uint64_t* words,
+                                      std::size_t nwords)
+{
+    if (nwords == 0) {
+        return 0;
+    }
+    if (active_kernel_variant() == kernel_variant::reference) {
+        std::uint64_t total = 0;
+        for (std::size_t i = 1; i < nwords * 64; ++i) {
+            const unsigned a =
+                static_cast<unsigned>((words[i / 64] >> (i % 64)) & 1u);
+            const unsigned b = static_cast<unsigned>(
+                (words[(i - 1) / 64] >> ((i - 1) % 64)) & 1u);
+            total += a ^ b;
+        }
+        return total;
+    }
+    constexpr std::uint64_t pair_mask = ~std::uint64_t{0} >> 1;
+    std::uint64_t total = 0;
+    std::uint64_t prev_msb = words[0] >> 63;
+    total += static_cast<std::uint64_t>(
+        std::popcount((words[0] ^ (words[0] >> 1)) & pair_mask));
+    for (std::size_t j = 1; j < nwords; ++j) {
+        const std::uint64_t x = words[j];
+        total += static_cast<std::uint64_t>(
+            std::popcount((x ^ (x >> 1)) & pair_mask));
+        total += prev_msb ^ (x & 1u);
+        prev_msb = x >> 63;
+    }
+    return total;
+}
+
+/// Summary of the +/-1 random walk over one word's 64 bits (bit = 1 steps
+/// up, 0 down; bits taken LSB-first): total displacement and the extreme
+/// prefix sums after 1..64 steps.  Combining summaries left to right
+/// reproduces the exact per-bit max/min trajectory -- the cusum span
+/// kernel's building block, without the 256-entry byte table.
+struct walk_summary {
+    int delta;
+    int max_prefix;
+    int min_prefix;
+};
+
+namespace detail {
+
+/// SWAR byte-lane walk: all 8 bytes of `x` walk their 8 bits in parallel,
+/// lanes biased at +8 so every value stays an unsigned byte in [0, 16].
+/// The per-byte (delta, max, min) lanes are then folded left to right.
+inline walk_summary word_walk_portable(std::uint64_t x)
+{
+    constexpr std::uint64_t lanes_one = 0x0101010101010101ull;
+    constexpr std::uint64_t lanes_msb = 0x8080808080808080ull;
+    const std::uint64_t first = (x & lanes_one) << 1; // +-1 as 0 or 2
+    std::uint64_t w = lanes_one * 8 + first - lanes_one;
+    std::uint64_t mx = w;
+    std::uint64_t mn = w;
+    for (unsigned k = 1; k < 8; ++k) {
+        w += (((x >> k) & lanes_one) << 1);
+        w -= lanes_one;
+        // Packed unsigned max/min: lane values stay below 0x80, so the
+        // borrow of ((a | msb) - b) never leaves its lane and the lane's
+        // top bit reads "a >= b"; the 0xff multiply widens it to a mask.
+        std::uint64_t t = (w | lanes_msb) - mx;
+        std::uint64_t m = ((t & lanes_msb) >> 7) * 0xff;
+        mx = (w & m) | (mx & ~m);
+        t = (mn | lanes_msb) - w;
+        m = ((t & lanes_msb) >> 7) * 0xff;
+        mn = (w & m) | (mn & ~m);
+    }
+    int s = 0;
+    int hi = -65;
+    int lo = 65;
+    for (unsigned j = 0; j < 8; ++j) {
+        const int byte_hi = s + static_cast<int>((mx >> (8 * j)) & 0xff) - 8;
+        const int byte_lo = s + static_cast<int>((mn >> (8 * j)) & 0xff) - 8;
+        hi = byte_hi > hi ? byte_hi : hi;
+        lo = byte_lo < lo ? byte_lo : lo;
+        s += static_cast<int>((w >> (8 * j)) & 0xff) - 8;
+    }
+    return {s, hi, lo};
+}
+
+inline walk_summary word_walk_reference(std::uint64_t x)
+{
+    int s = 0;
+    int hi = -65;
+    int lo = 65;
+    for (unsigned i = 0; i < 64; ++i) {
+        s += ((x >> i) & 1u) ? 1 : -1;
+        hi = s > hi ? s : hi;
+        lo = s < lo ? s : lo;
+    }
+    return {s, hi, lo};
+}
+
+} // namespace detail
+
+/// \brief Walk summary of one full 64-bit word.
+inline walk_summary word_walk(std::uint64_t x)
+{
+    if (active_kernel_variant() == kernel_variant::reference) {
+        return detail::word_walk_reference(x);
+    }
+    return detail::word_walk_portable(x);
+}
+
+/// \brief Walk summary of a whole full-word span: the per-word summaries
+/// (SIMD-friendly, computed four words at a time under AVX2) folded
+/// left to right into the exact span trajectory.
+inline walk_summary span_walk(const std::uint64_t* words, std::size_t nwords)
+{
+    walk_summary acc{0, -65, 65};
+    const kernel_variant variant = active_kernel_variant();
+    std::size_t j = 0;
+#if defined(__AVX2__)
+    if (variant == kernel_variant::simd) {
+        const __m256i lanes_one = _mm256_set1_epi8(1);
+        for (; j + 4 <= nwords; j += 4) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(words + j));
+            __m256i first = _mm256_and_si256(v, lanes_one);
+            first = _mm256_add_epi8(first, first);
+            __m256i w = _mm256_add_epi8(
+                _mm256_sub_epi8(_mm256_set1_epi8(8), lanes_one), first);
+            __m256i mx = w;
+            __m256i mn = w;
+            for (unsigned k = 1; k < 8; ++k) {
+                __m256i b = _mm256_and_si256(_mm256_srli_epi64(v, k),
+                                             lanes_one);
+                b = _mm256_add_epi8(b, b);
+                w = _mm256_sub_epi8(_mm256_add_epi8(w, b), lanes_one);
+                mx = _mm256_max_epu8(mx, w);
+                mn = _mm256_min_epu8(mn, w);
+            }
+            alignas(32) std::uint8_t wl[32];
+            alignas(32) std::uint8_t mxl[32];
+            alignas(32) std::uint8_t mnl[32];
+            _mm256_store_si256(reinterpret_cast<__m256i*>(wl), w);
+            _mm256_store_si256(reinterpret_cast<__m256i*>(mxl), mx);
+            _mm256_store_si256(reinterpret_cast<__m256i*>(mnl), mn);
+            for (unsigned lane = 0; lane < 32; ++lane) {
+                const int byte_hi = acc.delta + mxl[lane] - 8;
+                const int byte_lo = acc.delta + mnl[lane] - 8;
+                acc.max_prefix =
+                    byte_hi > acc.max_prefix ? byte_hi : acc.max_prefix;
+                acc.min_prefix =
+                    byte_lo < acc.min_prefix ? byte_lo : acc.min_prefix;
+                acc.delta += wl[lane] - 8;
+            }
+        }
+    }
+#endif
+    for (; j < nwords; ++j) {
+        const walk_summary s = variant == kernel_variant::reference
+            ? detail::word_walk_reference(words[j])
+            : detail::word_walk_portable(words[j]);
+        const int hi = acc.delta + s.max_prefix;
+        const int lo = acc.delta + s.min_prefix;
+        acc.max_prefix = hi > acc.max_prefix ? hi : acc.max_prefix;
+        acc.min_prefix = lo < acc.min_prefix ? lo : acc.min_prefix;
+        acc.delta += s.delta;
+    }
+    return acc;
+}
+
+/// \brief In-place 64x64 bit-matrix transpose (Hacker's Delight recursive
+/// block swap): afterwards bit j of m[i] is the old bit i of m[j].  The
+/// bit-sliced fleet lane uses it to turn 64 channel words into 64 time
+/// planes (plane t holds bit t of every channel).
+inline void transpose_64x64(std::uint64_t m[64])
+{
+    std::uint64_t mask = 0x00000000ffffffffull;
+    for (unsigned j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+        for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const std::uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+        }
+    }
+}
+
+} // namespace bits
 
 } // namespace otf

@@ -1,5 +1,7 @@
 #include "core/fleet_monitor.hpp"
 
+#include "hw/sliced_block.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -26,6 +28,18 @@ void fleet_config::validate() const
     }
 }
 
+bool fleet_config::uses_sliced_lane() const
+{
+    // The bit-sliced lane needs 64 identical channels side by side, a
+    // word-granular window, no supervision (escalation reprograms a
+    // channel to a heavy design mid-run) and a test set the sliced
+    // software pass can verify.  Everything else degrades to the span
+    // lane per channel.
+    return lane == ingest_lane::sliced && !escalated_block
+        && channels >= hw::sliced_block::lanes && block.n() >= 64
+        && sliced_pass_supported(block.tests);
+}
+
 supervisor_config fleet_config::supervised_config() const
 {
     supervisor_config sc;
@@ -38,7 +52,7 @@ supervisor_config fleet_config::supervised_config() const
     sc.dwell_windows = dwell_windows;
     sc.offline_alpha = offline_alpha;
     sc.offline_min_failures = offline_min_failures;
-    sc.word_path = word_path;
+    sc.lane = lane;
     return sc;
 }
 
@@ -119,8 +133,9 @@ struct channel_state {
             // rejects them with its length error, exactly as before).
             // fleet_config::validate() rejects supervision here.
             for (std::uint64_t w = 0; w < windows; ++w) {
-                observe(cfg.word_path ? mon->test_window_words(*source)
-                                      : mon->test_window(*source));
+                observe(cfg.lane == ingest_lane::per_bit
+                            ? mon->test_window(*source)
+                            : mon->test_window_words(*source, cfg.lane));
             }
             finish(windows);
             return;
@@ -148,9 +163,7 @@ struct channel_state {
         opts.total_words = sup ? 0 : windows * nwords;
         opts.batch_words = default_batch_words(nwords);
         word_producer producer(*source, ring, opts);
-        window_pump pump(ring, active_monitor(),
-                         cfg.word_path ? ingest_lane::word
-                                       : ingest_lane::per_bit);
+        window_pump pump(ring, active_monitor(), cfg.lane);
         if (sup) {
             pump.set_tap(sup->tap());
             pump.set_barrier(sup->barrier());
@@ -231,6 +244,66 @@ struct channel_state {
     }
 };
 
+/// One bit-sliced work unit: 64 channels advance together through one
+/// hw::sliced_block.  Windows stay channel-synchronous -- every member's
+/// window w is generated, transposed and verified before window w + 1 --
+/// so the per-channel reports are the same pure function of the seeds as
+/// on the scalar lanes (modulo sw_cycles, which the sliced lane reports
+/// as 0: there is no per-channel software pass to charge).
+void run_sliced_group(const fleet_config& cfg, const critical_values& cv,
+                      const std::vector<std::unique_ptr<channel_state>>& states,
+                      const unsigned* members, std::uint64_t windows)
+{
+    constexpr unsigned lanes = hw::sliced_block::lanes;
+    if (windows == 0) {
+        return;
+    }
+    const std::size_t nwords =
+        static_cast<std::size_t>(cfg.block.n() / 64);
+    hw::sliced_config scfg;
+    scfg.n = cfg.block.n();
+    hw::sliced_block group(scfg);
+    // Generation and transposition work on an L1-resident tile: filling
+    // whole per-channel windows and gathering column-wise across them
+    // strides the cache by a full window per read (a miss per word on
+    // the larger designs), while a lanes x 8-word tile keeps the fill
+    // target and the gather source hot.  Each channel's stream is still
+    // drawn in order, so the data -- and the report -- are unchanged.
+    constexpr std::size_t tile_words = 8;
+    std::vector<std::uint64_t> tile(std::size_t{lanes} * tile_words);
+    std::uint64_t chunk[lanes];
+    for (std::uint64_t w = 0; w < windows; ++w) {
+        if (w != 0) {
+            group.restart();
+        }
+        for (std::size_t base = 0; base < nwords; base += tile_words) {
+            const std::size_t take =
+                nwords - base < tile_words ? nwords - base : tile_words;
+            for (unsigned i = 0; i < lanes; ++i) {
+                states[members[i]]->source->fill_words(
+                    tile.data() + std::size_t{i} * tile_words, take);
+            }
+            for (std::size_t k = 0; k < take; ++k) {
+                for (unsigned i = 0; i < lanes; ++i) {
+                    chunk[i] = tile[std::size_t{i} * tile_words + k];
+                }
+                group.feed_words(chunk);
+            }
+        }
+        for (unsigned i = 0; i < lanes; ++i) {
+            window_report wr;
+            wr.window_index = w;
+            wr.generation_cycles = cfg.block.n();
+            wr.software = sliced_software_pass(
+                cfg.block, cv, group.s_final(i), group.n_runs(i));
+            states[members[i]]->observe(wr);
+        }
+    }
+    for (unsigned i = 0; i < lanes; ++i) {
+        states[members[i]]->finish(windows);
+    }
+}
+
 } // namespace
 
 fleet_report fleet_monitor::run(const source_factory& make_source,
@@ -255,53 +328,101 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
         states.back()->report.channel = c;
     }
 
+    // Work units: on the sliced lane, whole groups of 64 channels
+    // advance together through one hw::sliced_block and form one unit;
+    // leftover and ineligible channels stay one-channel units on their
+    // scalar lanes.  Units are independent, so any assignment of units
+    // to workers yields the same per-channel reports -- determinism by
+    // construction, exactly as with per-channel stealing.
+    struct work_unit {
+        std::vector<unsigned> members; // 64 = sliced group, 1 = channel
+    };
+    std::vector<work_unit> units;
+    unsigned first_single = 0;
+    if (cfg_.uses_sliced_lane()) {
+        constexpr unsigned lanes = hw::sliced_block::lanes;
+        for (unsigned g = 0; g + lanes <= cfg_.channels; g += lanes) {
+            work_unit unit;
+            unit.members.reserve(lanes);
+            for (unsigned i = 0; i < lanes; ++i) {
+                unit.members.push_back(g + i);
+            }
+            units.push_back(std::move(unit));
+            first_single = g + lanes;
+        }
+    }
+    for (unsigned c = first_single; c < cfg_.channels; ++c) {
+        units.push_back(work_unit{{c}});
+    }
+    const auto unit_count = static_cast<unsigned>(units.size());
+
     unsigned workers = cfg_.threads != 0
         ? cfg_.threads
         : std::thread::hardware_concurrency();
     if (workers == 0) {
         workers = 1;
     }
-    if (workers > cfg_.channels) {
-        workers = cfg_.channels;
+    if (workers > unit_count) {
+        workers = unit_count;
     }
 
-    // Work stealing at channel granularity: channels are independent, so
-    // any assignment of channels to workers yields the same per-channel
-    // reports -- determinism by construction.
     std::atomic<unsigned> next{0};
     std::exception_ptr failure;
     std::mutex failure_mutex;
     const auto worker = [&] {
         try {
-            for (unsigned c = next.fetch_add(1); c < cfg_.channels;
-                 c = next.fetch_add(1)) {
-                try {
-                    states[c]->run_windows(cfg_, windows_per_channel);
-                } catch (const std::exception& e) {
-                    // Name the offending channel: "a source threw" is
-                    // undebuggable in an N-channel fleet without it.
-                    // The ring telemetry (snapshotted on the throw path
-                    // too) explains *why* a pipeline stalled or dried up,
-                    // so carry it into the message when there is any.
-                    std::string what = "fleet_monitor: channel "
-                        + std::to_string(c) + " (source \""
-                        + states[c]->report.source_name + "\"): "
-                        + e.what();
-                    const stream_stats& ss = states[c]->report.stream;
-                    if (ss.ring_capacity > 0) {
-                        what += " [stream: words="
-                            + std::to_string(ss.words) + ", producer_stalls="
-                            + std::to_string(ss.producer_stalls)
-                            + ", consumer_stalls="
-                            + std::to_string(ss.consumer_stalls)
-                            + ", max_occupancy="
-                            + std::to_string(ss.max_occupancy) + "/"
-                            + std::to_string(ss.ring_capacity) + "]";
+            for (unsigned u = next.fetch_add(1); u < unit_count;
+                 u = next.fetch_add(1)) {
+                const work_unit& unit = units[u];
+                if (unit.members.size() == 1) {
+                    const unsigned c = unit.members.front();
+                    try {
+                        states[c]->run_windows(cfg_, windows_per_channel);
+                    } catch (const std::exception& e) {
+                        // Name the offending channel: "a source threw" is
+                        // undebuggable in an N-channel fleet without it.
+                        // The ring telemetry (snapshotted on the throw
+                        // path too) explains *why* a pipeline stalled or
+                        // dried up, so carry it into the message when
+                        // there is any.
+                        std::string what = "fleet_monitor: channel "
+                            + std::to_string(c) + " (source \""
+                            + states[c]->report.source_name + "\"): "
+                            + e.what();
+                        const stream_stats& ss = states[c]->report.stream;
+                        if (ss.ring_capacity > 0) {
+                            what += " [stream: words="
+                                + std::to_string(ss.words)
+                                + ", producer_stalls="
+                                + std::to_string(ss.producer_stalls)
+                                + ", consumer_stalls="
+                                + std::to_string(ss.consumer_stalls)
+                                + ", max_occupancy="
+                                + std::to_string(ss.max_occupancy) + "/"
+                                + std::to_string(ss.ring_capacity) + "]";
+                        }
+                        throw std::runtime_error(what);
                     }
-                    throw std::runtime_error(what);
-                }
-                if (on_channel) {
-                    on_channel(states[c]->report);
+                    if (on_channel) {
+                        on_channel(states[c]->report);
+                    }
+                } else {
+                    try {
+                        run_sliced_group(cfg_, cv_, states,
+                                         unit.members.data(),
+                                         windows_per_channel);
+                    } catch (const std::exception& e) {
+                        throw std::runtime_error(
+                            "fleet_monitor: sliced group (channels "
+                            + std::to_string(unit.members.front()) + ".."
+                            + std::to_string(unit.members.back())
+                            + "): " + e.what());
+                    }
+                    if (on_channel) {
+                        for (const unsigned c : unit.members) {
+                            on_channel(states[c]->report);
+                        }
+                    }
                 }
             }
         } catch (...) {
@@ -309,7 +430,7 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
             if (!failure) {
                 failure = std::current_exception();
             }
-            next.store(cfg_.channels); // drain the queue, stop the fleet
+            next.store(unit_count); // drain the queue, stop the fleet
         }
     };
     if (workers == 1) {

@@ -52,10 +52,13 @@ struct fleet_config {
     /// compute at once.  Thread count never changes the report, only the
     /// wall-clock time.
     unsigned threads = 0;
-    /// Use the word-at-a-time fast lane (default).  The per-bit lane is
-    /// kept selectable as the equivalence oracle: both settings must
-    /// produce identical reports for the same seeds.
-    bool word_path = true;
+    /// Ingestion lane for every channel (word fast lane by default).
+    /// The per-bit lane is kept selectable as the equivalence oracle:
+    /// all lanes must produce identical reports for the same seeds.
+    /// `sliced` batches eligible channels (cheap always-on designs, no
+    /// supervision) 64-wide through hw::sliced_block; ineligible
+    /// channels fall back to the span lane.
+    ingest_lane lane = ingest_lane::word;
     /// AIS-31-style per-channel alarm: raise when at least
     /// `fail_threshold` of the last `policy_window` window verdicts
     /// failed.  Mirrors health_monitor::policy.
@@ -91,6 +94,13 @@ struct fleet_config {
     /// The per-channel supervisor policy this configuration implies.
     /// \throws std::bad_optional_access unless escalated_block is set
     supervisor_config supervised_config() const;
+
+    /// True when this configuration routes channel groups of 64 through
+    /// the bit-sliced lane (hw::sliced_block): lane == sliced, at least
+    /// 64 channels, no supervision, a word-granular window and a test
+    /// set limited to the cheap always-on tests (frequency, runs).
+    /// Leftover and ineligible channels ride the span lane instead.
+    bool uses_sliced_lane() const;
 };
 
 /// \brief Telemetry of one channel after a fleet run.  Every field except

@@ -45,12 +45,13 @@ window_report monitor::test_window(trng::entropy_source& source)
     return finish_window();
 }
 
-window_report monitor::test_window_words(trng::entropy_source& source)
+window_report monitor::test_window_words(trng::entropy_source& source,
+                                         ingest_lane lane)
 {
     const std::uint64_t n = block_.config().n();
     word_buffer_.resize(n / 64);
     source.fill_words(word_buffer_.data(), word_buffer_.size());
-    return test_packed(word_buffer_.data(), word_buffer_.size());
+    return test_packed(word_buffer_.data(), word_buffer_.size(), lane);
 }
 
 window_report monitor::test_sequence(const bit_sequence& seq)
@@ -84,14 +85,21 @@ window_report monitor::test_packed(const std::uint64_t* words,
             + block_.config().name + "\", got "
             + std::to_string(nwords * 64) + ")");
     }
-    if (lane == ingest_lane::word) {
+    switch (lane) {
+    case ingest_lane::word:
         block_.feed_words(words, nwords);
-    } else {
+        break;
+    case ingest_lane::span:
+    case ingest_lane::sliced: // a lone monitor has no 64-channel group
+        block_.feed_span(words, nwords * 64);
+        break;
+    case ingest_lane::per_bit:
         for (std::size_t j = 0; j < nwords; ++j) {
             for (unsigned i = 0; i < 64; ++i) {
                 block_.feed(((words[j] >> i) & 1u) != 0);
             }
         }
+        break;
     }
     return finish_window();
 }

@@ -45,11 +45,20 @@ struct window_report {
 };
 
 /// \brief Which ingestion lane a packed window takes through the hardware.
-/// Both lanes are register-exact for the same words; the per-bit lane is
-/// the paper-faithful equivalence oracle, the word lane the fast path.
+/// All lanes are register-exact for the same words; the per-bit lane is
+/// the paper-faithful equivalence oracle, the word and span lanes the fast
+/// paths (tests/test_kernel_oracle.cpp enforces the equivalence).
 enum class ingest_lane {
-    word,   ///< hw::testing_block::feed_word batching (production default)
-    per_bit ///< one feed() per bit (one hardware clock per bit)
+    word,    ///< hw::testing_block::feed_word batching (production default)
+    per_bit, ///< one feed() per bit (one hardware clock per bit)
+    span,    ///< hw::testing_block::feed_span whole-window SIMD kernels
+    /// Bit-sliced transposed lane (hw::sliced_block): 64 fleet channels
+    /// advance per instruction through the cheap always-on tests.  Only
+    /// the fleet honors it -- it needs 64 channels side by side -- and
+    /// only for eligible designs (frequency/runs, no supervision);
+    /// ineligible channels fall back to the span lane.  A single monitor
+    /// asked for this lane uses the span lane instead.
+    sliced,
 };
 
 /// \brief Per-window callback of the streaming pipeline (core/stream.hpp):
@@ -84,11 +93,13 @@ public:
     /// pass and return the verdicts.
     window_report test_window(trng::entropy_source& source);
 
-    /// \brief Word-lane variant of test_window(): bulk-generates the
-    /// window with entropy_source::fill_words and streams it through
-    /// hw::testing_block::feed_word.  Bit-exact with test_window() for
-    /// the same source state; several times faster in simulation.
-    window_report test_window_words(trng::entropy_source& source);
+    /// \brief Packed-lane variant of test_window(): bulk-generates the
+    /// window with entropy_source::fill_words and streams it through the
+    /// selected fast lane (feed_word batching or the feed_span kernels).
+    /// Bit-exact with test_window() for the same source state; several
+    /// times faster in simulation.
+    window_report test_window_words(trng::entropy_source& source,
+                                    ingest_lane lane = ingest_lane::word);
 
     /// \brief Test a pre-recorded sequence (length must equal n).
     /// \throws std::invalid_argument naming the expected and actual
@@ -104,8 +115,8 @@ public:
     /// pipeline's allocation-free entry point (core/stream.hpp).
     /// \param words  LSB-first packed window; `nwords * 64` must equal n
     /// \param nwords number of 64-bit words
-    /// \param lane   word fast lane or per-bit oracle lane; register-exact
-    ///               either way
+    /// \param lane   word/span fast lane or per-bit oracle lane;
+    ///               register-exact either way (sliced degrades to span)
     /// \throws std::invalid_argument naming the expected and actual
     /// lengths when they differ
     window_report test_packed(const std::uint64_t* words,

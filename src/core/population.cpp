@@ -87,7 +87,7 @@ fleet_config population_config::shard_fleet_config() const
     fc.dwell_windows = dwell_windows;
     fc.offline_alpha = offline_alpha;
     fc.offline_min_failures = offline_min_failures;
-    fc.word_path = word_path;
+    fc.lane = lane;
     fc.ring_words = ring_words;
     return fc;
 }

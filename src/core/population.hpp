@@ -116,7 +116,7 @@ struct population_config {
     std::uint64_t dwell_windows = 16;
     double offline_alpha = 0.01;
     unsigned offline_min_failures = 2;
-    bool word_path = true;
+    ingest_lane lane = ingest_lane::word;
     std::size_t ring_words = 0;
 
     /// Population shape.

@@ -173,8 +173,9 @@ scenario_report scenario_runner::run(const scenario& sc) const
                 if (model) {
                     model->set_severity(sc.schedule.severity_at(w));
                 }
-                account(cfg_.word_path ? mon.test_window_words(*source)
-                                       : mon.test_window(*source));
+                account(cfg_.lane == ingest_lane::per_bit
+                            ? mon.test_window(*source)
+                            : mon.test_window_words(*source, cfg_.lane));
             }
         } else {
             base::ring_buffer ring(default_ring_words(nwords));
@@ -191,9 +192,7 @@ scenario_report scenario_runner::run(const scenario& sc) const
                 };
             }
             word_producer producer(*source, ring, opts);
-            window_pump pump(ring, mon,
-                             cfg_.word_path ? ingest_lane::word
-                                            : ingest_lane::per_bit);
+            window_pump pump(ring, mon, cfg_.lane);
             run_pipeline(producer, pump, account, cfg_.windows);
         }
         rep.trials_alarmed += alarmed ? 1 : 0;

@@ -88,7 +88,7 @@ struct scenario_config {
     std::uint64_t seed = 0x0f1e2d3c4b5a6978ULL;
     /// Ingestion lane (word fast lane by default; the per-bit oracle lane
     /// stays selectable for equivalence runs).
-    bool word_path = true;
+    ingest_lane lane = ingest_lane::word;
 
     /// \throws std::invalid_argument on zero windows/trials or an
     /// inconsistent alarm policy

@@ -250,9 +250,7 @@ supervision_report supervisor::run(trng::entropy_source& source,
         opts.batch_words = default_batch_words(base_words);
     }
     word_producer producer(source, ring, opts);
-    window_pump pump(ring, mon_,
-                     cfg_.word_path ? ingest_lane::word
-                                    : ingest_lane::per_bit);
+    window_pump pump(ring, mon_, cfg_.lane);
     pump.set_tap(tap());
     pump.set_barrier(barrier());
     const std::uint64_t pumped =

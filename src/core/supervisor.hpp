@@ -109,8 +109,9 @@ struct supervisor_config {
     double offline_alpha = 0.01;
     nist::battery_selection offline_tests = nist::battery_selection::all();
     unsigned offline_min_failures = 2;
-    /// Ingestion lane (word fast lane by default).
-    bool word_path = true;
+    /// Ingestion lane (word fast lane by default; a supervised monitor
+    /// asked for `sliced` uses the span lane -- see core::ingest_lane).
+    ingest_lane lane = ingest_lane::word;
 
     /// \throws std::invalid_argument on inconsistent designs (both must
     /// be streamable: n >= 64), an invalid alarm policy, zero evidence

@@ -1,5 +1,7 @@
 #include "hw/block_frequency_hw.hpp"
 
+#include "base/bits.hpp"
+
 #include <bit>
 #include <stdexcept>
 
@@ -45,6 +47,37 @@ void block_frequency_hw::consume_word(std::uint64_t word, unsigned nbits,
             & (take == 64 ? ~std::uint64_t{0}
                           : (std::uint64_t{1} << take) - 1);
         ones_.advance(static_cast<std::uint64_t>(std::popcount(seg)));
+        if (pos_in_block + take == block_mask_ + 1) {
+            const auto slot =
+                static_cast<unsigned>((bit_index + done) >> log2_m_);
+            bank_.write(slot, ones_.value());
+            ones_.clear();
+        }
+        done += take;
+    }
+}
+
+void block_frequency_hw::consume_span(const std::uint64_t* words,
+                                      std::size_t nbits,
+                                      std::uint64_t bit_index)
+{
+    // Word-aligned block boundaries are what make the whole-block popcount
+    // legal; sub-word blocks (M < 64) and unaligned spans take the per-word
+    // path, which handles arbitrary boundaries.
+    if (log2_m_ < 6 || bit_index % 64 != 0) {
+        engine::consume_span(words, nbits, bit_index);
+        return;
+    }
+    std::size_t done = 0;
+    while (done < nbits) {
+        const std::uint64_t pos_in_block = (bit_index + done) & block_mask_;
+        const std::uint64_t to_boundary = (block_mask_ + 1) - pos_in_block;
+        const std::size_t take = to_boundary < nbits - done
+            ? static_cast<std::size_t>(to_boundary)
+            : nbits - done;
+        // `done` stays a multiple of 64: boundaries are word-aligned and
+        // only the final segment can be ragged.
+        ones_.advance(bits::span_popcount(words + done / 64, take));
         if (pos_in_block + take == block_mask_ + 1) {
             const auto slot =
                 static_cast<unsigned>((bit_index + done) >> log2_m_);

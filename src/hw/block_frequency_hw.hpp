@@ -26,6 +26,11 @@ public:
     /// path.
     void consume_word(std::uint64_t word, unsigned nbits,
                       std::uint64_t bit_index) override;
+    /// \brief Span kernel: one bits::span_popcount per block-bounded run
+    /// of whole words (blocks with M >= 64 on aligned spans are
+    /// word-aligned); sub-word blocks fall back to the per-word path.
+    void consume_span(const std::uint64_t* words, std::size_t nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     unsigned block_count() const { return block_count_; }

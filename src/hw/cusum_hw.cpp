@@ -1,5 +1,7 @@
 #include "hw/cusum_hw.hpp"
 
+#include "base/bits.hpp"
+
 #include <array>
 
 namespace otf::hw {
@@ -74,6 +76,33 @@ void cusum_hw::consume_word(std::uint64_t word, unsigned nbits,
     }
     for (; i < nbits; ++i) {
         walk += ((word >> i) & 1u) ? 1 : -1;
+        hi = walk > hi ? walk : hi;
+        lo = walk < lo ? walk : lo;
+    }
+    walk_.advance(walk - walk_.value());
+    max_.observe(hi);
+    min_.observe(lo);
+}
+
+void cusum_hw::consume_span(const std::uint64_t* words, std::size_t nbits,
+                            std::uint64_t bit_index)
+{
+    (void)bit_index;
+    std::int64_t walk = walk_.value();
+    std::int64_t hi = walk_.min_representable();
+    std::int64_t lo = walk_.max_representable();
+    const std::size_t nwords = nbits / 64;
+    if (nwords != 0) {
+        const bits::walk_summary ws = bits::span_walk(words, nwords);
+        const std::int64_t whi = walk + ws.max_prefix;
+        const std::int64_t wlo = walk + ws.min_prefix;
+        hi = whi > hi ? whi : hi;
+        lo = wlo < lo ? wlo : lo;
+        walk += ws.delta;
+    }
+    const unsigned tail = static_cast<unsigned>(nbits % 64);
+    for (unsigned i = 0; i < tail; ++i) {
+        walk += ((words[nwords] >> i) & 1u) ? 1 : -1;
         hi = walk > hi ? walk : hi;
         lo = walk < lo ? walk : lo;
     }

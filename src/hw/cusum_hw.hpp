@@ -28,6 +28,11 @@ public:
     /// replace 64 counter steps.
     void consume_word(std::uint64_t word, unsigned nbits,
                       std::uint64_t bit_index) override;
+    /// \brief Span kernel: one bits::span_walk (SWAR byte lanes, no byte
+    /// table) summarizes the whole span's trajectory; the walk counter and
+    /// both extrema trackers commit exactly once.
+    void consume_span(const std::uint64_t* words, std::size_t nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     std::int64_t s_final() const { return walk_.value(); }

@@ -66,6 +66,44 @@ public:
         }
     }
 
+    /// \brief Bulk-span fast lane: consume a whole packed span at once.
+    /// Must leave the engine in exactly the state that `nbits` consume()
+    /// calls would -- same oracle contract as consume_word(), enforced by
+    /// tests/test_kernel_oracle.cpp.  The default walks the span one word
+    /// at a time through consume_word(); engines override it with
+    /// whole-span kernels (popcount accumulation, match masks, the SWAR
+    /// walk) that hoist state into locals and commit once per span.
+    ///
+    /// Overrides may assume nothing about alignment: `bit_index` can fall
+    /// anywhere (odd-length chunking), and kernels that need word-aligned
+    /// block boundaries must fall back to the per-word path otherwise.
+    /// \param words     stream bits packed LSB-first: bit i of words[i/64]
+    ///                  is stream bit `bit_index + i`
+    /// \param nbits     number of valid bits in the span
+    /// \param bit_index global bit counter value at the span's first bit
+    virtual void consume_span(const std::uint64_t* words, std::size_t nbits,
+                              std::uint64_t bit_index)
+    {
+        if (watches_shared_window()) {
+            // On the span lane the shared register advances once per
+            // *span*, so even an engine-provided consume_word override
+            // would read a stale window after the first word.
+            throw std::logic_error(
+                "engine '" + name()
+                + "' watches the shared template window and must override "
+                  "consume_span() (the word-looping default would read a "
+                  "stale window beyond the first word)");
+        }
+        std::size_t done = 0;
+        while (done < nbits) {
+            const unsigned take = nbits - done < 64
+                ? static_cast<unsigned>(nbits - done)
+                : 64u;
+            consume_word(words[done / 64], take, bit_index + done);
+            done += take;
+        }
+    }
+
     /// \brief True for engines that read the testing block's shared
     /// template shift register during consume() (sharing trick 4).
     /// Paired with the consume_word() contract above.

@@ -1,5 +1,7 @@
 #include "hw/health_tests.hpp"
 
+#include "base/bits.hpp"
+
 #include <bit>
 #include <stdexcept>
 
@@ -64,6 +66,57 @@ void repetition_count_hw::consume_word(std::uint64_t word, unsigned nbits,
         pos += len;
     }
     primed_ = true;
+    run_.clear();
+    run_.advance(run);
+    longest_.observe(static_cast<std::int64_t>(longest));
+}
+
+void repetition_count_hw::consume_span(const std::uint64_t* words,
+                                       std::size_t nbits,
+                                       std::uint64_t bit_index)
+{
+    (void)bit_index;
+    if (nbits == 0) {
+        return;
+    }
+    const std::uint64_t sat = run_.max_value();
+    std::uint64_t longest = static_cast<std::uint64_t>(longest_.value());
+    std::uint64_t run = run_.value();
+    bool prev = prev_;
+    bool primed = primed_;
+    bool alarm = alarm_;
+    std::size_t done = 0;
+    while (done < nbits) {
+        const unsigned take = nbits - done < 64
+            ? static_cast<unsigned>(nbits - done)
+            : 64u;
+        const std::uint64_t word = words[done / 64];
+        unsigned pos = 0;
+        while (pos < take) {
+            const bool cur = ((word >> pos) & 1u) != 0;
+            const std::uint64_t same = cur ? (word >> pos) : ~(word >> pos);
+            unsigned len = static_cast<unsigned>(std::countr_one(same));
+            if (len > take - pos) {
+                len = take - pos;
+            }
+            if (pos == 0 && primed && cur == prev) {
+                run = run + len >= sat ? sat : run + len;
+            } else {
+                run = len >= sat ? sat : len;
+            }
+            longest = run > longest ? run : longest;
+            if (run >= cutoff_) {
+                alarm = true;
+            }
+            prev = cur;
+            pos += len;
+        }
+        primed = true;
+        done += take;
+    }
+    prev_ = prev;
+    primed_ = primed;
+    alarm_ = alarm;
     run_.clear();
     run_.advance(run);
     longest_.observe(static_cast<std::int64_t>(longest));
@@ -138,6 +191,39 @@ void adaptive_proportion_hw::consume_word(std::uint64_t word, unsigned nbits,
             & (take == 64 ? ~std::uint64_t{0}
                           : (std::uint64_t{1} << take) - 1);
         const auto ones = static_cast<unsigned>(std::popcount(seg));
+        occurrences_.advance(reference_ ? ones : take - ones);
+        if (occurrences_.value() >= cutoff_) {
+            alarm_ = true;
+        }
+        done += take;
+    }
+}
+
+void adaptive_proportion_hw::consume_span(const std::uint64_t* words,
+                                          std::size_t nbits,
+                                          std::uint64_t bit_index)
+{
+    // Whole-window popcounts need word-aligned window boundaries; windows
+    // below 64 bits and unaligned spans take the per-word path.
+    if (log2_window_ < 6 || bit_index % 64 != 0) {
+        engine::consume_span(words, nbits, bit_index);
+        return;
+    }
+    std::size_t done = 0;
+    while (done < nbits) {
+        const std::uint64_t pos = (bit_index + done) & window_mask_;
+        if (pos == 0) {
+            reference_ = (words[done / 64] & 1u) != 0;
+            occurrences_.clear();
+        }
+        const std::uint64_t to_boundary = (window_mask_ + 1) - pos;
+        const std::size_t take = to_boundary < nbits - done
+            ? static_cast<std::size_t>(to_boundary)
+            : nbits - done;
+        const std::uint64_t ones = bits::span_popcount(words + done / 64,
+                                                       take);
+        // The count is monotone within a window, so one cutoff check per
+        // window-bounded segment is equivalent to the per-bit check.
         occurrences_.advance(reference_ ? ones : take - ones);
         if (occurrences_.value() >= cutoff_) {
             alarm_ = true;

@@ -40,6 +40,10 @@ public:
     /// the per-bit check because runs only grow.
     void consume_word(std::uint64_t word, unsigned nbits,
                       std::uint64_t bit_index) override;
+    /// \brief Span kernel: the run scan with all state (run, longest,
+    /// seam flip-flops, alarm) hoisted into locals; one commit per span.
+    void consume_span(const std::uint64_t* words, std::size_t nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     bool alarm() const { return alarm_; }
@@ -88,6 +92,10 @@ public:
     /// segment.  The occurrence count is monotone within a window, so
     /// checking the cutoff at segment ends is equivalent to per-bit.
     void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
+    /// \brief Span kernel: one bits::span_popcount per window-bounded run
+    /// of whole words; sub-word windows fall back to the per-word path.
+    void consume_span(const std::uint64_t* words, std::size_t nbits,
                       std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 

@@ -122,6 +122,76 @@ void longest_run_hw::consume_word(std::uint64_t word, unsigned nbits,
     }
 }
 
+void longest_run_hw::consume_span(const std::uint64_t* words,
+                                  std::size_t nbits, std::uint64_t bit_index)
+{
+    // The hoisted-state loop needs word-aligned block boundaries; sub-word
+    // blocks (M < 64) and unaligned spans use the per-word path.
+    if (log2_m_ < 6 || bit_index % 64 != 0) {
+        engine::consume_span(words, nbits, bit_index);
+        return;
+    }
+    const std::uint64_t run_sat = run_length_.max_value();
+    std::uint64_t run = run_length_.value();
+    std::int64_t bmax = block_max_.value();
+    std::size_t done = 0;
+    while (done < nbits) {
+        const unsigned take = nbits - done < 64
+            ? static_cast<unsigned>(nbits - done)
+            : 64u;
+        const std::uint64_t seg = words[done / 64]
+            & (take == 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << take) - 1);
+        const unsigned lead =
+            static_cast<unsigned>(std::countr_one(seg)) < take
+            ? static_cast<unsigned>(std::countr_one(seg))
+            : take;
+        std::uint64_t seg_max;
+        std::uint64_t run_out;
+        if (lead == take) {
+            seg_max = run + take;
+            run_out = seg_max;
+        } else {
+            std::uint64_t y = seg;
+            unsigned interior = 0;
+            while (y != 0) {
+                ++interior;
+                y &= y << 1;
+            }
+            const std::uint64_t head = run + lead;
+            seg_max = head > interior ? head : interior;
+            run_out = static_cast<unsigned>(
+                std::countl_one(seg << (64 - take)));
+        }
+        if (static_cast<std::int64_t>(seg_max) > bmax) {
+            bmax = static_cast<std::int64_t>(seg_max);
+        }
+        run = run_out < run_sat ? run_out : run_sat;
+
+        if (((bit_index + done) & block_mask_) + take == block_mask_ + 1) {
+            const auto longest = static_cast<unsigned>(bmax);
+            unsigned category;
+            if (longest <= v_lo_) {
+                category = 0;
+            } else if (longest >= v_hi_) {
+                category = v_hi_ - v_lo_;
+            } else {
+                category = longest - v_lo_;
+            }
+            categories_[category]->step();
+            run = 0;
+            bmax = 0;
+        }
+        done += take;
+    }
+    run_length_.clear();
+    run_length_.advance(run);
+    block_max_.clear();
+    if (bmax > 0) {
+        block_max_.observe(bmax);
+    }
+}
+
 void longest_run_hw::add_registers(register_map& map) const
 {
     for (unsigned c = 0; c < categories_.size(); ++c) {

@@ -33,6 +33,11 @@ public:
     /// trailing ones carry out -- no per-bit counter stepping.
     void consume_word(std::uint64_t word, unsigned nbits,
                       std::uint64_t bit_index) override;
+    /// \brief Span kernel: the per-word run scan with the carried run and
+    /// block maximum hoisted into locals; the RTL counters commit once at
+    /// the end of the span instead of once per word.
+    void consume_span(const std::uint64_t* words, std::size_t nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     unsigned category_count() const

@@ -22,6 +22,11 @@ public:
     /// the stored flip-flop.
     void consume_word(std::uint64_t word, unsigned nbits,
                       std::uint64_t bit_index) override;
+    /// \brief Span kernel: one bits::span_transitions over the whole span
+    /// (intra-word shifted-XOR popcounts plus word seams), a single seam
+    /// check against the stored flip-flop, one counter commit.
+    void consume_span(const std::uint64_t* words, std::size_t nbits,
+                      std::uint64_t bit_index) override;
     void add_registers(register_map& map) const override;
 
     std::uint64_t n_runs() const { return runs_.value(); }

@@ -1,6 +1,7 @@
 #include "hw/serial_hw.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace otf::hw {
@@ -138,6 +139,115 @@ void serial_hw::consume_word(std::uint64_t word, unsigned nbits,
         for (std::uint32_t p = 0; p < (1u << (m_ - 2)); ++p) {
             if (delta_m2[p] != 0) {
                 file_m2_[p]->advance(delta_m2[p]);
+            }
+        }
+    }
+}
+
+void serial_hw::consume_span(const std::uint64_t* words, std::size_t nbits,
+                             std::uint64_t bit_index)
+{
+    // Warm-up (and any leading sub-word chunk) rides the per-word path; it
+    // only covers the window's first bits, so the kernel below can assume
+    // every position is steady-state.
+    std::size_t done = 0;
+    if (seen_ < m_) {
+        const unsigned take =
+            nbits < 64 ? static_cast<unsigned>(nbits) : 64u;
+        consume_word(words[0], take, bit_index);
+        done = take;
+    }
+    if (done >= nbits) {
+        return;
+    }
+
+    const std::uint64_t mask_m = (std::uint64_t{1} << m_) - 1;
+    std::uint64_t w = window_.window() & mask_m;
+    std::uint32_t delta_m[256] = {};
+    std::size_t widx = done / 64; // done is 0 or 64 here
+    const std::size_t full_end = nbits / 64;
+
+    if (m_ <= 5 && widx < full_end) {
+        // Match-mask kernel: z_j aligns the stream so that bit i of z_j is
+        // the window's bit j after consuming position i; AND-ing the
+        // selected/complemented z_j's per pattern leaves a mask whose
+        // popcount is that pattern's occurrence count in the word.  The
+        // first word borrows its pre-span bits from the window register
+        // (window bit k-1 is stream bit start-k, i.e. bit 64-k of the
+        // virtual previous word).
+        std::uint64_t prev = 0;
+        for (unsigned k = 1; k < m_; ++k) {
+            prev |= ((w >> (k - 1)) & 1u) << (64u - k);
+        }
+        for (; widx < full_end; ++widx) {
+            const std::uint64_t x = words[widx];
+            std::uint64_t z[5];
+            z[0] = x;
+            for (unsigned j = 1; j < m_; ++j) {
+                z[j] = (x << j) | (prev >> (64u - j));
+            }
+            for (std::uint32_t v = 0; v <= mask_m; ++v) {
+                std::uint64_t mask = (v & 1u) != 0 ? z[0] : ~z[0];
+                for (unsigned j = 1; j < m_; ++j) {
+                    mask &= ((v >> j) & 1u) != 0 ? z[j] : ~z[j];
+                }
+                delta_m[v] += static_cast<std::uint32_t>(
+                    std::popcount(mask));
+            }
+            prev = x;
+        }
+        // Rebuild the window value after the last full word: window bit j
+        // is that word's bit 63 - j.
+        w = 0;
+        for (unsigned j = 0; j < m_; ++j) {
+            w |= ((prev >> (63u - j)) & 1u) << j;
+        }
+    } else {
+        // m in [6, 8]: the per-pattern mask set no longer pays for itself;
+        // slide the window in a local register instead (still one counter
+        // commit for the whole span, unlike the per-word path).
+        for (; widx < full_end; ++widx) {
+            const std::uint64_t x = words[widx];
+            for (unsigned i = 0; i < 64; ++i) {
+                w = ((w << 1) | ((x >> i) & 1u)) & mask_m;
+                ++delta_m[w];
+            }
+        }
+    }
+    const unsigned tail = static_cast<unsigned>(nbits % 64);
+    for (unsigned i = 0; i < tail; ++i) {
+        w = ((w << 1) | ((words[full_end] >> i) & 1u)) & mask_m;
+        ++delta_m[w];
+    }
+
+    for (std::size_t p = done; p < nbits; p += 64) {
+        const unsigned take = nbits - p < 64
+            ? static_cast<unsigned>(nbits - p)
+            : 64u;
+        window_.shift_word(words[p / 64], take);
+    }
+    seen_ += nbits - done;
+    for (std::uint32_t p = 0; p <= mask_m; ++p) {
+        if (delta_m[p] != 0) {
+            file_m_[p]->advance(delta_m[p]);
+        }
+    }
+    if (!marginals_in_software_) {
+        // Every steady-state position increments all three lengths, so the
+        // shorter files are exact marginals of the span-local m-bit deltas.
+        const std::uint32_t half = 1u << (m_ - 1);
+        const std::uint32_t quarter = 1u << (m_ - 2);
+        for (std::uint32_t q = 0; q < half; ++q) {
+            const std::uint32_t d = delta_m[q] + delta_m[q | half];
+            if (d != 0) {
+                file_m1_[q]->advance(d);
+            }
+        }
+        for (std::uint32_t q = 0; q < quarter; ++q) {
+            const std::uint32_t d = delta_m[q] + delta_m[q | quarter]
+                + delta_m[q | half] + delta_m[q | half | quarter];
+            if (d != 0) {
+                file_m2_[q]->advance(d);
             }
         }
     }

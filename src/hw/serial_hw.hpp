@@ -47,6 +47,14 @@ public:
     /// stack arrays and commits each touched counter once per word.
     void consume_word(std::uint64_t word, unsigned nbits,
                       std::uint64_t bit_index) override;
+    /// \brief Span kernel: for m <= 5 the occurrence count of every
+    /// pattern in a word is one popcount of an AND-combined match mask
+    /// (no per-position sliding); for m in [6, 8] the window slides in a
+    /// local register.  Either way the per-pattern deltas accumulate
+    /// span-locally, the marginal files are folded from the m-bit deltas,
+    /// and every touched counter commits exactly once per span.
+    void consume_span(const std::uint64_t* words, std::size_t nbits,
+                      std::uint64_t bit_index) override;
     void flush(bool bit, unsigned t) override;
     void add_registers(register_map& map) const override;
 

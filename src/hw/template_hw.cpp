@@ -1,7 +1,49 @@
 #include "hw/template_hw.hpp"
 
+#include "base/bits.hpp"
+
 #include <bit>
 #include <stdexcept>
+
+namespace {
+
+// Bit i of the result is 1 iff the template-length window ending at bit i
+// of `x` equals `pattern` (window bit j = stream bit i - j, i.e. bit i of
+// z_j); positions reaching before `x` borrow from `prev`'s top bits.
+std::uint64_t match_mask(std::uint64_t x, std::uint64_t prev,
+                         std::uint64_t pattern, unsigned len)
+{
+    std::uint64_t mask = (pattern & 1u) != 0 ? x : ~x;
+    for (unsigned j = 1; j < len; ++j) {
+        const std::uint64_t z = (x << j) | (prev >> (64u - j));
+        mask &= ((pattern >> j) & 1u) != 0 ? z : ~z;
+    }
+    return mask;
+}
+
+// The virtual previous word at a span's first word: window bit k - 1 holds
+// stream bit start - k, which the mask kernel reads as bit 64 - k of the
+// word before the span.
+std::uint64_t prev_from_window(std::uint64_t window, unsigned len)
+{
+    std::uint64_t prev = 0;
+    for (unsigned k = 1; k < len; ++k) {
+        prev |= ((window >> (k - 1)) & 1u) << (64u - k);
+    }
+    return prev;
+}
+
+// Window register value after a full word: window bit j is bit 63 - j.
+std::uint64_t window_from_word(std::uint64_t word, unsigned len)
+{
+    std::uint64_t w = 0;
+    for (unsigned j = 0; j + 1 < len; ++j) {
+        w |= ((word >> (63u - j)) & 1u) << j;
+    }
+    return w;
+}
+
+} // namespace
 
 namespace otf::hw {
 
@@ -91,6 +133,99 @@ void non_overlapping_hw::consume_word(std::uint64_t word, unsigned nbits,
                         matches & ((std::uint64_t{1} << w_.width()) - 1));
             matches = 0;
             inhibit = 0;
+        }
+    }
+    w_.clear();
+    w_.advance(matches);
+    inhibit_ = inhibit;
+}
+
+void non_overlapping_hw::consume_span(const std::uint64_t* words,
+                                      std::size_t nbits,
+                                      std::uint64_t bit_index)
+{
+    const std::uint64_t len_mask =
+        (std::uint64_t{1} << template_length_) - 1;
+    const std::uint64_t pattern = matcher_.pattern() & len_mask;
+    const std::uint64_t w_mask =
+        (std::uint64_t{1} << w_.width()) - 1;
+    std::uint64_t matches = w_.value();
+    unsigned inhibit = inhibit_;
+
+    // Shared-window engines reconstruct the window across the whole span
+    // (the block shifts the shared register only after the span), so both
+    // paths below track it locally; the per-word default would read a
+    // stale register and is never used here.
+    const auto scan = [&](std::uint64_t& w, std::size_t first,
+                          std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+            w = (w << 1) | ((words[i / 64] >> (i % 64)) & 1u);
+            const std::uint64_t idx = bit_index + i;
+            const std::uint64_t pos_in_block = idx & block_mask_;
+            if (pos_in_block >= template_length_ - 1 && inhibit == 0
+                && (w & len_mask) == pattern) {
+                ++matches;
+                inhibit = template_length_ - 1;
+            } else if (inhibit > 0) {
+                --inhibit;
+            }
+            if (pos_in_block == block_mask_) {
+                bank_.write(static_cast<unsigned>(idx >> log2_m_),
+                            matches & w_mask);
+                matches = 0;
+                inhibit = 0;
+            }
+        }
+    };
+
+    if (log2_m_ < 6 || bit_index % 64 != 0) {
+        std::uint64_t w = window_.window();
+        scan(w, 0, nbits);
+    } else {
+        // Word-aligned fast path: one match mask per word, matches picked
+        // greedily with the non-overlap restart tracked as the next
+        // eligible position (`inhibit` remaining skips = position of the
+        // next eligible bit relative to the word start).
+        const std::size_t full_end = nbits / 64;
+        const std::uint64_t eligible_start =
+            ~bits::low_mask(template_length_ - 1);
+        std::uint64_t prev =
+            prev_from_window(window_.window(), template_length_);
+        unsigned next_ok = inhibit;
+        for (std::size_t widx = 0; widx < full_end; ++widx) {
+            const std::uint64_t x = words[widx];
+            const std::uint64_t word_start = bit_index + widx * 64;
+            std::uint64_t mask =
+                match_mask(x, prev, pattern, template_length_);
+            if ((word_start & block_mask_) == 0) {
+                mask &= eligible_start;
+            }
+            while (mask != 0) {
+                const unsigned i =
+                    static_cast<unsigned>(std::countr_zero(mask));
+                mask &= mask - 1;
+                if (i < next_ok) {
+                    continue;
+                }
+                ++matches;
+                next_ok = i + template_length_;
+            }
+            next_ok = next_ok > 64 ? next_ok - 64 : 0;
+            if ((word_start & block_mask_) == block_mask_ + 1 - 64) {
+                bank_.write(
+                    static_cast<unsigned>((word_start + 63) >> log2_m_),
+                    matches & w_mask);
+                matches = 0;
+                next_ok = 0;
+            }
+            prev = x;
+        }
+        inhibit = next_ok;
+        if (nbits % 64 != 0) {
+            std::uint64_t w = full_end != 0
+                ? window_from_word(prev, template_length_)
+                : window_.window();
+            scan(w, full_end * 64, nbits);
         }
     }
     w_.clear();
@@ -191,6 +326,79 @@ void overlapping_hw::consume_word(std::uint64_t word, unsigned nbits,
                 : static_cast<unsigned>(matches);
             categories_[category]->step();
             matches = 0;
+        }
+    }
+    block_matches_.clear();
+    block_matches_.advance(matches);
+}
+
+void overlapping_hw::consume_span(const std::uint64_t* words,
+                                  std::size_t nbits, std::uint64_t bit_index)
+{
+    const std::uint64_t len_mask =
+        (std::uint64_t{1} << template_length_) - 1;
+    const std::uint64_t pattern = matcher_.pattern() & len_mask;
+    const std::uint64_t sat = block_matches_.max_value();
+    std::uint64_t matches = block_matches_.value();
+
+    const auto scan = [&](std::uint64_t& w, std::size_t first,
+                          std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+            w = (w << 1) | ((words[i / 64] >> (i % 64)) & 1u);
+            const std::uint64_t idx = bit_index + i;
+            const std::uint64_t pos_in_block = idx & block_mask_;
+            if (pos_in_block >= template_length_ - 1
+                && (w & len_mask) == pattern && matches < sat) {
+                ++matches;
+            }
+            if (pos_in_block == block_mask_) {
+                const unsigned category = matches >= max_count_
+                    ? max_count_
+                    : static_cast<unsigned>(matches);
+                categories_[category]->step();
+                matches = 0;
+            }
+        }
+    };
+
+    if (log2_m_ < 6 || bit_index % 64 != 0) {
+        std::uint64_t w = window_.window();
+        scan(w, 0, nbits);
+    } else {
+        // Word-aligned fast path: overlapping matches are just the
+        // popcount of the match mask; the saturating clamp commutes with
+        // batching because the count only grows within a block.
+        const std::size_t full_end = nbits / 64;
+        const std::uint64_t eligible_start =
+            ~bits::low_mask(template_length_ - 1);
+        std::uint64_t prev =
+            prev_from_window(window_.window(), template_length_);
+        for (std::size_t widx = 0; widx < full_end; ++widx) {
+            const std::uint64_t x = words[widx];
+            const std::uint64_t word_start = bit_index + widx * 64;
+            std::uint64_t mask =
+                match_mask(x, prev, pattern, template_length_);
+            if ((word_start & block_mask_) == 0) {
+                mask &= eligible_start;
+            }
+            matches += static_cast<std::uint64_t>(std::popcount(mask));
+            if (matches > sat) {
+                matches = sat;
+            }
+            if ((word_start & block_mask_) == block_mask_ + 1 - 64) {
+                const unsigned category = matches >= max_count_
+                    ? max_count_
+                    : static_cast<unsigned>(matches);
+                categories_[category]->step();
+                matches = 0;
+            }
+            prev = x;
+        }
+        if (nbits % 64 != 0) {
+            std::uint64_t w = full_end != 0
+                ? window_from_word(prev, template_length_)
+                : window_.window();
+            scan(w, full_end * 64, nbits);
         }
     }
     block_matches_.clear();

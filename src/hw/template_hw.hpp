@@ -48,6 +48,13 @@ public:
     /// path.
     void consume_word(std::uint64_t word, unsigned nbits,
                       std::uint64_t bit_index) override;
+    /// \brief Span kernel: one AND-combined match mask per word flags
+    /// every window position equal to the template; non-overlapped
+    /// matches are picked greedily from the mask with count-trailing
+    /// scans.  Tracks the shared window locally across the whole span
+    /// (the block shifts the shared register once per span on this lane).
+    void consume_span(const std::uint64_t* words, std::size_t nbits,
+                      std::uint64_t bit_index) override;
     bool watches_shared_window() const override { return true; }
     void add_registers(register_map& map) const override;
 
@@ -91,6 +98,11 @@ public:
     /// window (see non_overlapping_hw::consume_word), with the saturating
     /// per-block match count accumulated in a local and committed once.
     void consume_word(std::uint64_t word, unsigned nbits,
+                      std::uint64_t bit_index) override;
+    /// \brief Span kernel: overlapping matches per word are the popcount
+    /// of the match mask (see non_overlapping_hw::consume_span), clamped
+    /// by the saturating block counter.
+    void consume_span(const std::uint64_t* words, std::size_t nbits,
                       std::uint64_t bit_index) override;
     bool watches_shared_window() const override { return true; }
     void add_registers(register_map& map) const override;

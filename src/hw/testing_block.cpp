@@ -293,6 +293,34 @@ void testing_block::feed_words(const std::uint64_t* words,
     }
 }
 
+void testing_block::feed_span(const std::uint64_t* words, std::size_t nbits)
+{
+    if (nbits == 0) {
+        return;
+    }
+    if (consumed_ + nbits > config_.n()) {
+        throw std::logic_error(
+            "testing_block: span would run past the end of the sequence");
+    }
+    const std::uint64_t index = consumed_;
+    // As on the word lane, shared-window engines reconstruct the window
+    // locally (here across the whole span); the shared register catches up
+    // afterwards in one pass.
+    for (engine* e : engines_) {
+        e->consume_span(words, nbits, index);
+    }
+    if (template_window_) {
+        for (std::size_t p = 0; p < nbits; p += 64) {
+            const unsigned take = nbits - p < 64
+                ? static_cast<unsigned>(nbits - p)
+                : 64u;
+            template_window_->shift_word(words[p / 64], take);
+        }
+    }
+    consumed_ += nbits;
+    global_counter_->advance(nbits);
+}
+
 void testing_block::run_words(const std::vector<std::uint64_t>& words)
 {
     if (words.size() * 64 != config_.n()) {

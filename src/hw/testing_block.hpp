@@ -71,6 +71,18 @@ public:
     ///        fit in the current sequence
     void feed_words(const std::uint64_t* words, std::size_t nwords);
 
+    /// \brief Bulk-span fast lane: consume a whole packed span in one
+    /// dispatch per engine (engine::consume_span kernels -- popcount
+    /// accumulation, match masks, the SWAR walk -- each committing their
+    /// RTL state once).  Bit-exact with nbits feed() calls; the per-bit
+    /// path stays the equivalence oracle (tests/test_kernel_oracle.cpp).
+    /// \param words bits packed LSB-first, in stream order (bit i of
+    ///        words[i/64] is stream bit bits_consumed() + i)
+    /// \param nbits number of valid bits; ragged (non-multiple-of-64)
+    ///        lengths are allowed
+    /// \throws std::logic_error if the span would run past n
+    void feed_span(const std::uint64_t* words, std::size_t nbits);
+
     /// \brief Feed a whole pre-packed sequence through the word lane and
     /// finish.
     /// \param words exactly n bits (n is a multiple of 64 for every

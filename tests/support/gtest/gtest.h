@@ -150,8 +150,16 @@ inline CmpResult cmp_streq(const char* as, const char* bs, const char* a,
     if (ok) {
         return {true, {}};
     }
+    // Built with += rather than operator+ on a temporary: GCC 12 at -O3
+    // flags the inlined insert() path with a spurious -Werror=restrict.
     const auto quote = [](const char* s) {
-        return s ? "\"" + std::string(s) + "\"" : std::string("NULL");
+        if (s == nullptr) {
+            return std::string("NULL");
+        }
+        std::string quoted = "\"";
+        quoted += s;
+        quoted += '"';
+        return quoted;
     };
     return {false, std::string("Expected equality of these values:\n  ") + as
                        + "\n    Which is: " + quote(a) + "\n  " + bs

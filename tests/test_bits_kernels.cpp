@@ -1,0 +1,313 @@
+// Property tests for the span-kernel primitives in base/bits.hpp: every
+// kernel variant (reference, portable, simd) must agree with a naive
+// per-bit model on ragged lengths, word seams and extreme inputs, and the
+// 64x64 transpose must be an involution with the documented orientation.
+//
+// tests/test_kernel_oracle.cpp pins the *users* of these primitives (the
+// engines' consume_span kernels, the sliced block) against the per-bit
+// oracle; this file pins the primitives themselves, so a kernel bug fails
+// here first with a small reproducer instead of deep inside a design run.
+#include "base/bits.hpp"
+#include "trng/xoshiro.hpp"
+
+#include "support/fixed_seed.hpp"
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace otf;
+using test::fixture_seed;
+
+constexpr bits::kernel_variant kAllVariants[] = {
+    bits::kernel_variant::reference,
+    bits::kernel_variant::portable,
+    bits::kernel_variant::simd,
+};
+
+const char* variant_name(bits::kernel_variant v)
+{
+    switch (v) {
+    case bits::kernel_variant::reference: return "reference";
+    case bits::kernel_variant::portable: return "portable";
+    case bits::kernel_variant::simd: return "simd";
+    }
+    return "?";
+}
+
+struct variant_guard {
+    ~variant_guard() { bits::set_kernel_variant(bits::kernel_variant::simd); }
+};
+
+std::vector<std::uint64_t> random_words(std::uint64_t seed, std::size_t n)
+{
+    trng::xoshiro256ss rng(seed);
+    std::vector<std::uint64_t> words(n);
+    for (std::uint64_t& w : words) {
+        w = rng.next();
+    }
+    return words;
+}
+
+// Naive per-bit models -- deliberately the dumbest possible code.
+
+std::uint64_t naive_popcount(const std::vector<std::uint64_t>& words,
+                             std::size_t nbits)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < nbits; ++i) {
+        total += (words[i / 64] >> (i % 64)) & 1u;
+    }
+    return total;
+}
+
+std::uint64_t naive_transitions(const std::vector<std::uint64_t>& words,
+                                std::size_t nwords)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 1; i < nwords * 64; ++i) {
+        const unsigned a =
+            static_cast<unsigned>((words[i / 64] >> (i % 64)) & 1u);
+        const unsigned b = static_cast<unsigned>(
+            (words[(i - 1) / 64] >> ((i - 1) % 64)) & 1u);
+        total += a ^ b;
+    }
+    return total;
+}
+
+bits::walk_summary naive_walk(const std::vector<std::uint64_t>& words,
+                              std::size_t nwords)
+{
+    bits::walk_summary acc{0, -65, 65};
+    for (std::size_t i = 0; i < nwords * 64; ++i) {
+        acc.delta += ((words[i / 64] >> (i % 64)) & 1u) != 0 ? 1 : -1;
+        acc.max_prefix =
+            acc.delta > acc.max_prefix ? acc.delta : acc.max_prefix;
+        acc.min_prefix =
+            acc.delta < acc.min_prefix ? acc.delta : acc.min_prefix;
+    }
+    return acc;
+}
+
+// ---------------------------------------------------------------------------
+// low_mask / prefix_popcount.
+// ---------------------------------------------------------------------------
+
+TEST(bits_kernels, low_mask_edges)
+{
+    EXPECT_EQ(bits::low_mask(0), 0u);
+    EXPECT_EQ(bits::low_mask(1), 1u);
+    EXPECT_EQ(bits::low_mask(63), ~std::uint64_t{0} >> 1);
+    EXPECT_EQ(bits::low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(bits_kernels, prefix_popcount_matches_naive_for_every_k)
+{
+    variant_guard guard;
+    const auto words = random_words(fixture_seed(0), 8);
+    for (const bits::kernel_variant v : kAllVariants) {
+        bits::set_kernel_variant(v);
+        for (const std::uint64_t w : words) {
+            for (unsigned k = 0; k <= 64; ++k) {
+                unsigned naive = 0;
+                for (unsigned i = 0; i < k; ++i) {
+                    naive += static_cast<unsigned>((w >> i) & 1u);
+                }
+                EXPECT_EQ(bits::prefix_popcount(w, k), naive)
+                    << variant_name(v) << " k=" << k;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// span_popcount: every ragged length from empty through several words
+// (covers the SIMD block, the 4-word SWAR block, the word loop and the
+// masked tail in one sweep).
+// ---------------------------------------------------------------------------
+
+TEST(bits_kernels, span_popcount_matches_naive_on_ragged_lengths)
+{
+    variant_guard guard;
+    const auto words = random_words(fixture_seed(1), 12);
+    for (const bits::kernel_variant v : kAllVariants) {
+        bits::set_kernel_variant(v);
+        for (std::size_t nbits = 0; nbits <= 64 * 11 + 1; ++nbits) {
+            ASSERT_EQ(bits::span_popcount(words.data(), nbits),
+                      naive_popcount(words, nbits))
+                << variant_name(v) << " nbits=" << nbits;
+        }
+    }
+}
+
+TEST(bits_kernels, span_popcount_masks_garbage_past_the_tail)
+{
+    variant_guard guard;
+    // All-ones words: any unmasked tail bit inflates the count.
+    const std::vector<std::uint64_t> ones(5, ~std::uint64_t{0});
+    for (const bits::kernel_variant v : kAllVariants) {
+        bits::set_kernel_variant(v);
+        for (const std::size_t nbits : {1u, 63u, 65u, 100u, 257u}) {
+            EXPECT_EQ(bits::span_popcount(ones.data(), nbits), nbits)
+                << variant_name(v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// span_transitions: word seams carry the previous MSB across.
+// ---------------------------------------------------------------------------
+
+TEST(bits_kernels, span_transitions_matches_naive)
+{
+    variant_guard guard;
+    const auto words = random_words(fixture_seed(2), 9);
+    for (const bits::kernel_variant v : kAllVariants) {
+        bits::set_kernel_variant(v);
+        for (std::size_t nwords = 0; nwords <= words.size(); ++nwords) {
+            EXPECT_EQ(bits::span_transitions(words.data(), nwords),
+                      naive_transitions(words, nwords))
+                << variant_name(v) << " nwords=" << nwords;
+        }
+    }
+}
+
+TEST(bits_kernels, span_transitions_counts_seam_transitions)
+{
+    variant_guard guard;
+    // Word 0 ends in 1 (MSB set), word 1 starts with 0: exactly one
+    // transition at the seam plus one at word 0's own 0->1 step.
+    const std::vector<std::uint64_t> words = {std::uint64_t{1} << 63, 0};
+    for (const bits::kernel_variant v : kAllVariants) {
+        bits::set_kernel_variant(v);
+        EXPECT_EQ(bits::span_transitions(words.data(), 2), 2u)
+            << variant_name(v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// word_walk / span_walk: the SWAR and SIMD walks against the per-bit
+// trajectory, including extreme words that saturate the byte lanes.
+// ---------------------------------------------------------------------------
+
+TEST(bits_kernels, word_walk_matches_naive_on_random_and_extreme_words)
+{
+    variant_guard guard;
+    auto words = random_words(fixture_seed(3), 32);
+    words.push_back(0);                    // min everywhere, delta -64
+    words.push_back(~std::uint64_t{0});    // max everywhere, delta +64
+    words.push_back(0xaaaaaaaaaaaaaaaaull); // alternating from 0
+    words.push_back(0x5555555555555555ull); // alternating from 1
+    words.push_back(bits::low_mask(32));    // +32 then back down
+    for (const bits::kernel_variant v : kAllVariants) {
+        bits::set_kernel_variant(v);
+        for (const std::uint64_t w : words) {
+            const std::vector<std::uint64_t> one = {w};
+            const bits::walk_summary naive = naive_walk(one, 1);
+            const bits::walk_summary got = bits::word_walk(w);
+            EXPECT_EQ(got.delta, naive.delta) << variant_name(v);
+            EXPECT_EQ(got.max_prefix, naive.max_prefix) << variant_name(v);
+            EXPECT_EQ(got.min_prefix, naive.min_prefix) << variant_name(v);
+        }
+    }
+}
+
+TEST(bits_kernels, span_walk_matches_naive_on_every_span_length)
+{
+    variant_guard guard;
+    const auto words = random_words(fixture_seed(4), 11);
+    for (const bits::kernel_variant v : kAllVariants) {
+        bits::set_kernel_variant(v);
+        for (std::size_t nwords = 0; nwords <= words.size(); ++nwords) {
+            const bits::walk_summary naive = naive_walk(words, nwords);
+            const bits::walk_summary got =
+                bits::span_walk(words.data(), nwords);
+            EXPECT_EQ(got.delta, naive.delta)
+                << variant_name(v) << " nwords=" << nwords;
+            EXPECT_EQ(got.max_prefix, naive.max_prefix)
+                << variant_name(v) << " nwords=" << nwords;
+            EXPECT_EQ(got.min_prefix, naive.min_prefix)
+                << variant_name(v) << " nwords=" << nwords;
+        }
+    }
+}
+
+TEST(bits_kernels, span_walk_tracks_extremes_across_word_boundaries)
+{
+    variant_guard guard;
+    // Up 64, down 64, up 64: the max lives at the end of words 0 and 2,
+    // the min at the end of word 1 -- the fold must carry offsets right.
+    const std::vector<std::uint64_t> words = {
+        ~std::uint64_t{0}, 0, ~std::uint64_t{0}};
+    for (const bits::kernel_variant v : kAllVariants) {
+        bits::set_kernel_variant(v);
+        const bits::walk_summary s = bits::span_walk(words.data(), 3);
+        EXPECT_EQ(s.delta, 64) << variant_name(v);
+        EXPECT_EQ(s.max_prefix, 64) << variant_name(v);
+        EXPECT_EQ(s.min_prefix, 0) << variant_name(v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// transpose_64x64: involution + orientation.
+// ---------------------------------------------------------------------------
+
+TEST(bits_kernels, transpose_is_an_involution)
+{
+    const auto original = random_words(fixture_seed(5), 64);
+    std::uint64_t m[64];
+    for (unsigned i = 0; i < 64; ++i) {
+        m[i] = original[i];
+    }
+    bits::transpose_64x64(m);
+    bits::transpose_64x64(m);
+    for (unsigned i = 0; i < 64; ++i) {
+        EXPECT_EQ(m[i], original[i]) << "row " << i;
+    }
+}
+
+TEST(bits_kernels, transpose_orientation_swaps_row_and_column)
+{
+    const auto original = random_words(fixture_seed(6), 64);
+    std::uint64_t m[64];
+    for (unsigned i = 0; i < 64; ++i) {
+        m[i] = original[i];
+    }
+    bits::transpose_64x64(m);
+    for (unsigned i = 0; i < 64; ++i) {
+        for (unsigned j = 0; j < 64; ++j) {
+            ASSERT_EQ((m[i] >> j) & 1u, (original[j] >> i) & 1u)
+                << "bit (" << i << ", " << j << ")";
+        }
+    }
+}
+
+TEST(bits_kernels, transpose_of_identity_is_identity)
+{
+    std::uint64_t m[64];
+    for (unsigned i = 0; i < 64; ++i) {
+        m[i] = std::uint64_t{1} << i;
+    }
+    bits::transpose_64x64(m);
+    for (unsigned i = 0; i < 64; ++i) {
+        EXPECT_EQ(m[i], std::uint64_t{1} << i) << "row " << i;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(bits_kernels, kernel_variant_round_trips)
+{
+    variant_guard guard;
+    for (const bits::kernel_variant v : kAllVariants) {
+        bits::set_kernel_variant(v);
+        EXPECT_EQ(bits::active_kernel_variant(), v);
+    }
+}
+
+} // namespace

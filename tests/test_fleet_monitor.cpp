@@ -33,8 +33,9 @@ hw::block_config small_design()
                 .with(hw::test_id::cumulative_sums));
 }
 
-core::fleet_config base_config(unsigned channels, unsigned threads,
-                               bool word_path = true)
+core::fleet_config
+base_config(unsigned channels, unsigned threads,
+            core::ingest_lane lane = core::ingest_lane::word)
 {
     core::fleet_config cfg;
     cfg.block = small_design();
@@ -42,7 +43,7 @@ core::fleet_config base_config(unsigned channels, unsigned threads,
     cfg.alpha = 0.01;
     cfg.channels = channels;
     cfg.threads = threads;
-    cfg.word_path = word_path;
+    cfg.lane = lane;
     return cfg;
 }
 
@@ -73,17 +74,23 @@ TEST(fleet, report_is_independent_of_thread_count)
     }
 }
 
-TEST(fleet, word_lane_and_per_bit_lane_agree)
+TEST(fleet, every_ingest_lane_agrees_with_the_per_bit_oracle)
 {
     const std::uint64_t windows = 4;
-    const auto word = core::fleet_monitor(base_config(4, 2, true))
-                          .run(ideal_factory(), windows);
-    const auto bit = core::fleet_monitor(base_config(4, 2, false))
-                         .run(ideal_factory(), windows);
-    EXPECT_TRUE(word.same_counters(bit));
-    ASSERT_EQ(word.channels.size(), bit.channels.size());
-    for (std::size_t c = 0; c < word.channels.size(); ++c) {
-        EXPECT_EQ(word.channels[c], bit.channels[c]) << "channel " << c;
+    const auto bit =
+        core::fleet_monitor(base_config(4, 2, core::ingest_lane::per_bit))
+            .run(ideal_factory(), windows);
+    for (const core::ingest_lane lane :
+         {core::ingest_lane::word, core::ingest_lane::span,
+          core::ingest_lane::sliced}) {
+        const auto fast = core::fleet_monitor(base_config(4, 2, lane))
+                              .run(ideal_factory(), windows);
+        EXPECT_TRUE(fast.same_counters(bit));
+        ASSERT_EQ(fast.channels.size(), bit.channels.size());
+        for (std::size_t c = 0; c < fast.channels.size(); ++c) {
+            EXPECT_EQ(fast.channels[c], bit.channels[c])
+                << "channel " << c;
+        }
     }
 }
 
@@ -178,7 +185,7 @@ TEST(fleet, sub_word_designs_fall_back_to_the_batch_loop)
     cfg.block = tiny;
     cfg.channels = 2;
     cfg.threads = 1;
-    cfg.word_path = false;
+    cfg.lane = core::ingest_lane::per_bit;
     const auto report =
         core::fleet_monitor(cfg).run(ideal_factory(), 4);
     ASSERT_EQ(report.channels.size(), 2u);
@@ -214,7 +221,7 @@ TEST(fleet, first_alarm_window_is_stamped_alike_by_batch_and_stream)
     tiny_cfg.alpha = 0.01;
     tiny_cfg.channels = 2;
     tiny_cfg.threads = 1;
-    tiny_cfg.word_path = false;
+    tiny_cfg.lane = core::ingest_lane::per_bit;
     tiny_cfg.fail_threshold = 2;
     tiny_cfg.policy_window = 8;
     const std::uint64_t windows = 6;

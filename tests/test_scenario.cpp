@@ -138,24 +138,31 @@ TEST(scenario_runner, every_attack_scenario_alarms_and_null_holds)
     }
 }
 
-TEST(scenario_runner, word_and_bit_lanes_agree_on_the_verdict_counters)
+TEST(scenario_runner, fast_lanes_agree_with_the_per_bit_oracle)
 {
     auto cfg = smoke_config();
     cfg.windows = 10;
     cfg.trials = 1;
     auto scenarios = core::standard_scenarios(2, 2);
     const core::scenario_runner word_runner(small_design(), cfg);
-    cfg.word_path = false;
+    cfg.lane = core::ingest_lane::per_bit;
     const core::scenario_runner bit_runner(small_design(), cfg);
+    cfg.lane = core::ingest_lane::span;
+    const core::scenario_runner span_runner(small_design(), cfg);
     for (const core::scenario& sc : scenarios) {
-        const auto w = word_runner.run(sc);
         const auto b = bit_runner.run(sc);
-        EXPECT_EQ(w.trials_alarmed, b.trials_alarmed) << sc.name;
-        EXPECT_EQ(w.pre_onset_failures, b.pre_onset_failures) << sc.name;
-        EXPECT_EQ(w.post_onset_failures, b.post_onset_failures) << sc.name;
-        EXPECT_EQ(w.failures_by_test, b.failures_by_test) << sc.name;
-        EXPECT_EQ(w.mean_detection_latency, b.mean_detection_latency)
-            << sc.name;
+        for (const core::scenario_runner* fast :
+             {&word_runner, &span_runner}) {
+            const auto w = fast->run(sc);
+            EXPECT_EQ(w.trials_alarmed, b.trials_alarmed) << sc.name;
+            EXPECT_EQ(w.pre_onset_failures, b.pre_onset_failures)
+                << sc.name;
+            EXPECT_EQ(w.post_onset_failures, b.post_onset_failures)
+                << sc.name;
+            EXPECT_EQ(w.failures_by_test, b.failures_by_test) << sc.name;
+            EXPECT_EQ(w.mean_detection_latency, b.mean_detection_latency)
+                << sc.name;
+        }
     }
 }
 

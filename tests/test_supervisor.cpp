@@ -261,22 +261,25 @@ TEST(supervisor, deterministic_for_a_fixed_seed)
     }
 }
 
-TEST(supervisor, word_and_per_bit_lanes_agree)
+TEST(supervisor, every_ingest_lane_agrees_with_the_per_bit_oracle)
 {
-    const auto run_lane = [](bool word_path) {
+    const auto run_lane = [](core::ingest_lane lane) {
         core::supervisor_config cfg = small_config();
-        cfg.word_path = word_path;
+        cfg.lane = lane;
         core::supervisor sup(cfg);
         burst_source source(77, 2 * 128, 8 * 128);
         return sup.run(source, 24);
     };
-    const auto word = run_lane(true);
-    const auto bit = run_lane(false);
-    EXPECT_EQ(word.failures, bit.failures);
-    EXPECT_EQ(word.escalations, bit.escalations);
-    EXPECT_EQ(word.de_escalations, bit.de_escalations);
-    EXPECT_EQ(word.failures_by_test, bit.failures_by_test);
-    EXPECT_EQ(word.events.size(), bit.events.size());
+    const auto bit = run_lane(core::ingest_lane::per_bit);
+    for (const core::ingest_lane lane :
+         {core::ingest_lane::word, core::ingest_lane::span}) {
+        const auto fast = run_lane(lane);
+        EXPECT_EQ(fast.failures, bit.failures);
+        EXPECT_EQ(fast.escalations, bit.escalations);
+        EXPECT_EQ(fast.de_escalations, bit.de_escalations);
+        EXPECT_EQ(fast.failures_by_test, bit.failures_by_test);
+        EXPECT_EQ(fast.events.size(), bit.events.size());
+    }
 }
 
 TEST(supervisor, event_log_serializes_as_json)

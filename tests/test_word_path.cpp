@@ -11,6 +11,7 @@
 
 #include "support/fixed_seed.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <gtest/gtest.h>
 #include <string>
@@ -181,6 +182,50 @@ TEST(word_path, ragged_chunk_sizes_match_per_bit)
     }
     fast.finish();
     expect_identical_registers(oracle, fast, "ragged chunks");
+}
+
+TEST(word_path, span_lane_odd_chunk_lengths_match_per_bit)
+{
+    // Fixed odd chunk lengths (none a multiple of 64) walk the span
+    // entry point through every word offset: each chunk exercises the
+    // kernels' masked tail, and each next chunk starts unaligned.
+    const hw::block_config cfg = paper_design(16, tier::high);
+    const bit_sequence seq = random_sequence(fixture_seed(14), cfg.n());
+
+    hw::testing_block oracle(cfg);
+    oracle.run(seq);
+
+    for (const std::size_t chunk_bits :
+         {std::size_t{100}, std::size_t{997}, std::size_t{4097}}) {
+        hw::testing_block fast(cfg);
+        std::size_t pos = 0;
+        while (pos < seq.size()) {
+            const std::size_t take =
+                std::min(chunk_bits, seq.size() - pos);
+            std::vector<std::uint64_t> words((take + 63) / 64, 0);
+            for (std::size_t i = 0; i < take; ++i) {
+                words[i / 64] |=
+                    static_cast<std::uint64_t>(seq[pos + i] ? 1 : 0)
+                    << (i % 64);
+            }
+            fast.feed_span(words.data(), take);
+            pos += take;
+        }
+        fast.finish();
+        expect_identical_registers(
+            oracle, fast,
+            "span chunks of " + std::to_string(chunk_bits));
+    }
+}
+
+TEST(word_path, span_lane_rejects_overrun)
+{
+    hw::testing_block block(paper_design(7, tier::light));
+    const std::vector<std::uint64_t> words(3, 0);
+    // 192 bits into a 128-bit sequence must be refused up front.
+    EXPECT_THROW(block.feed_span(words.data(), 192), std::logic_error);
+    block.feed_span(words.data(), 128);
+    EXPECT_THROW(block.feed_span(words.data(), 1), std::logic_error);
 }
 
 TEST(word_path, feed_word_rejects_bad_sizes)
