@@ -38,11 +38,21 @@ echo "== population fleet smoke (OTF_SMOKE=1) =="
 # delivery, and same_counters determinism across shard/thread layouts.
 OTF_SMOKE=1 OTF_BENCH_DIR="$BUILD_DIR" "$BUILD_DIR"/bench/bench_population
 
+echo "== replay / durable telemetry smoke (OTF_SMOKE=1) =="
+# Supervised attack with the telemetry WAL attached, then a replay pass:
+# exit status enforces clean recovery, zero drops and bit-identical
+# confirmation verdicts (docs/ARCHITECTURE.md, durable telemetry).
+OTF_SMOKE=1 OTF_BENCH_DIR="$BUILD_DIR" "$BUILD_DIR"/bench/bench_replay
+
+echo "== offline replay of the just-written segment =="
+# The CLI must reach the same verdict as the in-process replay above.
+"$BUILD_DIR"/tools/otf_replay "$BUILD_DIR"/BENCH_replay.wal --quiet
+
 if command -v python3 >/dev/null 2>&1; then
     echo "== validating BENCH_*.json =="
     for f in "$BUILD_DIR"/BENCH_fleet.json "$BUILD_DIR"/BENCH_scenarios.json \
              "$BUILD_DIR"/BENCH_stream.json "$BUILD_DIR"/BENCH_escalation.json \
-             "$BUILD_DIR"/BENCH_population.json; do
+             "$BUILD_DIR"/BENCH_population.json "$BUILD_DIR"/BENCH_replay.json; do
         python3 -m json.tool "$f" >/dev/null
         echo "ok: $f"
     done

@@ -149,6 +149,30 @@ void windowed_alarm::reset()
     rose_ = false;
 }
 
+std::vector<bool> windowed_alarm::history() const
+{
+    return std::vector<bool>(recent_.begin(), recent_.end());
+}
+
+void windowed_alarm::restore(const std::vector<bool>& history,
+                             bool sticky_alarm)
+{
+    if (history.size() > window_) {
+        throw std::invalid_argument(
+            "windowed_alarm: checkpoint history of "
+            + std::to_string(history.size())
+            + " verdicts exceeds the policy window of "
+            + std::to_string(window_));
+    }
+    recent_.assign(history.begin(), history.end());
+    recent_failures_ = 0;
+    for (const bool failed : recent_) {
+        recent_failures_ += failed ? 1 : 0;
+    }
+    alarm_ = sticky_alarm;
+    rose_ = false;
+}
+
 health_monitor::health_monitor(hw::block_config cfg, double alpha, policy p,
                                sw16::cycle_model mcu)
     : mon_(std::move(cfg), alpha, std::move(mcu)), policy_(p),

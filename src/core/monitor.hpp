@@ -159,6 +159,14 @@ public:
     const sw16::op_counts& lifetime_ops() const { return cpu_.counts(); }
     std::uint64_t windows_tested() const { return windows_; }
 
+    /// \brief Checkpoint restore: continue the global window numbering
+    /// of a previous run.  `window_report.window_index` and the stream
+    /// pump's tap/barrier indices all derive from this counter, so a
+    /// restored channel numbers its windows exactly as the uninterrupted
+    /// run would.  Legal between windows only (the counter is read at
+    /// window boundaries).
+    void restore_window_count(std::uint64_t windows) { windows_ = windows; }
+
 private:
     hw::testing_block block_;
     software_runner runner_;
@@ -209,6 +217,17 @@ public:
     /// \brief Clear the verdict history and the sticky alarm (the policy
     /// re-arms from scratch).
     void reset();
+
+    /// Recent verdicts oldest-first (for checkpoint serialization).
+    std::vector<bool> history() const;
+
+    /// \brief Checkpoint restore: replace the verdict history and the
+    /// sticky alarm flag; `recent_failures` is recomputed from the
+    /// history and the rising-edge flag clears (a checkpoint is taken
+    /// between windows, after any edge was consumed).
+    /// \throws std::invalid_argument when `history` exceeds the policy
+    /// window
+    void restore(const std::vector<bool>& history, bool sticky_alarm);
 
 private:
     unsigned threshold_;

@@ -32,6 +32,7 @@
 // confirmation before anyone pulls a deployed TRNG.
 #pragma once
 
+#include "base/wal.hpp"
 #include "core/critical_values.hpp"
 #include "core/monitor.hpp"
 #include "core/stream.hpp"
@@ -46,6 +47,8 @@
 #include <vector>
 
 namespace otf::core {
+
+class telemetry_log; // core/telemetry_log.hpp (durable event/evidence log)
 
 /// Which design tier the supervised channel is currently running.
 enum class supervision_state { baseline, escalated };
@@ -71,6 +74,9 @@ struct confirmation_result {
     /// True when the battery agrees with the online suspicion (at least
     /// `supervisor_config::offline_min_failures` failing P-values).
     bool confirmed = false;
+
+    friend bool operator==(const confirmation_result&,
+                           const confirmation_result&) = default;
 };
 
 /// \brief One entry of the supervision timeline.
@@ -78,11 +84,28 @@ struct supervision_event {
     std::uint64_t sequence = 0;     ///< event ordinal within the run
     std::uint64_t window_index = 0; ///< global window count at the event
     supervision_event_kind kind = supervision_event_kind::alarm_raised;
+    /// De-escalation dwell counter at the event: consecutive clean
+    /// windows at the escalated design so far (0 while at the baseline;
+    /// equals `supervisor_config::dwell_windows` on the de-escalation
+    /// events).  Carried in every payload so the dwell progress is
+    /// observable externally and checkpoint equality can assert on it.
+    std::uint64_t dwell = 0;
     std::string from_design; ///< design label before (escalate/de-escalate)
     std::string to_design;   ///< design label after
     /// Offline verdict (kind == confirmed only).
     std::optional<confirmation_result> confirmation;
+
+    friend bool operator==(const supervision_event&,
+                           const supervision_event&) = default;
 };
+
+/// \brief Raw serialization of one timeline event (register_map-style
+/// fixed-width little-endian fields; doubles as IEEE bit patterns so
+/// replayed P-values compare bit-identical).  Shared by the durable
+/// telemetry log and the checkpoint format.
+void serialize_event(base::byte_sink& sink, const supervision_event& ev);
+/// \throws std::runtime_error on a truncated or malformed payload
+supervision_event parse_event(base::byte_cursor& cursor);
 
 /// \brief Supervision policy: the two design points, the online alarm
 /// rule, the evidence depth and the offline confirmation settings.
@@ -139,6 +162,63 @@ struct supervision_report {
     stream_stats stream;  ///< pipeline backpressure (run() only)
     double seconds = 0.0; ///< wall clock (run() only)
 };
+
+/// \brief The complete between-windows state of a supervisor: alarm
+/// policy history, escalation level, dwell counter, evidence ring,
+/// counters and the event timeline, plus the monitor's window counter so
+/// a restored channel continues the global numbering.  Captured at a
+/// window boundary (the barrier), serialized raw (fixed-width
+/// little-endian fields, register_map-style) and restored into a freshly
+/// constructed supervisor of the same configuration -- the continuation
+/// is register-exact versus an uninterrupted run
+/// (tests/test_supervisor.cpp pins this across designs and lanes).
+struct supervisor_checkpoint {
+    supervision_state state = supervision_state::baseline;
+    bool pending_escalation = false;
+    std::uint64_t clean_streak = 0; ///< de-escalation dwell progress
+
+    /// k-of-w alarm policy state: recent verdicts oldest-first plus the
+    /// sticky alarm flag (recent_failures is recomputed on restore).
+    std::vector<bool> alarm_history;
+    bool alarm_sticky = false;
+
+    std::uint64_t windows = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t windows_escalated = 0;
+    unsigned escalations = 0;
+    unsigned confirmed_escalations = 0;
+    unsigned de_escalations = 0;
+    bool has_first_escalation = false;
+    std::uint64_t first_escalation_window = 0;
+    std::map<std::string, std::uint64_t> failures_by_test;
+
+    struct evidence {
+        std::uint64_t index = 0;
+        std::vector<std::uint64_t> words;
+
+        friend bool operator==(const evidence&, const evidence&) = default;
+    };
+    std::vector<evidence> evidence_ring; ///< oldest-first captured windows
+
+    std::vector<supervision_event> events; ///< full timeline so far
+
+    /// The monitor's lifetime window counter (window_report.window_index
+    /// and the stream barrier both derive from it).
+    std::uint64_t monitor_windows = 0;
+
+    friend bool operator==(const supervisor_checkpoint&,
+                           const supervisor_checkpoint&) = default;
+};
+
+/// \brief Raw byte-level serialization of a checkpoint (the payload of
+/// the telemetry log's checkpoint records).
+std::vector<std::uint8_t> serialize(const supervisor_checkpoint& cp);
+/// \throws std::runtime_error on a truncated or malformed payload
+supervisor_checkpoint parse_checkpoint(const std::uint8_t* data,
+                                       std::size_t len);
+supervisor_checkpoint parse_checkpoint(
+    const std::vector<std::uint8_t>& bytes);
 
 /// \brief The escalation supervisor for one channel.  Owns the monitor
 /// (constructed at the baseline design) and the evidence ring; exposes
@@ -208,6 +288,35 @@ public:
     /// included.
     void write_events(json_writer& json, std::string_view key) const;
 
+    // ---------------------------------------------------------------
+    // Durability: telemetry sink + checkpoint/restore.
+    // ---------------------------------------------------------------
+
+    /// \brief Attach a durable telemetry sink (borrowed; must outlive
+    /// the supervisor or be detached with nullptr).  Logs the run
+    /// configuration immediately; from then on every captured evidence
+    /// window, every supervision event and a checkpoint at each
+    /// escalate/de-escalate transition are appended through the log's
+    /// MPMC queue -- the supervision hot path never blocks on I/O.
+    void attach_telemetry(telemetry_log* log);
+
+    /// \brief Capture the complete between-windows state (legal at a
+    /// window boundary only -- call from a barrier, after run(), or
+    /// between external-pipeline windows).
+    supervisor_checkpoint checkpoint() const;
+
+    /// \brief Restore a checkpoint into this freshly constructed
+    /// supervisor: reprograms the block to the checkpointed design tier,
+    /// reloads the alarm/dwell/evidence/counter state and continues the
+    /// window numbering.  The continuation is register-exact versus the
+    /// uninterrupted run.
+    /// \throws std::logic_error when this supervisor has already
+    ///         observed windows
+    /// \throws std::invalid_argument when the checkpoint does not fit
+    ///         the configured policy (alarm history longer than the
+    ///         policy window, evidence ring deeper than configured)
+    void restore(const supervisor_checkpoint& cp);
+
 private:
     void escalate(std::uint64_t next_window);
     void de_escalate(std::uint64_t next_window);
@@ -220,6 +329,7 @@ private:
     critical_values cv_escalated_;
     monitor mon_;
     windowed_alarm alarm_;
+    telemetry_log* telemetry_ = nullptr; ///< borrowed durable sink
     supervision_state state_ = supervision_state::baseline;
     bool pending_escalation_ = false;
     std::uint64_t clean_streak_ = 0;

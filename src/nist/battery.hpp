@@ -26,6 +26,11 @@ struct battery_entry {
     double p_value;
     bool applicable;        ///< false when prerequisites fail
     bool pass;              ///< p >= alpha (and applicable)
+
+    /// Bitwise P-value equality -- what "deterministic replay" means for
+    /// the offline battery (tools/otf_replay re-derives these exactly).
+    friend bool operator==(const battery_entry&,
+                           const battery_entry&) = default;
 };
 
 struct battery_report {
@@ -35,6 +40,9 @@ struct battery_report {
     unsigned skipped = 0;   ///< not applicable at this length
 
     bool all_pass() const { return failed == 0; }
+
+    friend bool operator==(const battery_report&,
+                           const battery_report&) = default;
 };
 
 /// \brief One composable offline test.  `run` appends one battery_entry

@@ -300,6 +300,189 @@ TEST(supervisor, event_log_serializes_as_json)
     EXPECT_NE(text.find(cfg.escalated.name), std::string::npos);
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint / restore: register-exact continuation.
+// ---------------------------------------------------------------------
+
+/// Drive `sup` for exactly `windows` windows from `source` through the
+/// external pipeline, producing exactly the words those windows need --
+/// so the source's position afterwards is the precise window boundary
+/// and a later segment continues the very same stream.
+void drive(core::supervisor& sup, trng::entropy_source& source,
+           std::uint64_t windows)
+{
+    const std::size_t nwords = sup.inner().config().n() / 64;
+    base::ring_buffer ring(core::default_ring_words(nwords));
+    core::producer_options opts;
+    opts.total_words = windows * nwords;
+    core::word_producer producer(source, ring, opts);
+    core::window_pump pump(ring, sup.inner());
+    pump.set_tap(sup.tap());
+    pump.set_barrier(sup.barrier());
+    core::run_pipeline(producer, pump, sup.sink(), windows);
+}
+
+/// Everything a continuation must reproduce -- counters, verdict state
+/// and the full event timeline with bitwise P-values (stream/timing
+/// telemetry excluded: wall clock is not state).
+void expect_report_eq(const core::supervision_report& a,
+                      const core::supervision_report& b)
+{
+    EXPECT_EQ(a.windows, b.windows);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.bits, b.bits);
+    EXPECT_EQ(a.escalations, b.escalations);
+    EXPECT_EQ(a.confirmed_escalations, b.confirmed_escalations);
+    EXPECT_EQ(a.de_escalations, b.de_escalations);
+    EXPECT_EQ(a.windows_escalated, b.windows_escalated);
+    EXPECT_EQ(a.first_escalation_window, b.first_escalation_window);
+    EXPECT_EQ(a.alarm, b.alarm);
+    EXPECT_EQ(a.final_state, b.final_state);
+    EXPECT_EQ(a.failures_by_test, b.failures_by_test);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i], b.events[i]) << "event " << i;
+    }
+}
+
+/// Run `total` windows in one piece, then again split at window `k`
+/// with a serialize/parse/restore handover, and demand identity.
+void check_split(const core::supervisor_config& cfg, std::uint64_t seed,
+                 std::uint64_t burst_from_window,
+                 std::uint64_t burst_to_window, std::uint64_t total,
+                 std::uint64_t k)
+{
+    const std::uint64_t n = cfg.baseline.n();
+
+    core::supervisor whole(cfg);
+    burst_source a(seed, burst_from_window * n, burst_to_window * n);
+    drive(whole, a, total);
+
+    core::supervisor first(cfg);
+    burst_source b(seed, burst_from_window * n, burst_to_window * n);
+    drive(first, b, k);
+    const std::vector<std::uint8_t> bytes =
+        core::serialize(first.checkpoint());
+
+    core::supervisor second(cfg);
+    second.restore(core::parse_checkpoint(bytes));
+    drive(second, b, total - k);
+
+    expect_report_eq(second.report(), whole.report());
+    // The continuation's own next checkpoint equals the uninterrupted
+    // run's -- the handover is invisible downstream too.
+    EXPECT_EQ(second.checkpoint(), whole.checkpoint()) << "split at " << k;
+}
+
+TEST(supervisor_checkpoint, restore_continues_at_every_boundary)
+{
+    // A pulse attack whose timeline (alarm -> escalate -> confirm ->
+    // dwell -> de-escalate) spans the run, split at EVERY window
+    // boundary: mid-baseline, mid-escalation and mid-dwell handovers
+    // all continue register-exact.
+    const core::supervisor_config cfg = small_config();
+    const std::uint64_t total = 16;
+    for (std::uint64_t k = 1; k < total; ++k) {
+        check_split(cfg, 4242, 3, 9, total, k);
+    }
+}
+
+TEST(supervisor_checkpoint, round_trips_across_paper_designs_and_lanes)
+{
+    // Register-exact continuation for every paper design x ingest lane,
+    // with the split landing mid-escalation.  A cheap offline subset
+    // keeps the confirmation battery affordable at n = 2^20.
+    for (const unsigned log2_n : {7u, 16u, 20u}) {
+        for (const tier t : {tier::light, tier::medium, tier::high}) {
+            if (log2_n == 7 && t == tier::high) {
+                continue; // the paper has no high tier at n = 128
+            }
+            core::supervisor_config cfg;
+            cfg.baseline = paper_design(log2_n, t);
+            cfg.escalated = paper_design(
+                log2_n, log2_n == 7 ? tier::medium : tier::high);
+            cfg.alpha = 0.001;
+            cfg.fail_threshold = 2;
+            cfg.policy_window = 4;
+            cfg.evidence_windows = 2;
+            cfg.dwell_windows = 3;
+            cfg.offline_tests = nist::battery_selection()
+                                    .with(1)
+                                    .with(3)
+                                    .with(13);
+            for (const core::ingest_lane lane :
+                 {core::ingest_lane::per_bit, core::ingest_lane::word,
+                  core::ingest_lane::span}) {
+                cfg.lane = lane;
+                // Stuck-at-one from window 1 onward: escalated (and
+                // confirmed) well before the split at window 4.
+                check_split(cfg, 7000 + log2_n, 1, 8, 8, 4);
+            }
+        }
+    }
+}
+
+TEST(supervisor_checkpoint, restore_rejects_bad_targets)
+{
+    const core::supervisor_config cfg = small_config();
+    core::supervisor sup(cfg);
+    burst_source source(55, 2 * 128, 8 * 128);
+    drive(sup, source, 10);
+    const core::supervisor_checkpoint cp = sup.checkpoint();
+
+    // Restoring over a supervisor that has already observed windows
+    // would silently discard its history.
+    core::supervisor busy(cfg);
+    trng::ideal_source healthy(3);
+    drive(busy, healthy, 2);
+    EXPECT_THROW(busy.restore(cp), std::logic_error);
+
+    // A checkpoint whose evidence ring exceeds the target's policy
+    // cannot have come from this configuration.
+    core::supervisor_config narrow = cfg;
+    narrow.evidence_windows = 2;
+    core::supervisor mismatched(narrow);
+    core::supervisor_checkpoint deep = cp;
+    deep.evidence_ring.resize(4);
+    EXPECT_THROW(mismatched.restore(deep), std::invalid_argument);
+}
+
+TEST(supervisor, dwell_counter_rides_every_event)
+{
+    // Regression: de-escalation dwell progress must be visible in the
+    // event payloads (and their JSON), not just implied by the window
+    // spacing.
+    core::supervisor_config cfg = small_config();
+    cfg.dwell_windows = 4;
+    core::supervisor sup(cfg);
+    burst_source source(99, 4 * 128, 10 * 128);
+    const auto rep = sup.run(source, 40);
+
+    ASSERT_EQ(rep.de_escalations, 1u);
+    for (const auto& ev : rep.events) {
+        switch (ev.kind) {
+        case supervision_event_kind::alarm_raised:
+        case supervision_event_kind::escalated:
+            EXPECT_EQ(ev.dwell, 0u) << "no clean windows before escalation";
+            break;
+        case supervision_event_kind::alarm_cleared:
+        case supervision_event_kind::de_escalated:
+            EXPECT_EQ(ev.dwell, cfg.dwell_windows)
+                << "de-escalation fires exactly at the dwell target";
+            break;
+        case supervision_event_kind::confirmed:
+            EXPECT_LE(ev.dwell, cfg.dwell_windows);
+            break;
+        }
+    }
+
+    json_writer json;
+    json.begin_object();
+    sup.write_events(json, "events");
+    json.end_object();
+    EXPECT_NE(json.str().find("\"dwell\""), std::string::npos);
+}
+
 TEST(supervisor, external_pipeline_adapters_match_run)
 {
     // Driving the hooks from an external pump (the fleet's channel loop
