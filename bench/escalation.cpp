@@ -274,10 +274,13 @@ int main(int argc, char** argv)
         {
             core::monitor mon(sup_cfg.baseline, cv_baseline);
             trng::ideal_source src(2026);
-            base::ring_buffer ring(core::default_ring_words(nwords));
+            const std::size_t ring_words =
+                core::default_ring_words(nwords);
+            base::ring_buffer ring(ring_words);
             core::producer_options opts;
             opts.total_words = overhead_windows * nwords;
-            opts.batch_words = core::default_batch_words(nwords);
+            opts.batch_words =
+                core::default_batch_words(nwords, ring_words);
             core::word_producer producer(src, ring, opts);
             core::window_pump pump(ring, mon);
             const auto t0 = std::chrono::steady_clock::now();

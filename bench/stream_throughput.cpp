@@ -23,12 +23,22 @@
 //      cost grows);
 //   4. streamed fleet  -- core::fleet_monitor (now pipeline-backed) over
 //      1..C channels, reporting aggregate Mbit/s plus the per-channel
-//      ring backpressure stats that tell which stage bounds throughput.
+//      ring backpressure stats that tell which stage bounds throughput;
+//   5. batch sweep     -- the streamed channel at generation batches from
+//      a quarter window to two windows (a four-window ring), showing
+//      where batching stops paying;
+//   6. generation lane -- every adversarial source model at severity 1.0
+//      over an ideal inner, per-word lane (fill_words_scalar) against
+//      the batched lane (fill_words); the acceptance bar is >= 3x
+//      batched-over-scalar for every model on full runs.  The two lanes
+//      are bit-exact (tests/test_generation_oracle.cpp); this times the
+//      producer side the zero-copy ring path exposes.
 //
-// Equivalence is proven separately (tests/test_stream.cpp and
-// tests/test_kernel_oracle.cpp); this is timing only.  Results go to
-// BENCH_stream.json (schema "otf-stream-bench/2", docs/BENCHMARKS.md;
-// OTF_BENCH_DIR overrides the output directory).
+// Equivalence is proven separately (tests/test_stream.cpp,
+// tests/test_kernel_oracle.cpp and tests/test_generation_oracle.cpp);
+// this is timing only.  Results go to BENCH_stream.json (schema
+// "otf-stream-bench/3", docs/BENCHMARKS.md; OTF_BENCH_DIR overrides the
+// output directory).
 #include "base/bits.hpp"
 #include "base/env.hpp"
 #include "base/json.hpp"
@@ -37,12 +47,14 @@
 #include "core/fleet_monitor.hpp"
 #include "core/monitor.hpp"
 #include "core/stream.hpp"
+#include "trng/source_model.hpp"
 #include "trng/sources.hpp"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -161,16 +173,20 @@ int main(int argc, char** argv)
     bits::set_kernel_variant(bits::kernel_variant::simd);
     const double span_over_word = span_mwps / fused_mwps;
 
-    // 3. Streamed channel: producer thread -> ring -> pump.
+    // 3. Streamed channel: producer thread -> ring -> pump, both hops
+    // zero-copy (generation writes ring storage, the pump feeds ring
+    // spans straight into the testing block).
     double streamed_mwps = 0.0;
     core::stream_stats channel_stats;
+    std::uint64_t zero_copy_windows = 0;
     for (unsigned r = 0; r < reps; ++r) {
         core::monitor mon(design, 0.01);
         trng::ideal_source src(2025);
-        base::ring_buffer ring(core::default_ring_words(nwords));
+        const std::size_t ring_words = core::default_ring_words(nwords);
+        base::ring_buffer ring(ring_words);
         core::producer_options opts;
         opts.total_words = total_words;
-        opts.batch_words = core::default_batch_words(nwords);
+        opts.batch_words = core::default_batch_words(nwords, ring_words);
         core::word_producer producer(src, ring, opts);
         core::window_pump pump(ring, mon);
         const auto t0 = clock_type::now();
@@ -180,6 +196,7 @@ int main(int argc, char** argv)
         if (mwps > streamed_mwps) {
             streamed_mwps = mwps;
             channel_stats = core::snapshot(ring);
+            zero_copy_windows = pump.zero_copy_windows();
         }
     }
     std::printf("streamed channel: %8.2f Mwords/s   (%.2fx fused; "
@@ -239,9 +256,148 @@ int main(int argc, char** argv)
         scaling.push_back(p);
     }
 
+    // 5. Batch sweep: the streamed channel on a four-window ring at
+    // generation batches from a quarter window up to two windows -- the
+    // batched lane's cost per word falls with batch size, so this shows
+    // where lifting the old one-window cap pays.
+    struct sweep_point {
+        std::size_t batch_words;
+        std::size_t ring_words;
+        double mwps;
+    };
+    std::vector<sweep_point> sweep;
+    const std::size_t sweep_ring = 4 * nwords;
+    std::printf("\nbatch sweep (ring %zu words):\n", sweep_ring);
+    for (const std::size_t batch :
+         {nwords / 4, nwords / 2, nwords, 2 * nwords}) {
+        double mwps = 0.0;
+        for (unsigned r = 0; r < reps; ++r) {
+            core::monitor mon(design, 0.01);
+            trng::ideal_source src(2025);
+            base::ring_buffer ring(sweep_ring);
+            core::producer_options opts;
+            opts.total_words = total_words;
+            opts.batch_words = batch;
+            core::word_producer producer(src, ring, opts);
+            core::window_pump pump(ring, mon);
+            const auto t0 = clock_type::now();
+            core::run_pipeline(producer, pump, nullptr, windows);
+            mwps = std::max(
+                mwps, mwords_per_s(total_words, seconds_since(t0)));
+        }
+        std::printf("  batch %6zu words: %8.2f Mwords/s\n", batch, mwps);
+        sweep.push_back({batch, sweep_ring, mwps});
+    }
+
+    // 6. Generation lane: every adversarial source model at full
+    // severity over an ideal inner, per-word lane against the batched
+    // lane.  Bit-exactness of the two lanes is the oracle test's job
+    // (tests/test_generation_oracle.cpp); this times them.
+    struct generation_point {
+        const char* model;
+        double scalar_mwps;
+        double batched_mwps;
+    };
+    const std::uint64_t gen_words = smoke_scaled<std::uint64_t>(
+        std::uint64_t{1} << 21, std::uint64_t{1} << 14);
+    const std::size_t gen_batch = 4096;
+    const auto inner = [] {
+        return std::make_unique<trng::ideal_source>(7);
+    };
+    struct gen_model {
+        const char* name;
+        std::function<std::unique_ptr<trng::source_model>()> make;
+    };
+    // rtn and bias_drift are parameterized to exercise their batched
+    // algorithms rather than the shared per-word RNG draw chains, which
+    // bit-exactness forbids shortening: long dwells give the run-length
+    // expansion whole spans per toggle (default 256-bit dwells spend most
+    // of the time re-drawing dwell lengths in both lanes), and a pinned
+    // half-rail walk holds the drift at q = 128 where the mask fold is
+    // the single-draw steady state (the default walk oscillates through
+    // odd q values costing 8 shared draws per word in both lanes).
+    const gen_model gen_models[] = {
+        {"rtn",
+         [&] {
+             trng::rtn_parameters p;
+             p.dwell_on = 8192.0;
+             return std::make_unique<trng::rtn_source>(inner(), 11, p);
+         }},
+        {"bias_drift",
+         [&] {
+             trng::bias_drift_parameters p;
+             p.p_out = 1.0;
+             p.p_back = 0.0;
+             p.max_shift_q = 128;
+             return std::make_unique<trng::bias_drift_source>(inner(), 12,
+                                                              p);
+         }},
+        {"lockin",
+         [&] {
+             return std::make_unique<trng::lockin_source>(inner(), 13);
+         }},
+        {"fault",
+         [&] {
+             return std::make_unique<trng::fault_source>(inner(), 14);
+         }},
+        {"entropy_collapse",
+         [&] {
+             return std::make_unique<trng::entropy_collapse_source>(
+                 inner(), 15);
+         }},
+        {"substitution",
+         [&] {
+             return std::make_unique<trng::substitution_source>(inner(),
+                                                                16);
+         }},
+    };
+    const auto time_generation = [&](trng::source_model& model,
+                                     bool batched) {
+        std::vector<std::uint64_t> buf(gen_batch);
+        double best = 0.0;
+        for (unsigned r = 0; r < reps; ++r) {
+            const auto t0 = clock_type::now();
+            for (std::uint64_t made = 0; made < gen_words;
+                 made += gen_batch) {
+                if (batched) {
+                    model.fill_words(buf.data(), gen_batch);
+                } else {
+                    model.fill_words_scalar(buf.data(), gen_batch);
+                }
+            }
+            best = std::max(best,
+                            mwords_per_s(gen_words, seconds_since(t0)));
+        }
+        return best;
+    };
+    std::vector<generation_point> generation;
+    double generation_min_speedup = 0.0;
+    std::printf("\ngeneration lane (severity 1.0, batch %zu words, "
+                "%llu words/model):\n",
+                gen_batch, static_cast<unsigned long long>(gen_words));
+    for (const gen_model& gm : gen_models) {
+        generation_point p{gm.name, 0.0, 0.0};
+        {
+            const auto model = gm.make();
+            p.scalar_mwps = time_generation(*model, false);
+        }
+        {
+            const auto model = gm.make();
+            p.batched_mwps = time_generation(*model, true);
+        }
+        const double speedup = p.batched_mwps / p.scalar_mwps;
+        if (generation.empty() || speedup < generation_min_speedup) {
+            generation_min_speedup = speedup;
+        }
+        generation.push_back(p);
+        std::printf("  %-18s scalar %8.2f  batched %8.2f Mwords/s "
+                    "(%.2fx)\n",
+                    gm.name, p.scalar_mwps, p.batched_mwps, speedup);
+    }
+
     json_writer json;
     json.begin_object();
-    json.value("schema", "otf-stream-bench/2");
+    json.value("schema", "otf-stream-bench/3");
     json.value("smoke", smoke_mode());
     json.value("design", design.name);
     json.value("window_bits", design.n());
@@ -264,6 +420,7 @@ int main(int argc, char** argv)
     json.value("span_over_word", span_over_word);
     json.value("streamed_mwords_per_s", streamed_mwps);
     json.value("streamed_over_fused", ratio);
+    json.value("zero_copy_windows", zero_copy_windows);
     json.begin_object("channel_ring");
     json.value("capacity_words",
                static_cast<std::uint64_t>(channel_stats.ring_capacity));
@@ -283,6 +440,27 @@ int main(int argc, char** argv)
         json.end_object();
     }
     json.end_array();
+    json.begin_array("batch_sweep");
+    for (const sweep_point& p : sweep) {
+        json.begin_object();
+        json.value("batch_words",
+                   static_cast<std::uint64_t>(p.batch_words));
+        json.value("ring_words", static_cast<std::uint64_t>(p.ring_words));
+        json.value("mwords_per_s", p.mwps);
+        json.end_object();
+    }
+    json.end_array();
+    json.begin_array("generation");
+    for (const generation_point& p : generation) {
+        json.begin_object();
+        json.value("model", p.model);
+        json.value("scalar_mwords_per_s", p.scalar_mwps);
+        json.value("batched_mwords_per_s", p.batched_mwps);
+        json.value("speedup", p.batched_mwps / p.scalar_mwps);
+        json.end_object();
+    }
+    json.end_array();
+    json.value("generation_min_speedup", generation_min_speedup);
     json.end_object();
 
     const std::string path = bench_output_path("BENCH_stream.json");
@@ -295,11 +473,22 @@ int main(int argc, char** argv)
     }
     std::printf("\nwrote %s\n", path.c_str());
 
-    // Acceptance bars (full runs only -- smoke runs are too short to
-    // time reliably): the decoupled pipeline must stay within 10% of the
-    // fused loop, and the dispatched span kernels must at least double
-    // the word lane.
+    // Acceptance bars.  The timing bars run on full runs only (smoke
+    // runs are too short to time reliably): the decoupled pipeline must
+    // stay within 10% of the fused loop, the dispatched span kernels
+    // must at least double the word lane, and the batched generation
+    // lane must at least triple the per-word lane for every model.  The
+    // zero-copy check is deterministic (an untapped pump takes the
+    // zero-copy path for every window), so it holds in smoke mode too.
     bool failed = false;
+    if (zero_copy_windows != windows) {
+        std::printf("BAR FAILED: zero_copy_windows = %llu, expected "
+                    "%llu (untapped pump must take the zero-copy path "
+                    "for every window)\n",
+                    static_cast<unsigned long long>(zero_copy_windows),
+                    static_cast<unsigned long long>(windows));
+        failed = true;
+    }
     if (!smoke_mode() && ratio < 0.9) {
         std::printf("BAR FAILED: streamed/fused = %.3f < 0.9\n", ratio);
         failed = true;
@@ -309,12 +498,22 @@ int main(int argc, char** argv)
                     span_over_word);
         failed = true;
     }
+    if (!smoke_mode() && generation_min_speedup < 3.0) {
+        std::printf("BAR FAILED: generation batched/scalar = %.3f < 3.0 "
+                    "(worst model)\n",
+                    generation_min_speedup);
+        failed = true;
+    }
     if (failed) {
         return 1;
     }
     std::printf("streamed/fused = %.3f (bar: >= 0.9%s)\n", ratio,
                 smoke_mode() ? ", not enforced in smoke mode" : "");
     std::printf("span/word      = %.3f (bar: >= 2.0%s)\n", span_over_word,
+                smoke_mode() ? ", not enforced in smoke mode" : "");
+    std::printf("generation     = %.3fx batched/scalar, worst model "
+                "(bar: >= 3.0%s)\n",
+                generation_min_speedup,
                 smoke_mode() ? ", not enforced in smoke mode" : "");
     return 0;
 }

@@ -56,4 +56,24 @@ if command -v python3 >/dev/null 2>&1; then
         python3 -m json.tool "$f" >/dev/null
         echo "ok: $f"
     done
+
+    echo "== validating otf-stream-bench/3 schema =="
+    # The stream bench must report the /3 schema: the generation axis
+    # with all six adversarial models, and a streamed channel that took
+    # the zero-copy window path (docs/BENCHMARKS.md).
+    python3 - "$BUILD_DIR"/BENCH_stream.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "otf-stream-bench/3", doc["schema"]
+models = [g["model"] for g in doc["generation"]]
+expected = {"rtn", "bias_drift", "lockin", "fault", "entropy_collapse",
+            "substitution"}
+assert set(models) == expected and len(models) == 6, models
+assert doc["zero_copy_windows"] == doc["windows"], (
+    doc["zero_copy_windows"], doc["windows"])
+assert doc["batch_sweep"], "batch_sweep must not be empty"
+print("ok: otf-stream-bench/3 (%d generation models, %d zero-copy windows)"
+      % (len(models), doc["zero_copy_windows"]))
+EOF
 fi

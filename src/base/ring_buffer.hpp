@@ -8,10 +8,17 @@
 // the buffer is physically full.
 //
 // Protocol:
-//   * exactly one producer thread calls try_push()/close();
-//   * exactly one consumer thread calls try_pop();
+//   * exactly one producer thread calls try_push()/reserve()/commit()/
+//     close();
+//   * exactly one consumer thread calls try_pop()/peek()/consume();
 //   * any thread may read the observers (size, counters) -- they are
 //     monotonic telemetry, exact only once both sides have quiesced.
+//
+// Both sides offer a copying API (try_push/try_pop) and a zero-copy span
+// API (reserve/commit, peek/consume) that exposes the ring's own storage
+// as contiguous spans: the producer generates words directly into the
+// ring and the consumer feeds them directly into the testing block, so a
+// word travels source → ring → hardware with no intermediate buffer.
 //
 // Capacity is rounded up to a power of two so indices wrap by masking.
 // Indices are unbounded 64-bit push/pop counts (they cannot overflow in
@@ -103,6 +110,62 @@ public:
         return n;
     }
 
+    /// \brief Zero-copy push, step 1: expose up to `max_words` of free
+    /// ring space as one contiguous span the producer can generate into
+    /// directly (trng::entropy_source::fill_words writes the ring's own
+    /// storage -- no scratch buffer, no copy).  The span never wraps: it
+    /// is clipped at the end of the underlying buffer, so a full batch
+    /// may take two reserve/commit rounds.
+    /// \param span out-parameter: start of the writable span
+    /// \param max_words most words wanted
+    /// \return span length in words (0 when the ring is full; counted as
+    /// one producer stall).  Words are not visible to the consumer until
+    /// commit().
+    std::size_t reserve(std::uint64_t*& span, std::size_t max_words)
+    {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t free = capacity() - static_cast<std::size_t>(
+                               tail - cached_head_);
+        if (free < max_words) {
+            cached_head_ = head_.load(std::memory_order_acquire);
+            free = capacity() - static_cast<std::size_t>(
+                       tail - cached_head_);
+        }
+        if (free == 0) {
+            producer_stalls_.fetch_add(1, std::memory_order_relaxed);
+            return 0;
+        }
+        const std::size_t start = static_cast<std::size_t>(tail) & mask_;
+        const std::size_t contiguous = capacity() - start;
+        std::size_t n = max_words < free ? max_words : free;
+        n = n < contiguous ? n : contiguous;
+        span = buf_.data() + start;
+        return n;
+    }
+
+    /// \brief Zero-copy push, step 2: publish the first `nwords` words
+    /// written into the span the preceding reserve() returned.  The
+    /// release store pairs with the consumer's acquire of tail_, so
+    /// everything written into the span happens-before the consumer sees
+    /// it.  Committing fewer words than reserved is normal (a finite
+    /// source ran dry mid-batch).
+    void commit(std::size_t nwords)
+    {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        tail_.store(tail + nwords, std::memory_order_release);
+        // High-water mark, as in try_push: refresh the cached head before
+        // accepting a new maximum so the recorded value is exact.
+        std::size_t occ =
+            static_cast<std::size_t>(tail + nwords - cached_head_);
+        if (occ > max_occupancy_.load(std::memory_order_relaxed)) {
+            cached_head_ = head_.load(std::memory_order_acquire);
+            occ = static_cast<std::size_t>(tail + nwords - cached_head_);
+            if (occ > max_occupancy_.load(std::memory_order_relaxed)) {
+                max_occupancy_.store(occ, std::memory_order_relaxed);
+            }
+        }
+    }
+
     /// \brief End of stream: no further pushes will arrive.  The consumer
     /// drains what is buffered and then observes drained().
     void close() { closed_.store(true, std::memory_order_release); }
@@ -135,6 +198,46 @@ public:
         }
         head_.store(head + n, std::memory_order_release);
         return n;
+    }
+
+    /// \brief Zero-copy pop, step 1: expose up to `max_words` of buffered
+    /// words as one contiguous read-only span -- the consumer feeds it
+    /// straight into the testing block (hw::testing_block::feed_span)
+    /// without assembling a window copy.  The span never wraps; a whole
+    /// window may take two peek/consume rounds.
+    /// \param span out-parameter: start of the readable span
+    /// \param max_words most words wanted
+    /// \return span length in words (0 when the ring is empty; counted
+    /// as one consumer stall)
+    std::size_t peek(const std::uint64_t*& span, std::size_t max_words)
+    {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        std::size_t avail =
+            static_cast<std::size_t>(cached_tail_ - head);
+        if (avail < max_words) {
+            cached_tail_ = tail_.load(std::memory_order_acquire);
+            avail = static_cast<std::size_t>(cached_tail_ - head);
+        }
+        if (avail == 0) {
+            consumer_stalls_.fetch_add(1, std::memory_order_relaxed);
+            return 0;
+        }
+        const std::size_t start = static_cast<std::size_t>(head) & mask_;
+        const std::size_t contiguous = capacity() - start;
+        std::size_t n = max_words < avail ? max_words : avail;
+        n = n < contiguous ? n : contiguous;
+        span = buf_.data() + start;
+        return n;
+    }
+
+    /// \brief Zero-copy pop, step 2: retire the first `nwords` words of
+    /// the span the preceding peek() returned.  The release store frees
+    /// the slots for the producer (pairs with reserve()'s acquire of
+    /// head_); the span must not be read past this call.
+    void consume(std::size_t nwords)
+    {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        head_.store(head + nwords, std::memory_order_release);
     }
 
     /// \brief True once the producer closed *and* every pushed word has

@@ -161,7 +161,9 @@ struct channel_state {
         // changes the window length mid-run); the pump caps the windows
         // and run_pipeline winds the producer down.
         opts.total_words = sup ? 0 : windows * nwords;
-        opts.batch_words = default_batch_words(nwords);
+        opts.batch_words = cfg.batch_words != 0
+            ? cfg.batch_words
+            : default_batch_words(nwords, ring_words);
         word_producer producer(*source, ring, opts);
         window_pump pump(ring, active_monitor(), cfg.lane);
         if (sup) {

@@ -68,6 +68,12 @@ struct fleet_config {
     /// (two windows deep, mirroring the hardware's double-buffered
     /// hand-off).  Depth changes timing only, never the report.
     std::size_t ring_words = 0;
+    /// Per-channel generation batch in 64-bit words; 0 = automatic (half
+    /// the ring, so batches grow past one window on deeper rings).  The
+    /// batched generation lane gets cheaper per word the larger the
+    /// batch; like ring depth this changes timing only, never the
+    /// report.
+    std::size_t batch_words = 0;
 
     /// Adaptive escalation (optional): when set, every channel runs
     /// under a core::supervisor -- `block` is the cheap always-on

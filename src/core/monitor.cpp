@@ -85,6 +85,13 @@ window_report monitor::test_packed(const std::uint64_t* words,
             + block_.config().name + "\", got "
             + std::to_string(nwords * 64) + ")");
     }
+    feed_packed(words, nwords, lane);
+    return finish_window();
+}
+
+void monitor::feed_packed(const std::uint64_t* words, std::size_t nwords,
+                          ingest_lane lane)
+{
     switch (lane) {
     case ingest_lane::word:
         block_.feed_words(words, nwords);
@@ -101,6 +108,10 @@ window_report monitor::test_packed(const std::uint64_t* words,
         }
         break;
     }
+}
+
+window_report monitor::finish_packed()
+{
     return finish_window();
 }
 

@@ -123,6 +123,25 @@ public:
                               std::size_t nwords,
                               ingest_lane lane = ingest_lane::word);
 
+    /// \brief Zero-copy streaming ingestion, step 1: feed part of the
+    /// current window from a contiguous span.  Unlike test_packed() the
+    /// span need not be a whole window -- the window_pump feeds ring
+    /// spans as they surface (base::ring_buffer::peek) and closes the
+    /// window with finish_packed() once exactly n bits have arrived.
+    /// All lanes are chunk-invariant, so ragged spans are register-exact
+    /// with one whole-window feed.
+    /// \param words  LSB-first packed span
+    /// \param nwords span length in 64-bit words
+    /// \param lane   ingestion lane (sliced degrades to span)
+    void feed_packed(const std::uint64_t* words, std::size_t nwords,
+                     ingest_lane lane = ingest_lane::word);
+
+    /// \brief Zero-copy streaming ingestion, step 2: close the window the
+    /// feed_packed() calls filled and run the software pass.
+    /// \throws std::logic_error (from the testing block) unless exactly n
+    /// bits were fed since the last window boundary
+    window_report finish_packed();
+
     /// \brief Continuous streaming mode: drain whole windows from `ring`
     /// until the producer closes it (open-ended window count), invoking
     /// `sink` after every window.  The paper's deployment shape -- the

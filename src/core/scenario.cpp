@@ -178,10 +178,11 @@ scenario_report scenario_runner::run(const scenario& sc) const
                             : mon.test_window_words(*source, cfg_.lane));
             }
         } else {
-            base::ring_buffer ring(default_ring_words(nwords));
+            const std::size_t ring_words = default_ring_words(nwords);
+            base::ring_buffer ring(ring_words);
             producer_options opts;
             opts.total_words = cfg_.windows * nwords;
-            opts.batch_words = default_batch_words(nwords);
+            opts.batch_words = default_batch_words(nwords, ring_words);
             opts.hook_stride_words = nwords;
             if (model) {
                 const severity_schedule& schedule = sc.schedule;

@@ -52,10 +52,17 @@ std::size_t default_ring_words(std::size_t window_words)
     return 2 * window_words;
 }
 
-std::size_t default_batch_words(std::size_t window_words)
+std::size_t default_batch_words(std::size_t window_words,
+                                std::size_t ring_words)
 {
-    return window_words < std::size_t{512} ? window_words
-                                           : std::size_t{512};
+    if (ring_words == 0) {
+        ring_words = default_ring_words(window_words);
+    }
+    // Half the ring per batch: one whole window on the default two-window
+    // ring, multiple windows on deeper rings.  The consumer always has
+    // the other half to drain, so the pipeline stays double-buffered.
+    const std::size_t batch = ring_words / 2;
+    return batch == 0 ? std::size_t{1} : batch;
 }
 
 word_producer::word_producer(trng::entropy_source& source,
@@ -67,13 +74,22 @@ word_producer::word_producer(trng::entropy_source& source,
         throw std::invalid_argument(
             "word_producer: batch_words must be at least 1");
     }
-    scratch_.resize(opts_.batch_words);
 }
 
 void word_producer::run() noexcept
 {
     try {
         std::uint64_t produced = produced_.load(std::memory_order_relaxed);
+        // Next absolute word index at which the hook fires (tracked
+        // explicitly so a backpressure retry never re-fires it).
+        std::uint64_t next_hook = 0;
+        if (opts_.hook_stride_words != 0) {
+            const std::uint64_t into = produced % opts_.hook_stride_words;
+            next_hook = into == 0
+                ? produced
+                : produced + (opts_.hook_stride_words - into);
+        }
+        backoff wait;
         while (!stop_.load(std::memory_order_relaxed)) {
             // Size the next batch: never past the total, never across a
             // hook stride boundary (so hook-driven source state flips at
@@ -89,20 +105,32 @@ void word_producer::run() noexcept
                 }
             }
             if (opts_.hook_stride_words != 0) {
-                const std::uint64_t into =
-                    produced % opts_.hook_stride_words;
-                if (into == 0 && opts_.word_hook) {
-                    opts_.word_hook(produced);
+                if (produced == next_hook) {
+                    if (opts_.word_hook) {
+                        opts_.word_hook(produced);
+                    }
+                    next_hook = produced + opts_.hook_stride_words;
                 }
-                const std::uint64_t to_boundary =
-                    opts_.hook_stride_words - into;
+                const std::uint64_t to_boundary = next_hook - produced;
                 if (to_boundary < chunk) {
                     chunk = static_cast<std::size_t>(to_boundary);
                 }
             }
 
+            // Zero-copy: reserve a contiguous span of ring storage and
+            // generate the batch directly into it -- the word is written
+            // once, by the source, and never copied.  Backpressure shows
+            // up as a failed reserve (the ring counts the stall).
+            std::uint64_t* span = nullptr;
+            const std::size_t room = ring_.reserve(span, chunk);
+            if (room == 0) {
+                wait.wait();
+                continue;
+            }
+            wait.reset();
+
             const std::size_t got =
-                source_.fill_words_available(scratch_.data(), chunk);
+                source_.fill_words_available(span, room);
             if (got == 0) {
                 if (opts_.total_words != 0) {
                     // A fixed-length run starving is an error (the old
@@ -116,27 +144,9 @@ void word_producer::run() noexcept
                 }
                 break;
             }
-
-            // Push the whole batch, backing off under backpressure (the
-            // ring counts the stalls).
-            std::size_t pushed = 0;
-            backoff wait;
-            while (pushed < got
-                   && !stop_.load(std::memory_order_relaxed)) {
-                const std::size_t k = ring_.try_push(
-                    scratch_.data() + pushed, got - pushed);
-                if (k == 0) {
-                    wait.wait();
-                } else {
-                    wait.reset();
-                }
-                pushed += k;
-            }
-            produced += pushed;
+            ring_.commit(got);
+            produced += got;
             produced_.store(produced, std::memory_order_relaxed);
-            if (pushed < got) {
-                break; // stopped mid-push
-            }
         }
     } catch (...) {
         error_ = std::current_exception();
@@ -176,17 +186,55 @@ std::uint64_t window_pump::run(const window_sink& sink,
 {
     std::uint64_t done = 0;
     while (max_windows == 0 || done < max_windows) {
-        if (filled_ == 0 && barrier_) {
-            // The mid-stream reconfiguration barrier: no window is in
-            // flight, so the hook may reprogram the design.  Words stay
-            // queued in the ring; only the framing below changes.
-            barrier_(mon_.windows_tested());
-            reframe();
+        if (filled_ == 0) {
+            if (barrier_) {
+                // The mid-stream reconfiguration barrier: no window is
+                // in flight, so the hook may reprogram the design.
+                // Words stay queued in the ring; only the framing below
+                // changes.
+                barrier_(mon_.windows_tested());
+                reframe();
+            }
+            // Latch the path per window: the evidence tap's contract is
+            // one contiguous window, so a tapped pump assembles; an
+            // untapped pump feeds ring spans straight into the block.
+            zero_copy_ = !tap_;
         }
         const std::size_t nwords = window_.size();
-        // Assemble one whole window; a partially filled window survives
-        // across run() calls (continuous mode may resume).
         backoff wait;
+        if (zero_copy_) {
+            // Feed peeked ring spans directly into the testing block; a
+            // partially fed window survives across run() calls as block
+            // state (continuous mode may resume).
+            while (filled_ < nwords) {
+                const std::uint64_t* span = nullptr;
+                const std::size_t got =
+                    ring_.peek(span, nwords - filled_);
+                if (got == 0) {
+                    if (ring_.drained()) {
+                        leftover_ = filled_;
+                        return done;
+                    }
+                    wait.wait();
+                    continue;
+                }
+                wait.reset();
+                mon_.feed_packed(span, got, lane_);
+                ring_.consume(got);
+                filled_ += got;
+            }
+            filled_ = 0;
+            const window_report wr = mon_.finish_packed();
+            ++zero_copy_windows_;
+            ++windows_;
+            ++done;
+            if (sink && !sink(wr)) {
+                break;
+            }
+            continue;
+        }
+        // Copy path: assemble one whole window for the tap; a partially
+        // filled window survives across run() calls.
         while (filled_ < nwords) {
             const std::size_t got = ring_.try_pop(
                 window_.data() + filled_, nwords - filled_);

@@ -6,10 +6,17 @@
 // generation from analysis through a lock-free SPSC word ring
 // (base/ring_buffer.hpp):
 //
-//   entropy_source ──fill_words──▶ word_producer ──try_push──▶ ring_buffer
-//       ring_buffer ──try_pop──▶ window_pump ──test_packed──▶ monitor
+//   entropy_source ──fill_words──▶ reserved ring span ──commit──▶ ring
+//       ring ──peek──▶ window_pump ──feed_packed/finish_packed──▶ monitor
 //                                     │
 //                                     └──window_report──▶ window_sink(s)
+//
+// Both hops are zero-copy: the producer generates words directly into
+// ring storage (ring_buffer::reserve/commit) and the pump feeds ring
+// spans directly into the testing block (ring_buffer::peek/consume +
+// monitor::feed_packed) -- a word is written once, at generation, and
+// never copied again.  Only a pump with an evidence tap installed
+// assembles windows (the tap's contract is one contiguous window).
 //
 // Everything that used to be a bespoke pull loop -- `monitor` batch runs,
 // the fleet's per-channel double-buffer hand-off, the scenario runner's
@@ -80,9 +87,14 @@ stream_stats snapshot(const base::ring_buffer& ring);
 /// and scenario trials so the two setups cannot drift: a ring two
 /// windows deep (the software double buffer) ...
 std::size_t default_ring_words(std::size_t window_words);
-/// ... and generation batches of at most 512 words (one whole window
-/// for the short designs).
-std::size_t default_batch_words(std::size_t window_words);
+/// ... and generation batches of half the ring -- one whole window on
+/// the default two-window ring, growing past a window on deeper rings
+/// (the batched generation lane gets cheaper per word the larger the
+/// batch, and half the ring keeps the pipeline genuinely
+/// double-buffered).  `ring_words` 0 means the default ring for this
+/// window length.
+std::size_t default_batch_words(std::size_t window_words,
+                                std::size_t ring_words = 0);
 
 /// \brief The generation half of the pipeline: pulls packed words from
 /// any `trng::entropy_source` (including source_model stacks) and pushes
@@ -133,7 +145,6 @@ private:
     trng::entropy_source& source_;
     base::ring_buffer& ring_;
     producer_options opts_;
-    std::vector<std::uint64_t> scratch_;
     std::atomic<std::uint64_t> produced_{0};
     std::atomic<bool> stop_{false};
     std::exception_ptr error_;
@@ -186,6 +197,11 @@ public:
     std::uint64_t windows_pumped() const { return windows_; }
     /// Words stranded by a close that landed mid-window.
     std::uint64_t leftover_words() const { return leftover_; }
+    /// Windows that took the zero-copy path (ring spans fed straight
+    /// into the testing block, no window assembly).  Untapped pumps take
+    /// it for every window; an installed evidence tap forces the copy
+    /// path, because the tap's contract is one contiguous window.
+    std::uint64_t zero_copy_windows() const { return zero_copy_windows_; }
 
     /// \brief Install the raw-window evidence tap (may be null).
     void set_tap(window_tap tap) { tap_ = std::move(tap); }
@@ -213,6 +229,10 @@ private:
     std::size_t filled_ = 0;
     std::uint64_t windows_ = 0;
     std::uint64_t leftover_ = 0;
+    std::uint64_t zero_copy_windows_ = 0;
+    /// Path latched per window (at filled_ == 0), so installing a tap
+    /// mid-stream can never mix paths inside one window.
+    bool zero_copy_ = false;
     window_tap tap_;
     window_barrier barrier_;
 };

@@ -449,14 +449,15 @@ supervision_report supervisor::run(trng::entropy_source& source,
     const std::size_t esc_words =
         static_cast<std::size_t>(cfg_.escalated.n() / 64);
 
-    base::ring_buffer ring(
-        default_ring_words(std::max(base_words, esc_words)));
+    const std::size_t ring_words =
+        default_ring_words(std::max(base_words, esc_words));
+    base::ring_buffer ring(ring_words);
     // The word total is not knowable up front (escalation changes the
     // window length mid-run): produce open-ended, let the pump cap the
     // window count and run_pipeline wind the producer down.
     opts.total_words = 0;
     if (opts.batch_words == 0) {
-        opts.batch_words = default_batch_words(base_words);
+        opts.batch_words = default_batch_words(base_words, ring_words);
     }
     word_producer producer(source, ring, opts);
     window_pump pump(ring, mon_, cfg_.lane);

@@ -268,12 +268,33 @@ bool device_source::next_bit()
     return bit;
 }
 
+void device_source::produce_words(std::uint64_t* out, std::size_t nwords)
+{
+    std::size_t j = 0;
+    while (j < nwords) {
+        transition_at(words_produced_);
+        // Clamp the run so the next scheduled transition still lands
+        // exactly on its word boundary; past both boundaries the whole
+        // remainder goes to the chain in one batched call.
+        std::uint64_t run = nwords - j;
+        if (dial_ != nullptr && words_produced_ < onset_word_) {
+            run = std::min<std::uint64_t>(run,
+                                          onset_word_ - words_produced_);
+        }
+        if (profile_.churns && words_produced_ < churn_word_) {
+            run = std::min<std::uint64_t>(run,
+                                          churn_word_ - words_produced_);
+        }
+        chain_->fill_words(out + j, static_cast<std::size_t>(run));
+        words_produced_ += run;
+        j += static_cast<std::size_t>(run);
+    }
+}
+
 void device_source::fill_words(std::uint64_t* out, std::size_t nwords)
 {
-    if (out_left_ == 0) {
-        for (std::size_t j = 0; j < nwords; ++j) {
-            out[j] = next_word();
-        }
+    produce_words(out, nwords);
+    if (out_left_ == 0 || nwords == 0) {
         return;
     }
     // Same splice as source_model::fill_words: the buffered bits lead
@@ -281,7 +302,7 @@ void device_source::fill_words(std::uint64_t* out, std::size_t nwords)
     const unsigned have = out_left_;
     std::uint64_t carry = out_buf_;
     for (std::size_t j = 0; j < nwords; ++j) {
-        const std::uint64_t fresh = next_word();
+        const std::uint64_t fresh = out[j];
         out[j] = carry | (fresh << have);
         carry = fresh >> (64 - have);
     }

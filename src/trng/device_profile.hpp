@@ -155,6 +155,11 @@ private:
     /// Apply any transition scheduled for the word about to be produced.
     void transition_at(std::uint64_t word_index);
     std::uint64_t take_chain_word();
+    /// Batched production: whole chain_->fill_words() runs between
+    /// scheduled transitions (onset, churn), which always land on word
+    /// boundaries -- the chain is never re-scalarized into per-word
+    /// virtual calls.
+    void produce_words(std::uint64_t* out, std::size_t nwords);
 
     device_profile profile_;
     std::unique_ptr<entropy_source> chain_;

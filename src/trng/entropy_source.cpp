@@ -32,9 +32,16 @@ std::size_t entropy_source::fill_words_available(std::uint64_t* out,
 
 std::vector<std::uint64_t> entropy_source::generate_words(std::size_t nwords)
 {
-    std::vector<std::uint64_t> words(nwords);
-    fill_words(words.data(), nwords);
+    std::vector<std::uint64_t> words;
+    generate_words(words, nwords);
     return words;
+}
+
+void entropy_source::generate_words(std::vector<std::uint64_t>& out,
+                                    std::size_t nwords)
+{
+    out.resize(nwords);
+    fill_words(out.data(), nwords);
 }
 
 } // namespace otf::trng

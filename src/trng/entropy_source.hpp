@@ -67,6 +67,14 @@ public:
     /// fill_words().
     /// \param nwords number of 64-bit words to generate
     std::vector<std::uint64_t> generate_words(std::size_t nwords);
+
+    /// \brief Allocation-free variant for hot paths: resize `out` to
+    /// `nwords` (reusing its capacity across calls) and fill it.  The
+    /// returning overload above allocates a fresh vector per call, which
+    /// is fine for setup code but not inside a per-window loop.
+    /// \param out    caller-owned buffer, resized to `nwords`
+    /// \param nwords number of 64-bit words to generate
+    void generate_words(std::vector<std::uint64_t>& out, std::size_t nwords);
 };
 
 } // namespace otf::trng

@@ -23,12 +23,17 @@ public:
     explicit ideal_source(std::uint64_t seed) : rng_(seed) {}
     bool next_bit() override { return rng_.next_bit(); }
     /// Native word generation (one xoshiro draw per 64 bits) -- bit-exact
-    /// with the per-bit stream in any interleaving.
+    /// with the per-bit stream in any interleaving.  The generator runs
+    /// on a local copy for the batch: `out` and the member state are both
+    /// uint64_t, so writing through `out` would otherwise force the
+    /// compiler to reload the state every iteration (may-alias).
     void fill_words(std::uint64_t* out, std::size_t nwords) override
     {
+        xoshiro256ss rng = rng_;
         for (std::size_t j = 0; j < nwords; ++j) {
-            out[j] = rng_.next_bits64();
+            out[j] = rng.next_bits64();
         }
+        rng_ = rng;
     }
     std::string name() const override { return "ideal"; }
 
@@ -47,6 +52,12 @@ public:
     /// \throws std::invalid_argument unless p_one is in [0, 1]
     biased_source(std::uint64_t seed, double p_one);
     bool next_bit() override;
+    /// Batched: the 64 per-bit threshold draws inlined per word.  The
+    /// per-bit lane holds no buffer state, so this is bit-exact with
+    /// assembling words from next_bit() -- but without 64 virtual calls
+    /// per word, which matters because this is the inner source of every
+    /// device_source in a population run.
+    void fill_words(std::uint64_t* out, std::size_t nwords) override;
     std::string name() const override;
     double p_one() const { return p_one_; }
 

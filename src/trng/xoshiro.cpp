@@ -13,11 +13,6 @@ std::uint64_t splitmix64(std::uint64_t& state)
     return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 xoshiro256ss::xoshiro256ss(std::uint64_t seed)
@@ -26,54 +21,6 @@ xoshiro256ss::xoshiro256ss(std::uint64_t seed)
     for (auto& word : s_) {
         word = splitmix64(sm);
     }
-}
-
-std::uint64_t xoshiro256ss::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-double xoshiro256ss::next_double()
-{
-    // 53 top bits into the mantissa.
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool xoshiro256ss::next_bit()
-{
-    if (bits_left_ == 0) {
-        bit_buffer_ = next();
-        bits_left_ = 64;
-    }
-    const bool bit = (bit_buffer_ & 1u) != 0;
-    bit_buffer_ >>= 1;
-    --bits_left_;
-    return bit;
-}
-
-std::uint64_t xoshiro256ss::next_bits64()
-{
-    if (bits_left_ == 0) {
-        return next();
-    }
-    // Splice: the remaining buffered bits first (they are already in
-    // LSB-first consumption order), then the low bits of a fresh word.
-    const unsigned buffered = bits_left_;
-    const std::uint64_t low = bit_buffer_;
-    const std::uint64_t fresh = next();
-    const std::uint64_t word = low | (fresh << buffered);
-    bit_buffer_ = fresh >> (64 - buffered);
-    // bits_left_ stays the same: we consumed `buffered` old bits plus the
-    // low 64 - buffered fresh ones, leaving `buffered` fresh bits behind.
-    return word;
 }
 
 } // namespace otf::trng

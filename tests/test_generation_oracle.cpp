@@ -1,0 +1,246 @@
+// Differential tests of the batched generation lane: for every
+// adversarial source model, source_model::fill_words (batched
+// next_words overrides) must be bit-exact with fill_words_scalar (the
+// per-word reference lane) across ragged batch sizes, severity changes,
+// interleaved per-bit drains, stacked decorators and the device_source
+// wrapper's onset/churn boundaries.  The kernel-side twin of this file
+// is test_kernel_oracle.cpp (SIMD vs scalar consumers); this one pins
+// the producer side.
+#include "trng/device_profile.hpp"
+#include "trng/source_model.hpp"
+#include "trng/sources.hpp"
+
+#include "support/fixed_seed.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using namespace otf;
+using namespace otf::trng;
+using test::fixture_seed;
+
+using model_builder =
+    std::function<std::unique_ptr<source_model>(std::uint64_t seed)>;
+
+std::unique_ptr<entropy_source> healthy(std::uint64_t seed)
+{
+    return std::make_unique<ideal_source>(seed);
+}
+
+/// Every model plus stacked decorator pairs, built over an ideal inner.
+std::vector<std::pair<std::string, model_builder>> all_models()
+{
+    return {
+        {"rtn",
+         [](std::uint64_t s) {
+             return std::make_unique<rtn_source>(healthy(s), s + 1);
+         }},
+        {"rtn long-dwell",
+         [](std::uint64_t s) {
+             rtn_parameters p;
+             p.dwell_on = 8192.0;
+             return std::make_unique<rtn_source>(healthy(s), s + 1, p);
+         }},
+        {"bias-drift",
+         [](std::uint64_t s) {
+             return std::make_unique<bias_drift_source>(healthy(s), s + 1);
+         }},
+        {"bias-drift pinned",
+         [](std::uint64_t s) {
+             // Pins the walk at the half-rail steady state (q = 128),
+             // the single-draw fast path in next_words.
+             bias_drift_parameters p;
+             p.p_out = 1.0;
+             p.p_back = 0.0;
+             p.max_shift_q = 128;
+             return std::make_unique<bias_drift_source>(healthy(s), s + 1,
+                                                        p);
+         }},
+        {"lockin",
+         [](std::uint64_t s) {
+             return std::make_unique<lockin_source>(healthy(s), s + 1);
+         }},
+        {"fault",
+         [](std::uint64_t s) {
+             return std::make_unique<fault_source>(healthy(s), s + 1);
+         }},
+        {"sram-collapse",
+         [](std::uint64_t s) {
+             return std::make_unique<entropy_collapse_source>(healthy(s),
+                                                              s + 1);
+         }},
+        {"substitution",
+         [](std::uint64_t s) {
+             return std::make_unique<substitution_source>(healthy(s),
+                                                          s + 1);
+         }},
+        {"stacked bias-drift<rtn>",
+         [](std::uint64_t s) {
+             return std::make_unique<bias_drift_source>(
+                 std::make_unique<rtn_source>(healthy(s), s + 1), s + 2);
+         }},
+        {"stacked rtn<sram-collapse>",
+         [](std::uint64_t s) {
+             return std::make_unique<rtn_source>(
+                 std::make_unique<entropy_collapse_source>(healthy(s),
+                                                           s + 1),
+                 s + 2);
+         }},
+    };
+}
+
+/// Ragged batch lengths covering the splice paths: sub-word carries,
+/// exact words, and multi-fetch bulk spans.
+constexpr std::size_t kRaggedSizes[] = {1,  2,  3,  5,   7,  13,
+                                        31, 64, 65, 100, 131};
+
+TEST(generation_oracle, batched_lane_matches_scalar_lane_ragged)
+{
+    for (const auto& [name, build] : all_models()) {
+        auto batched = build(fixture_seed(60));
+        auto scalar = build(fixture_seed(60));
+        for (int round = 0; round < 20; ++round) {
+            for (const std::size_t n : kRaggedSizes) {
+                std::vector<std::uint64_t> got(n, 0);
+                std::vector<std::uint64_t> want(n, 0);
+                batched->fill_words(got.data(), n);
+                scalar->fill_words_scalar(want.data(), n);
+                ASSERT_EQ(got, want)
+                    << name << " round " << round << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(generation_oracle, severity_changes_apply_between_fills)
+{
+    // Severity is word-granular: a set_severity between fills must land
+    // identically in both lanes, at every boundary the ragged sizes hit.
+    const double severities[] = {0.0, 0.25, 0.5, 1.0};
+    for (const auto& [name, build] : all_models()) {
+        auto batched = build(fixture_seed(61));
+        auto scalar = build(fixture_seed(61));
+        std::size_t step = 0;
+        for (int round = 0; round < 12; ++round) {
+            for (const std::size_t n : kRaggedSizes) {
+                const double sev = severities[step++ % 4];
+                batched->set_severity(sev);
+                scalar->set_severity(sev);
+                std::vector<std::uint64_t> got(n, 0);
+                std::vector<std::uint64_t> want(n, 0);
+                batched->fill_words(got.data(), n);
+                scalar->fill_words_scalar(want.data(), n);
+                ASSERT_EQ(got, want)
+                    << name << " severity " << sev << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(generation_oracle, interleaved_bit_and_word_drains_agree)
+{
+    // Alternating per-bit pulls with batched fills exercises the
+    // partial-word splice on both sides of every batch.
+    for (const auto& [name, build] : all_models()) {
+        auto mixed = build(fixture_seed(62));
+        auto oracle = build(fixture_seed(62));
+        const std::size_t chunks[] = {3, 64, 1, 128, 61, 192, 7, 320};
+        for (const std::size_t bits : chunks) {
+            if (bits % 64 == 0) {
+                const std::size_t n = bits / 64;
+                std::vector<std::uint64_t> got(n, 0);
+                mixed->fill_words(got.data(), n);
+                for (std::size_t j = 0; j < n; ++j) {
+                    std::uint64_t want = 0;
+                    for (unsigned b = 0; b < 64; ++b) {
+                        want |=
+                            static_cast<std::uint64_t>(oracle->next_bit())
+                            << b;
+                    }
+                    ASSERT_EQ(got[j], want)
+                        << name << " chunk " << bits << " word " << j;
+                }
+            } else {
+                for (std::size_t i = 0; i < bits; ++i) {
+                    ASSERT_EQ(mixed->next_bit(), oracle->next_bit())
+                        << name << " chunk " << bits << " bit " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(generation_oracle, biased_source_batch_matches_per_bit)
+{
+    // The biased healthy source overrides fill_words with a batched
+    // draw loop; its oracle is the per-bit lane of an identical twin.
+    biased_source batched(fixture_seed(63), 0.3);
+    biased_source oracle(fixture_seed(63), 0.3);
+    for (const std::size_t n : kRaggedSizes) {
+        std::vector<std::uint64_t> got(n, 0);
+        batched.fill_words(got.data(), n);
+        for (std::size_t j = 0; j < n; ++j) {
+            std::uint64_t want = 0;
+            for (unsigned b = 0; b < 64; ++b) {
+                want |= static_cast<std::uint64_t>(oracle.next_bit()) << b;
+            }
+            ASSERT_EQ(got[j], want) << "n=" << n << " word " << j;
+        }
+    }
+}
+
+device_profile boundary_profile(device_kind kind)
+{
+    device_profile p;
+    p.device = 7;
+    p.kind = kind;
+    p.seed = fixture_seed(64) + static_cast<std::uint64_t>(kind);
+    p.peak_severity = 1.0;
+    p.onset_window = 2;
+    p.churns = kind == device_kind::healthy;
+    p.churn_window = 3;
+    p.churn_p_one = 0.48;
+    p.rtn_duty = 0.4;
+    p.collapse_fraction = 0.75;
+    return p;
+}
+
+TEST(generation_oracle, device_source_batches_across_onset_and_churn)
+{
+    // Batched fill_words must stay bit-exact with the per-bit lane even
+    // when a batch straddles the device's onset or churn word -- the
+    // scheduled transitions must split the batch, not shift it.
+    const std::uint64_t window_bits = 256; // 4 words: boundaries land
+                                           // inside the ragged batches
+    for (std::size_t k = 0; k < device_kind_count; ++k) {
+        const auto kind = static_cast<device_kind>(k);
+        device_source batched(boundary_profile(kind), window_bits);
+        device_source oracle(boundary_profile(kind), window_bits);
+        for (int round = 0; round < 10; ++round) {
+            for (const std::size_t n : kRaggedSizes) {
+                std::vector<std::uint64_t> got(n, 0);
+                batched.fill_words(got.data(), n);
+                for (std::size_t j = 0; j < n; ++j) {
+                    std::uint64_t want = 0;
+                    for (unsigned b = 0; b < 64; ++b) {
+                        want |=
+                            static_cast<std::uint64_t>(oracle.next_bit())
+                            << b;
+                    }
+                    ASSERT_EQ(got[j], want)
+                        << to_string(kind) << " round " << round
+                        << " n=" << n << " word " << j;
+                }
+            }
+        }
+    }
+}
+
+} // namespace

@@ -148,6 +148,167 @@ TEST(ring_buffer, occupancy_high_water_mark_is_exact)
     EXPECT_EQ(ring.max_occupancy(), 6u);
 }
 
+TEST(ring_buffer, reserve_commit_peek_consume_round_trip)
+{
+    // Zero-copy span API: generate straight into the ring's storage,
+    // read straight out of it, no intermediate buffers.
+    ring_buffer ring(8);
+    std::uint64_t* wspan = nullptr;
+    ASSERT_EQ(ring.reserve(wspan, 3), 3u);
+    wspan[0] = 11;
+    wspan[1] = 22;
+    wspan[2] = 33;
+    // Reserved words are invisible until commit().
+    EXPECT_TRUE(ring.empty());
+    ring.commit(3);
+    EXPECT_EQ(ring.size(), 3u);
+
+    const std::uint64_t* rspan = nullptr;
+    ASSERT_EQ(ring.peek(rspan, 8), 3u);
+    EXPECT_EQ(rspan[0], 11u);
+    EXPECT_EQ(rspan[1], 22u);
+    EXPECT_EQ(rspan[2], 33u);
+    // Peeked words stay buffered until consume().
+    EXPECT_EQ(ring.size(), 3u);
+    ring.consume(3);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.total_popped(), 3u);
+}
+
+TEST(ring_buffer, spans_clip_at_buffer_end_never_wrap)
+{
+    // Advance the indices so the next span would straddle the physical
+    // end of the buffer: both sides must clip there and serve the rest
+    // in a second round, preserving order.
+    ring_buffer ring(8);
+    const std::uint64_t prime[6] = {0, 1, 2, 3, 4, 5};
+    ASSERT_EQ(ring.try_push(prime, 6), 6u);
+    std::uint64_t sink[6];
+    ASSERT_EQ(ring.try_pop(sink, 6), 6u);
+
+    // Indices now at 6 of 8: two contiguous slots remain before the wrap.
+    std::uint64_t* wspan = nullptr;
+    ASSERT_EQ(ring.reserve(wspan, 5), 2u);
+    wspan[0] = 100;
+    wspan[1] = 101;
+    ring.commit(2);
+    ASSERT_EQ(ring.reserve(wspan, 3), 3u); // rest after the wrap
+    wspan[0] = 102;
+    wspan[1] = 103;
+    wspan[2] = 104;
+    ring.commit(3);
+
+    const std::uint64_t* rspan = nullptr;
+    ASSERT_EQ(ring.peek(rspan, 8), 2u); // clipped at the same boundary
+    EXPECT_EQ(rspan[0], 100u);
+    EXPECT_EQ(rspan[1], 101u);
+    ring.consume(2);
+    ASSERT_EQ(ring.peek(rspan, 8), 3u);
+    EXPECT_EQ(rspan[0], 102u);
+    EXPECT_EQ(rspan[1], 103u);
+    EXPECT_EQ(rspan[2], 104u);
+    ring.consume(3);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(ring_buffer, partial_commit_and_partial_consume)
+{
+    // Committing fewer words than reserved (source ran dry) and
+    // consuming fewer than peeked (window boundary) are both normal.
+    ring_buffer ring(8);
+    std::uint64_t* wspan = nullptr;
+    ASSERT_EQ(ring.reserve(wspan, 8), 8u);
+    wspan[0] = 7;
+    wspan[1] = 8;
+    ring.commit(2); // reserved 8, produced 2
+    EXPECT_EQ(ring.size(), 2u);
+
+    const std::uint64_t* rspan = nullptr;
+    ASSERT_EQ(ring.peek(rspan, 8), 2u);
+    EXPECT_EQ(rspan[0], 7u);
+    ring.consume(1); // take one, leave one buffered
+    EXPECT_EQ(ring.size(), 1u);
+    ASSERT_EQ(ring.peek(rspan, 8), 1u);
+    EXPECT_EQ(rspan[0], 8u);
+    ring.consume(1);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(ring_buffer, zero_copy_full_and_empty_count_stalls)
+{
+    ring_buffer ring(4);
+    std::uint64_t* wspan = nullptr;
+    const std::uint64_t* rspan = nullptr;
+    // Empty ring: peek rejects and counts a consumer stall.
+    EXPECT_EQ(ring.peek(rspan, 4), 0u);
+    EXPECT_EQ(ring.consumer_stalls(), 1u);
+    ASSERT_EQ(ring.reserve(wspan, 4), 4u);
+    ring.commit(4);
+    // Full ring: reserve rejects and counts a producer stall.
+    EXPECT_EQ(ring.reserve(wspan, 1), 0u);
+    EXPECT_EQ(ring.producer_stalls(), 1u);
+}
+
+TEST(ring_buffer, zero_copy_concurrent_stress_in_order)
+{
+    // The span-API twin of the copying stress test: producer fills
+    // reserved spans with the sequence 0,1,2,..., consumer checks peeked
+    // spans, tiny ring forces constant wraparound clipping.  Under the
+    // ThreadSanitizer leg this proves reserve/commit + peek/consume
+    // data-race-free.
+    constexpr std::uint64_t kWords = 200000;
+    ring_buffer ring(8);
+
+    std::thread producer([&ring] {
+        std::uint64_t next = 0;
+        unsigned batch = 1;
+        while (next < kWords) {
+            std::size_t want = static_cast<std::size_t>(batch % 7) + 1;
+            ++batch;
+            if (kWords - next < want) {
+                want = static_cast<std::size_t>(kWords - next);
+            }
+            std::uint64_t* span = nullptr;
+            const std::size_t room = ring.reserve(span, want);
+            if (room == 0) {
+                std::this_thread::yield();
+                continue;
+            }
+            for (std::size_t i = 0; i < room; ++i) {
+                span[i] = next + i;
+            }
+            ring.commit(room);
+            next += room;
+        }
+        ring.close();
+    });
+
+    std::uint64_t expect = 0;
+    unsigned batch = 3;
+    bool in_order = true;
+    while (!ring.drained()) {
+        const std::size_t want = static_cast<std::size_t>(batch % 5) + 1;
+        ++batch;
+        const std::uint64_t* span = nullptr;
+        const std::size_t got = ring.peek(span, want);
+        if (got == 0) {
+            std::this_thread::yield();
+            continue;
+        }
+        for (std::size_t i = 0; i < got; ++i) {
+            in_order = in_order && span[i] == expect + i;
+        }
+        ring.consume(got);
+        expect += got;
+    }
+    producer.join();
+
+    EXPECT_TRUE(in_order);
+    EXPECT_EQ(expect, kWords);
+    EXPECT_EQ(ring.total_pushed(), kWords);
+    EXPECT_EQ(ring.total_popped(), kWords);
+}
+
 TEST(ring_buffer, concurrent_stress_every_word_once_in_order)
 {
     // One producer, one consumer, a deliberately tiny ring (forces

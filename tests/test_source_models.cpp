@@ -100,12 +100,13 @@ TEST(source_models, ragged_interleaving_is_bit_exact)
         auto ragged = build(fixture_seed(2));
         bit_sequence want;
         bit_sequence got;
+        std::vector<std::uint64_t> words; // reused across chunks
         for (const std::size_t bits : chunks) {
             for (std::size_t i = 0; i < bits; ++i) {
                 want.push_back(oracle->next_bit());
             }
             if (bits % 64 == 0) {
-                const auto words = ragged->generate_words(bits / 64);
+                ragged->generate_words(words, bits / 64);
                 const auto part = bit_sequence::from_words(words, bits);
                 for (std::size_t i = 0; i < part.size(); ++i) {
                     got.push_back(part[i]);

@@ -20,6 +20,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -384,6 +385,93 @@ TEST(stream, tap_sees_exactly_the_raw_window_words)
     EXPECT_EQ(tapped, expected);
     EXPECT_EQ(tap_indexes,
               (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(stream, untapped_pump_takes_the_zero_copy_path)
+{
+    // Without a tap every window should be fed straight from ring
+    // storage (peek/consume), and the verdicts must match a tapped run
+    // of the same stream, which takes the assemble-copy path.
+    const hw::block_config cfg =
+        core::paper_design(7, core::tier::light);
+    const std::size_t nwords = 2;
+    const std::uint64_t windows = 8;
+
+    const auto run = [&](bool tapped) {
+        core::monitor mon(cfg, 0.01);
+        trng::ideal_source src(fixture_seed(24));
+        base::ring_buffer ring(2 * nwords);
+        core::producer_options opts;
+        opts.total_words = windows * nwords;
+        core::word_producer producer(src, ring, opts);
+        core::window_pump pump(ring, mon);
+        if (tapped) {
+            pump.set_tap([](std::uint64_t, const std::uint64_t*,
+                            std::size_t) {});
+        }
+        std::vector<core::window_report> reports;
+        core::run_pipeline(producer, pump,
+                           [&](const core::window_report& wr) {
+                               reports.push_back(wr);
+                               return true;
+                           },
+                           windows);
+        return std::make_pair(pump.zero_copy_windows(),
+                              std::move(reports));
+    };
+
+    const auto [zc_untapped, direct] = run(false);
+    const auto [zc_tapped, copied] = run(true);
+
+    EXPECT_EQ(zc_untapped, windows)
+        << "every untapped window must be fed from ring storage";
+    EXPECT_EQ(zc_tapped, 0u)
+        << "the tap contract (contiguous window) forces the copy path";
+    ASSERT_EQ(direct.size(), copied.size());
+    for (std::uint64_t w = 0; w < windows; ++w) {
+        expect_same_report(direct[w], copied[w],
+                           "window " + std::to_string(w));
+    }
+}
+
+TEST(stream, zero_copy_survives_windows_larger_than_the_ring_span)
+{
+    // A window of 8 words over a ring of 4 forces every window through
+    // multiple peek/consume rounds (spans clip at the buffer end); the
+    // partial window must persist as block state between rounds.
+    const hw::block_config cfg = core::custom_design(
+        9, hw::test_set{}
+               .with(hw::test_id::frequency)
+               .with(hw::test_id::runs)); // 512-bit windows, 8 words
+    const std::size_t nwords = 8;
+    const std::uint64_t windows = 5;
+
+    core::monitor mon(cfg, 0.01);
+    trng::ideal_source src(fixture_seed(25));
+    base::ring_buffer ring(nwords / 2);
+    core::producer_options opts;
+    opts.total_words = windows * nwords;
+    opts.batch_words = 2;
+    core::word_producer producer(src, ring, opts);
+    core::window_pump pump(ring, mon);
+    std::vector<core::window_report> reports;
+    core::run_pipeline(producer, pump,
+                       [&](const core::window_report& wr) {
+                           reports.push_back(wr);
+                           return true;
+                       },
+                       windows);
+
+    EXPECT_EQ(pump.zero_copy_windows(), windows);
+    ASSERT_EQ(reports.size(), windows);
+    // Register-exact with the batch loop over the same stream.
+    core::monitor batch(cfg, 0.01);
+    trng::ideal_source replay(fixture_seed(25));
+    for (std::uint64_t w = 0; w < windows; ++w) {
+        const auto ref = batch.test_window_words(replay);
+        expect_same_report(ref, reports[w],
+                           "window " + std::to_string(w));
+    }
 }
 
 TEST(stream, barrier_reconfigures_mid_stream_without_dropping_words)
