@@ -12,9 +12,11 @@
 // percentiles across attacked devices -- and *enforces* the population
 // determinism guarantee: the same master seed must produce identical
 // reports (per-device records included) across {1, 2, auto} worker
-// threads and {2, 4} shard layouts; any mismatch fails the run.
+// threads, {2, 4} shard layouts, AND both execution models (the fused
+// work-stealing scheduler vs the threaded per-channel rings); any
+// mismatch fails the run.
 //
-// Results go to BENCH_population.json (schema "otf-population/1", see
+// Results go to BENCH_population.json (schema "otf-population/2", see
 // docs/BENCHMARKS.md; OTF_BENCH_DIR / --bench-dir= override the output
 // directory).
 #include "base/env.hpp"
@@ -60,24 +62,31 @@ int main(int argc, char** argv)
     struct layout {
         unsigned shards;
         unsigned threads_per_shard; // 0 = auto
+        core::fleet_execution execution;
     };
     const std::vector<layout> layouts = {
-        {2, 0}, {2, 1}, {2, 2}, {4, 2}};
+        {2, 0, core::fleet_execution::fused},
+        {2, 1, core::fleet_execution::fused},
+        {2, 2, core::fleet_execution::fused},
+        {4, 2, core::fleet_execution::fused},
+        {2, 2, core::fleet_execution::threaded}};
 
     std::vector<core::population_report> reports;
     bool deterministic = true;
     for (const layout& l : layouts) {
         cfg.shards = l.shards;
         cfg.threads_per_shard = l.threads_per_shard;
+        cfg.execution = l.execution;
         core::population_monitor pop(cfg);
         reports.push_back(pop.run());
         const core::population_report& r = reports.back();
         const bool same = r.same_counters(reports.front());
         deterministic = deterministic && same;
-        std::printf("layout %u shards x %u threads: %.2fs, %.2f Mbit/s, "
-                    "counters %s\n",
-                    l.shards, l.threads_per_shard, r.seconds,
-                    r.bits_per_second() / 1e6,
+        std::printf("layout %u shards x %u threads (%s): %.2fs, "
+                    "%.2f Mbit/s, %llu steals, counters %s\n",
+                    l.shards, l.threads_per_shard, r.execution.c_str(),
+                    r.seconds, r.bits_per_second() / 1e6,
+                    static_cast<unsigned long long>(r.steals),
                     same ? "match" : "MISMATCH");
     }
     const core::population_report& report = reports.front();
@@ -107,7 +116,7 @@ int main(int argc, char** argv)
 
     json_writer json;
     json.begin_object();
-    json.value("schema", "otf-population/1");
+    json.value("schema", "otf-population/2");
     json.value("smoke", smoke_mode());
     json.value("design", cfg.block.name);
     json.value("escalated_design", cfg.escalated_block->name);
@@ -118,6 +127,14 @@ int main(int argc, char** argv)
     json.value("master_seed", cfg.master_seed);
     json.value("device_bits_per_second", cfg.device_bits_per_second);
     json.value("deterministic_across_layouts", deterministic);
+    json.begin_object("execution");
+    json.value("model", report.execution);
+    json.value("lane", report.lane);
+    json.value("worker_threads", report.worker_threads);
+    json.value("steal_batch_devices", report.steal_batch_devices);
+    json.value("steals", report.steals);
+    json.value("telemetry_flushes", report.telemetry_flushes);
+    json.end_object();
     json.value("windows", report.windows);
     json.value("failures", report.failures);
     json.value("bits", report.bits);

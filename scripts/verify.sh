@@ -57,6 +57,44 @@ if command -v python3 >/dev/null 2>&1; then
         echo "ok: $f"
     done
 
+    echo "== validating otf-fleet-bench/3 schema =="
+    # The fleet bench must report the /3 schema: the execution axis
+    # (threaded vs fused span vs fused 64x64 tile, single worker) next
+    # to the lane and scaling axes (docs/BENCHMARKS.md).
+    python3 - "$BUILD_DIR"/BENCH_fleet.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "otf-fleet-bench/3", doc["schema"]
+exe = doc["execution"]
+assert exe["threads"] == 1, exe
+assert exe["tile_words"] == 64, exe
+for key in ("threaded_mbps", "fused_span_mbps", "fused_tile_mbps",
+            "fused_tile_over_threaded"):
+    assert exe[key] > 0, (key, exe)
+print("ok: otf-fleet-bench/3 (fused tile %.2fx threaded)"
+      % exe["fused_tile_over_threaded"])
+EOF
+
+    echo "== validating otf-population/2 schema =="
+    # The population bench must report the /2 schema: the execution
+    # block with the work-stealing scheduler's telemetry, and the
+    # layout sweep (now including the threaded execution) deterministic.
+    python3 - "$BUILD_DIR"/BENCH_population.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "otf-population/2", doc["schema"]
+assert doc["deterministic_across_layouts"] is True
+exe = doc["execution"]
+assert exe["model"] == "fused", exe
+assert exe["worker_threads"] > 0, exe
+assert exe["steal_batch_devices"] > 0, exe
+assert exe["telemetry_flushes"] > 0, exe
+print("ok: otf-population/2 (%d workers, %d steals, %d flushes)"
+      % (exe["worker_threads"], exe["steals"], exe["telemetry_flushes"]))
+EOF
+
     echo "== validating otf-stream-bench/3 schema =="
     # The stream bench must report the /3 schema: the generation axis
     # with all six adversarial models, and a streamed channel that took
@@ -77,3 +115,16 @@ print("ok: otf-stream-bench/3 (%d generation models, %d zero-copy windows)"
       % (len(models), doc["zero_copy_windows"]))
 EOF
 fi
+
+echo "== Release perf guard: fused vs threaded fleet execution =="
+# A separate Release build runs the fleet bench with the enforcement
+# flag: the fused 64x64 tile lane must not fall behind the threaded
+# ring pipeline on a single worker (coarse >= 1.0x bar; full runs track
+# the >= 1.3x tile acceptance in BENCH_fleet.json), and the fused span
+# lane must stay within scheduling noise of it (>= 0.7x).
+PERF_DIR="$BUILD_DIR-perfguard"
+cmake -B "$PERF_DIR" -S "$(dirname "$0")/.." -DCMAKE_BUILD_TYPE=Release \
+    -DOTF_BUILD_EXAMPLES=OFF
+cmake --build "$PERF_DIR" -j "$JOBS" --target bench_fleet_throughput
+OTF_SMOKE=1 OTF_ENFORCE_FUSED_BAR=1 OTF_BENCH_DIR="$PERF_DIR" \
+    "$PERF_DIR"/bench/bench_fleet_throughput

@@ -1,0 +1,171 @@
+// Bounded Chase-Lev work-stealing deque.
+//
+// One owner thread pushes and pops work at the bottom (LIFO, so the
+// owner keeps draining what it just produced while it is still
+// cache-hot); any other thread steals from the top (FIFO, so thieves
+// take the oldest -- and therefore coldest -- work).  The population
+// scheduler seeds one deque per worker with device batches and lets
+// idle workers steal from busy ones, which keeps every core fed even
+// when per-device cost varies wildly (attacked devices escalate to
+// heavier designs and run many times longer than healthy ones).
+//
+// The classic algorithm (Chase & Lev, SPAA '05) stores plain cells and
+// publishes them with standalone fences.  Here every cell is a relaxed
+// std::atomic<std::uint64_t> and the top/bottom index operations are
+// seq_cst: items are trivially-copyable values of at most 8 bytes, so a
+// cell transfer is one atomic word -- race-free by construction (and
+// clean under ThreadSanitizer), with the indices still providing the
+// ordering the algorithm needs.  Work units here are whole device
+// batches (thousands of windows each), so the few extra fenced
+// operations per unit are noise.
+//
+// Capacity is fixed at construction (rounded up to a power of two) and
+// push() fails when full instead of growing; the scheduler sizes each
+// deque for its initial share up front and never pushes afterwards, so
+// an empty sweep across all deques is a termination proof.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace otf::base {
+
+template <typename T>
+class work_deque {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "work_deque items must fit one atomic 64-bit cell");
+    static_assert(std::is_trivially_default_constructible_v<T>,
+                  "work_deque items are materialized from raw cells");
+
+public:
+    /// \param capacity maximum items held at once; rounded up to a
+    /// power of two, at least 1
+    explicit work_deque(std::size_t capacity)
+        : cells_(round_up_pow2(capacity)), mask_(cells_.size() - 1)
+    {
+    }
+
+    std::size_t capacity() const { return cells_.size(); }
+
+    /// \brief Owner only: append one item at the bottom.
+    /// \return false when the deque is full (bounded, never grows)
+    bool push(T item)
+    {
+        const std::uint64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::uint64_t t = top_.load(std::memory_order_acquire);
+        if (b - t >= cells_.size()) {
+            return false;
+        }
+        cells_[b & mask_].store(encode(item), std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+        return true;
+    }
+
+    /// \brief Owner only: take the most recently pushed item.
+    /// \return false when the deque is empty
+    bool pop(T& out)
+    {
+        std::uint64_t b = bottom_.load(std::memory_order_relaxed);
+        if (b == top_.load(std::memory_order_seq_cst)) {
+            return false; // empty from the owner's view; no index traffic
+        }
+        --b;
+        // Claim the bottom slot first, then re-read top: a thief that
+        // read the old bottom may still be racing for the same slot.
+        bottom_.store(b, std::memory_order_seq_cst);
+        std::uint64_t t = top_.load(std::memory_order_seq_cst);
+        if (t < b) {
+            // More than one item left: the slot is uncontended.
+            out = decode(cells_[b & mask_].load(std::memory_order_relaxed));
+            return true;
+        }
+        bool won = false;
+        if (t == b) {
+            // Last item: settle the race through the same CAS the
+            // thieves use.
+            won = top_.compare_exchange_strong(t, t + 1,
+                                               std::memory_order_seq_cst);
+            if (won) {
+                out = decode(
+                    cells_[b & mask_].load(std::memory_order_relaxed));
+            }
+        }
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+        return won;
+    }
+
+    /// \brief Any thread: take the oldest item.
+    /// \return false when the deque is empty *or* the claim raced with
+    /// another thief / the owner's pop -- callers sweep and retry, so a
+    /// spurious failure only costs another look
+    bool steal(T& out)
+    {
+        std::uint64_t t = top_.load(std::memory_order_seq_cst);
+        const std::uint64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b) {
+            return false;
+        }
+        // Read the cell before claiming it: a successful CAS proves top
+        // was still t, and the owner only overwrites slot t & mask after
+        // top has moved past t (push checks fullness against top), so
+        // the value read here is the item claimed.
+        const std::uint64_t cell =
+            cells_[t & mask_].load(std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst)) {
+            return false;
+        }
+        out = decode(cell);
+        return true;
+    }
+
+    /// \brief Approximate emptiness: exact once the deque has quiesced
+    /// (no concurrent push), which is how the scheduler's termination
+    /// sweep uses it.
+    bool empty() const
+    {
+        return top_.load(std::memory_order_seq_cst)
+            >= bottom_.load(std::memory_order_seq_cst);
+    }
+
+private:
+    static std::size_t round_up_pow2(std::size_t n)
+    {
+        std::size_t p = 1;
+        while (p < n) {
+            if (p > (std::size_t{1} << 62)) {
+                throw std::invalid_argument(
+                    "work_deque: capacity too large");
+            }
+            p <<= 1;
+        }
+        return p;
+    }
+
+    static std::uint64_t encode(T item)
+    {
+        std::uint64_t cell = 0;
+        std::memcpy(&cell, &item, sizeof(T));
+        return cell;
+    }
+
+    static T decode(std::uint64_t cell)
+    {
+        T item;
+        std::memcpy(&item, &cell, sizeof(T));
+        return item;
+    }
+
+    std::vector<std::atomic<std::uint64_t>> cells_;
+    std::uint64_t mask_;
+    /// Next slot to steal from (thieves CAS it forward).
+    std::atomic<std::uint64_t> top_{0};
+    /// Next slot the owner pushes to (owner-written only).
+    std::atomic<std::uint64_t> bottom_{0};
+};
+
+} // namespace otf::base

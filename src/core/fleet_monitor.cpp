@@ -11,6 +11,11 @@
 
 namespace otf::core {
 
+const char* to_string(fleet_execution execution)
+{
+    return execution == fleet_execution::fused ? "fused" : "threaded";
+}
+
 void fleet_config::validate() const
 {
     block.validate();
@@ -33,11 +38,35 @@ bool fleet_config::uses_sliced_lane() const
     // The bit-sliced lane needs 64 identical channels side by side, a
     // word-granular window, no supervision (escalation reprograms a
     // channel to a heavy design mid-run) and a test set the sliced
-    // software pass can verify.  Everything else degrades to the span
-    // lane per channel.
-    return lane == ingest_lane::sliced && !escalated_block
+    // software pass can verify.  It is part of the *fused* execution
+    // model -- its 64x64 tile is the fused staging tile, while the
+    // threaded model streams each channel through its own ring.
+    // Everything else degrades to the span lane per channel.
+    return execution == fleet_execution::fused
+        && lane == ingest_lane::sliced && !escalated_block
         && channels >= hw::sliced_block::lanes && block.n() >= 64
         && sliced_pass_supported(block.tests);
+}
+
+std::string fleet_config::lane_description() const
+{
+    if (uses_sliced_lane()) {
+        return channels % hw::sliced_block::lanes == 0 ? "sliced"
+                                                       : "sliced+span";
+    }
+    switch (lane) {
+    case ingest_lane::word:
+        return "word";
+    case ingest_lane::span:
+        return "span";
+    case ingest_lane::per_bit:
+        return "per_bit";
+    case ingest_lane::sliced:
+        // Asked for sliced, not eligible: the fallback that used to be
+        // silent.
+        return "span (sliced fallback)";
+    }
+    return "?";
 }
 
 supervisor_config fleet_config::supervised_config() const
@@ -92,15 +121,15 @@ fleet_monitor::fleet_monitor(fleet_config cfg, critical_values cv,
 namespace {
 
 /// One channel's pipeline: a monitor (or an escalation supervisor owning
-/// one), its source, the windowed alarm policy, and the streaming core
-/// (producer thread → ring → pump) that hands windows from generation to
-/// analysis.
+/// one), its source, the windowed alarm policy, and the execution lane
+/// that hands windows from generation to analysis -- fused (generate
+/// into a staging tile and test in the same pass) or threaded (producer
+/// thread -> ring -> pump).
 struct channel_state {
     channel_state(const fleet_config& cfg, const critical_values& cv,
                   const std::optional<critical_values>& cv_escalated,
-                  std::unique_ptr<trng::entropy_source> src)
-        : source(std::move(src)),
-          alarm_policy(cfg.fail_threshold, cfg.policy_window)
+                  trng::entropy_source& src)
+        : source(&src), alarm_policy(cfg.fail_threshold, cfg.policy_window)
     {
         if (cfg.escalated_block) {
             sup = std::make_unique<supervisor>(cfg.supervised_config(),
@@ -114,7 +143,7 @@ struct channel_state {
     /// Supervised channels own their monitor through the supervisor.
     std::unique_ptr<supervisor> sup;
     std::optional<monitor> mon;
-    std::unique_ptr<trng::entropy_source> source;
+    trng::entropy_source* source;
     channel_report report;
     windowed_alarm alarm_policy;
 
@@ -129,9 +158,10 @@ struct channel_state {
         }
         if (nwords == 0) {
             // Sub-word designs (n < 64) cannot ride the word-granular
-            // ring; keep the direct batch loop for them (the word lane
-            // rejects them with its length error, exactly as before).
-            // fleet_config::validate() rejects supervision here.
+            // tiles or rings; keep the direct batch loop for them (the
+            // word lane rejects them with its length error, exactly as
+            // before).  fleet_config::validate() rejects supervision
+            // here.
             for (std::uint64_t w = 0; w < windows; ++w) {
                 observe(cfg.lane == ingest_lane::per_bit
                             ? mon->test_window(*source)
@@ -140,6 +170,76 @@ struct channel_state {
             finish(windows);
             return;
         }
+        if (cfg.execution == fleet_execution::fused) {
+            run_fused(cfg, windows, nwords);
+        } else {
+            run_threaded(cfg, windows, nwords);
+        }
+        finish(windows);
+    }
+
+    /// Fused execution: the worker generates each window into a local
+    /// staging buffer and tests it in the same pass on the same core.
+    /// No ring, no producer thread, no SPSC hand-off -- and bit-exact
+    /// with the threaded pipeline, whose pump performs the same
+    /// fill-then-test sequence against the same source stream.
+    void run_fused(const fleet_config& cfg, std::uint64_t windows,
+                   std::size_t nwords)
+    {
+        std::vector<std::uint64_t> staging(nwords);
+        window_tap tap;
+        window_barrier barrier;
+        if (sup) {
+            tap = sup->tap();
+            barrier = sup->barrier();
+        }
+        for (std::uint64_t w = 0; w < windows; ++w) {
+            if (sup) {
+                // The reconfiguration barrier between windows: no
+                // window is in flight, so the supervisor may reprogram
+                // the design -- same contract as window_pump, which
+                // fires it whenever a window boundary is crossed.
+                barrier(active_monitor().windows_tested());
+                const auto now = static_cast<std::size_t>(
+                    active_monitor().config().n() / 64);
+                if (now != nwords) {
+                    nwords = now;
+                    staging.assign(nwords, 0);
+                }
+            }
+            std::size_t filled = 0;
+            while (filled < nwords) {
+                const std::size_t got = source->fill_words_available(
+                    staging.data() + filled, nwords - filled);
+                if (got == 0) {
+                    // Same failure mode (and loudness) as the threaded
+                    // lane's fixed-total producer underrun.
+                    throw std::runtime_error(
+                        "source \"" + report.source_name
+                        + "\" ran dry after " + std::to_string(w)
+                        + " of " + std::to_string(windows) + " windows");
+                }
+                filled += got;
+            }
+            if (sup) {
+                tap(active_monitor().windows_tested(), staging.data(),
+                    nwords);
+            }
+            const window_report wr = active_monitor().test_packed(
+                staging.data(), nwords, cfg.lane);
+            if (sup) {
+                sup->observe(wr);
+            }
+            observe(wr);
+        }
+    }
+
+    /// Threaded execution: the streamed producer/ring/pump pipeline --
+    /// the software analogue of the TRNG-to-testing-block FIFO, kept as
+    /// the fused lanes' differential oracle.
+    void run_threaded(const fleet_config& cfg, std::uint64_t windows,
+                      std::size_t nwords)
+    {
         // A two-window ring is the software double buffer: generation
         // always writes words the analysis lane is not reading, and the
         // pipeline stays gap-free as long as either stage has work.
@@ -199,7 +299,6 @@ struct channel_state {
                 + std::to_string(pumped) + " of "
                 + std::to_string(windows) + " windows");
         }
-        finish(windows);
     }
 
     void observe(const window_report& wr)
@@ -246,67 +345,101 @@ struct channel_state {
     }
 };
 
+} // namespace
+
+channel_report run_fleet_channel(
+    const fleet_config& cfg, const critical_values& cv,
+    const std::optional<critical_values>& cv_escalated,
+    trng::entropy_source& source, unsigned channel, std::uint64_t windows)
+{
+    channel_state state(cfg, cv, cv_escalated, source);
+    state.report.channel = channel;
+    try {
+        state.run_windows(cfg, windows);
+    } catch (const std::exception& e) {
+        // The ring telemetry (snapshotted on the throw path too)
+        // explains *why* a threaded pipeline stalled or dried up, so
+        // carry it into the message when there is any; the fused lane
+        // has no ring, and no stall modes to explain.
+        std::string what = e.what();
+        const stream_stats& ss = state.report.stream;
+        if (ss.ring_capacity > 0) {
+            what += " [stream: words=" + std::to_string(ss.words)
+                + ", producer_stalls=" + std::to_string(ss.producer_stalls)
+                + ", consumer_stalls=" + std::to_string(ss.consumer_stalls)
+                + ", max_occupancy=" + std::to_string(ss.max_occupancy)
+                + "/" + std::to_string(ss.ring_capacity) + "]";
+        }
+        throw std::runtime_error(what);
+    }
+    return std::move(state.report);
+}
+
 /// One bit-sliced work unit: 64 channels advance together through one
 /// hw::sliced_block.  Windows stay channel-synchronous -- every member's
 /// window w is generated, transposed and verified before window w + 1 --
 /// so the per-channel reports are the same pure function of the seeds as
 /// on the scalar lanes (modulo sw_cycles, which the sliced lane reports
 /// as 0: there is no per-channel software pass to charge).
-void run_sliced_group(const fleet_config& cfg, const critical_values& cv,
-                      const std::vector<std::unique_ptr<channel_state>>& states,
-                      const unsigned* members, std::uint64_t windows)
+void run_fleet_sliced_group(const fleet_config& cfg,
+                            const critical_values& cv,
+                            trng::entropy_source* const* sources,
+                            unsigned first_channel, std::uint64_t windows,
+                            channel_report* reports)
 {
     constexpr unsigned lanes = hw::sliced_block::lanes;
-    if (windows == 0) {
-        return;
+    std::vector<std::unique_ptr<channel_state>> states;
+    states.reserve(lanes);
+    for (unsigned i = 0; i < lanes; ++i) {
+        states.push_back(std::make_unique<channel_state>(
+            cfg, cv, std::nullopt, *sources[i]));
+        states.back()->report.channel = first_channel + i;
     }
-    const std::size_t nwords =
-        static_cast<std::size_t>(cfg.block.n() / 64);
-    hw::sliced_config scfg;
-    scfg.n = cfg.block.n();
-    hw::sliced_block group(scfg);
-    // Generation and transposition work on an L1-resident tile: filling
-    // whole per-channel windows and gathering column-wise across them
-    // strides the cache by a full window per read (a miss per word on
-    // the larger designs), while a lanes x 8-word tile keeps the fill
-    // target and the gather source hot.  Each channel's stream is still
-    // drawn in order, so the data -- and the report -- are unchanged.
-    constexpr std::size_t tile_words = 8;
-    std::vector<std::uint64_t> tile(std::size_t{lanes} * tile_words);
-    std::uint64_t chunk[lanes];
-    for (std::uint64_t w = 0; w < windows; ++w) {
-        if (w != 0) {
-            group.restart();
-        }
-        for (std::size_t base = 0; base < nwords; base += tile_words) {
-            const std::size_t take =
-                nwords - base < tile_words ? nwords - base : tile_words;
-            for (unsigned i = 0; i < lanes; ++i) {
-                states[members[i]]->source->fill_words(
-                    tile.data() + std::size_t{i} * tile_words, take);
+    if (windows != 0) {
+        const std::size_t nwords =
+            static_cast<std::size_t>(cfg.block.n() / 64);
+        hw::sliced_config scfg;
+        scfg.n = cfg.block.n();
+        hw::sliced_block group(scfg);
+        // The 64x64-word tile pipeline: generate up to 64 words per
+        // channel into a cache-resident channel-major tile (32 KiB --
+        // generation writes it and feed_tile reads it straight back out
+        // of L1/L2), then hand the whole tile to the sliced block,
+        // which pays *one* transpose per tile instead of one per word.
+        // Each channel's stream is still drawn in order, so the data --
+        // and the report -- are unchanged.
+        constexpr std::size_t tile_words = hw::sliced_block::lanes;
+        std::vector<std::uint64_t> tile(std::size_t{lanes} * tile_words);
+        for (std::uint64_t w = 0; w < windows; ++w) {
+            if (w != 0) {
+                group.restart();
             }
-            for (std::size_t k = 0; k < take; ++k) {
-                for (unsigned i = 0; i < lanes; ++i) {
-                    chunk[i] = tile[std::size_t{i} * tile_words + k];
-                }
-                group.feed_words(chunk);
+            for (std::size_t base = 0; base < nwords;
+                 base += tile_words) {
+                const std::size_t take = nwords - base < tile_words
+                    ? nwords - base
+                    : tile_words;
+                trng::fill_tile(sources, lanes, tile.data(), tile_words,
+                                take);
+                group.feed_tile(tile.data(), tile_words, take);
+            }
+            for (unsigned i = 0; i < lanes; ++i) {
+                window_report wr;
+                wr.window_index = w;
+                wr.generation_cycles = cfg.block.n();
+                wr.software = sliced_software_pass(
+                    cfg.block, cv, group.s_final(i), group.n_runs(i));
+                states[i]->observe(wr);
             }
         }
         for (unsigned i = 0; i < lanes; ++i) {
-            window_report wr;
-            wr.window_index = w;
-            wr.generation_cycles = cfg.block.n();
-            wr.software = sliced_software_pass(
-                cfg.block, cv, group.s_final(i), group.n_runs(i));
-            states[members[i]]->observe(wr);
+            states[i]->finish(windows);
         }
     }
     for (unsigned i = 0; i < lanes; ++i) {
-        states[members[i]]->finish(windows);
+        reports[i] = std::move(states[i]->report);
     }
 }
-
-} // namespace
 
 fleet_report fleet_monitor::run(const source_factory& make_source,
                                 std::uint64_t windows_per_channel,
@@ -314,10 +447,10 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
 {
     const auto start = std::chrono::steady_clock::now();
 
-    // Channels are built serially, in channel order, so a factory drawing
+    // Sources are built serially, in channel order, so a factory drawing
     // seeds from shared state stays deterministic.
-    std::vector<std::unique_ptr<channel_state>> states;
-    states.reserve(cfg_.channels);
+    std::vector<std::unique_ptr<trng::entropy_source>> sources;
+    sources.reserve(cfg_.channels);
     for (unsigned c = 0; c < cfg_.channels; ++c) {
         auto source = make_source(c);
         if (!source) {
@@ -325,10 +458,9 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
                 "fleet_monitor: source factory returned null for channel "
                 + std::to_string(c));
         }
-        states.push_back(std::make_unique<channel_state>(
-            cfg_, cv_, cv_escalated_, std::move(source)));
-        states.back()->report.channel = c;
+        sources.push_back(std::move(source));
     }
+    std::vector<channel_report> reports(cfg_.channels);
 
     // Work units: on the sliced lane, whole groups of 64 channels
     // advance together through one hw::sliced_block and form one unit;
@@ -337,24 +469,22 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
     // to workers yields the same per-channel reports -- determinism by
     // construction, exactly as with per-channel stealing.
     struct work_unit {
-        std::vector<unsigned> members; // 64 = sliced group, 1 = channel
+        unsigned first = 0;
+        unsigned count = 1; // 64 = sliced group, 1 = scalar channel
     };
     std::vector<work_unit> units;
     unsigned first_single = 0;
     if (cfg_.uses_sliced_lane()) {
         constexpr unsigned lanes = hw::sliced_block::lanes;
         for (unsigned g = 0; g + lanes <= cfg_.channels; g += lanes) {
-            work_unit unit;
-            unit.members.reserve(lanes);
-            for (unsigned i = 0; i < lanes; ++i) {
-                unit.members.push_back(g + i);
-            }
-            units.push_back(std::move(unit));
+            units.push_back(work_unit{g, lanes});
             first_single = g + lanes;
         }
     }
+    unsigned singles = 0;
     for (unsigned c = first_single; c < cfg_.channels; ++c) {
-        units.push_back(work_unit{{c}});
+        units.push_back(work_unit{c, 1});
+        ++singles;
     }
     const auto unit_count = static_cast<unsigned>(units.size());
 
@@ -376,53 +506,45 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
             for (unsigned u = next.fetch_add(1); u < unit_count;
                  u = next.fetch_add(1)) {
                 const work_unit& unit = units[u];
-                if (unit.members.size() == 1) {
-                    const unsigned c = unit.members.front();
+                if (unit.count == 1) {
+                    const unsigned c = unit.first;
                     try {
-                        states[c]->run_windows(cfg_, windows_per_channel);
+                        reports[c] = run_fleet_channel(
+                            cfg_, cv_, cv_escalated_, *sources[c], c,
+                            windows_per_channel);
                     } catch (const std::exception& e) {
-                        // Name the offending channel: "a source threw" is
-                        // undebuggable in an N-channel fleet without it.
-                        // The ring telemetry (snapshotted on the throw
-                        // path too) explains *why* a pipeline stalled or
-                        // dried up, so carry it into the message when
-                        // there is any.
-                        std::string what = "fleet_monitor: channel "
-                            + std::to_string(c) + " (source \""
-                            + states[c]->report.source_name + "\"): "
-                            + e.what();
-                        const stream_stats& ss = states[c]->report.stream;
-                        if (ss.ring_capacity > 0) {
-                            what += " [stream: words="
-                                + std::to_string(ss.words)
-                                + ", producer_stalls="
-                                + std::to_string(ss.producer_stalls)
-                                + ", consumer_stalls="
-                                + std::to_string(ss.consumer_stalls)
-                                + ", max_occupancy="
-                                + std::to_string(ss.max_occupancy) + "/"
-                                + std::to_string(ss.ring_capacity) + "]";
-                        }
-                        throw std::runtime_error(what);
+                        // Name the offending channel: "a source threw"
+                        // is undebuggable in an N-channel fleet without
+                        // it.
+                        throw std::runtime_error(
+                            "fleet_monitor: channel " + std::to_string(c)
+                            + " (source \"" + sources[c]->name()
+                            + "\"): " + e.what());
                     }
                     if (on_channel) {
-                        on_channel(states[c]->report);
+                        on_channel(reports[c]);
                     }
                 } else {
+                    trng::entropy_source* group[hw::sliced_block::lanes];
+                    for (unsigned i = 0; i < unit.count; ++i) {
+                        group[i] = sources[unit.first + i].get();
+                    }
                     try {
-                        run_sliced_group(cfg_, cv_, states,
-                                         unit.members.data(),
-                                         windows_per_channel);
+                        run_fleet_sliced_group(cfg_, cv_, group,
+                                               unit.first,
+                                               windows_per_channel,
+                                               reports.data()
+                                                   + unit.first);
                     } catch (const std::exception& e) {
                         throw std::runtime_error(
                             "fleet_monitor: sliced group (channels "
-                            + std::to_string(unit.members.front()) + ".."
-                            + std::to_string(unit.members.back())
+                            + std::to_string(unit.first) + ".."
+                            + std::to_string(unit.first + unit.count - 1)
                             + "): " + e.what());
                     }
                     if (on_channel) {
-                        for (const unsigned c : unit.members) {
-                            on_channel(states[c]->report);
+                        for (unsigned i = 0; i < unit.count; ++i) {
+                            on_channel(reports[unit.first + i]);
                         }
                     }
                 }
@@ -452,20 +574,29 @@ fleet_report fleet_monitor::run(const source_factory& make_source,
     }
 
     fleet_report fleet;
-    fleet.channels.reserve(cfg_.channels);
-    for (const auto& st : states) {
-        fleet.channels.push_back(st->report);
-        fleet.windows += st->report.windows;
-        fleet.failures += st->report.failures;
-        fleet.bits += st->report.bits;
-        fleet.channels_in_alarm += st->report.alarm ? 1 : 0;
-        fleet.escalations += st->report.escalations;
-        fleet.channels_escalated += st->report.escalations > 0 ? 1 : 0;
-        fleet.confirmed_escalations += st->report.confirmed_escalations;
-        for (const auto& [name, count] : st->report.failures_by_test) {
+    fleet.channels = std::move(reports);
+    for (const channel_report& cr : fleet.channels) {
+        fleet.windows += cr.windows;
+        fleet.failures += cr.failures;
+        fleet.bits += cr.bits;
+        fleet.channels_in_alarm += cr.alarm ? 1 : 0;
+        fleet.escalations += cr.escalations;
+        fleet.channels_escalated += cr.escalations > 0 ? 1 : 0;
+        fleet.confirmed_escalations += cr.confirmed_escalations;
+        for (const auto& [name, count] : cr.failures_by_test) {
             fleet.failures_by_test[name] += count;
         }
     }
+    fleet.execution = to_string(cfg_.execution);
+    fleet.lane = cfg_.lane_description();
+    fleet.worker_threads = workers;
+    // Only the threaded execution spawns producer threads, one per
+    // streamed (word-granular) channel unit actually run.
+    fleet.producer_threads =
+        cfg_.execution == fleet_execution::threaded && cfg_.block.n() >= 64
+            && windows_per_channel > 0
+        ? singles
+        : 0;
     fleet.seconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - start)
                         .count();

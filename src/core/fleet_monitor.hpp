@@ -4,20 +4,27 @@
 // The paper deploys one testing block next to one TRNG.  A platform that
 // serves many TRNG channels (multiple oscillator banks on one FPGA, or many
 // devices reporting into one supervisor) replicates that per-channel
-// pipeline; nothing is shared between channels except the worker pool
-// (each active channel adds its own producer thread), so the aggregated
-// result is a pure function of the per-channel seeds -- independent of
-// thread count and scheduling.  Each channel is one
-// instance of the streaming ingestion core (core/stream.hpp): a
-// word_producer thread generates packed words into a lock-free SPSC ring
-// and a window_pump drains whole windows into the channel's monitor --
-// the software analogue of the FIFO between a free-running TRNG and its
-// testing block, replacing the old inline double-buffer hand-off.
+// pipeline; nothing is shared between channels except the worker pool, so
+// the aggregated result is a pure function of the per-channel seeds --
+// independent of thread count and scheduling.
+//
+// Execution is *fused* by default: the worker thread that owns a channel
+// generates its words into a per-worker staging tile and tests them in
+// the same pass on the same core -- no ring, no producer thread, no SPSC
+// hand-off.  Groups of 64 eligible channels additionally ride the
+// bit-sliced lane through a 64x64-word tile (one transpose per tile,
+// hw::sliced_block::feed_tile).  The streamed model -- a word_producer
+// thread feeding a lock-free SPSC ring drained by a window_pump
+// (core/stream.hpp) -- stays selectable as fleet_execution::threaded:
+// it is the software analogue of the FIFO between a free-running TRNG
+// and its testing block, it still backs the single-channel monitor, and
+// it doubles as the differential oracle the fused lanes must match
+// bit for bit (tests/test_fleet_monitor.cpp pins the equivalence).
 //
 // Telemetry is aggregated two ways: per channel (windows, failures,
 // failures-by-test, an AIS-31-style windowed alarm, ring backpressure
-// stats) and fleet-wide (totals, channels in alarm, wall-clock
-// throughput).
+// stats on the threaded lane) and fleet-wide (totals, channels in alarm,
+// the execution/lane actually used, wall-clock throughput).
 #pragma once
 
 #include "core/critical_values.hpp"
@@ -37,6 +44,23 @@
 
 namespace otf::core {
 
+/// \brief How fleet/population work units execute on their workers.
+enum class fleet_execution {
+    /// Generation and testing fused in one pass on the worker thread
+    /// (per-worker staging tile; no producer threads, no rings).  The
+    /// default: at fleet scale the thread-per-channel producer model
+    /// cannot scale past a handful of channels.
+    fused,
+    /// The streamed model: every active channel runs its own
+    /// word_producer thread feeding an SPSC ring (core/stream.hpp).
+    /// Kept selectable as the differential oracle for the fused lanes
+    /// and for workloads that want the pipeline's overlap.
+    threaded,
+};
+
+/// Stable lowercase name ("fused" / "threaded") for reports and JSON.
+const char* to_string(fleet_execution execution);
+
 /// \brief Configuration of a monitor fleet.  Every channel runs the same
 /// hardware design point; critical values are inverted once and shared.
 struct fleet_config {
@@ -46,12 +70,17 @@ struct fleet_config {
     double alpha = 0.01;
     /// Number of independent monitor channels.
     unsigned channels = 4;
-    /// Worker (pump) threads; 0 picks
-    /// std::thread::hardware_concurrency().  Every *active* channel also
-    /// runs its own word_producer thread, so up to 2x this many threads
-    /// compute at once.  Thread count never changes the report, only the
-    /// wall-clock time.
+    /// Worker threads; 0 picks std::thread::hardware_concurrency().
+    /// Under the default fused execution these are the *only* threads:
+    /// each worker generates and tests its channels in one pass.  Under
+    /// fleet_execution::threaded every active channel additionally runs
+    /// its own word_producer thread, so up to 2x this many threads
+    /// compute at once.  Thread count never changes the report, only
+    /// the wall-clock time.
     unsigned threads = 0;
+    /// Execution model of the worker pool (see fleet_execution); both
+    /// models produce bit-identical reports for the same seeds.
+    fleet_execution execution = fleet_execution::fused;
     /// Ingestion lane for every channel (word fast lane by default).
     /// The per-bit lane is kept selectable as the equivalence oracle:
     /// all lanes must produce identical reports for the same seeds.
@@ -102,11 +131,21 @@ struct fleet_config {
     supervisor_config supervised_config() const;
 
     /// True when this configuration routes channel groups of 64 through
-    /// the bit-sliced lane (hw::sliced_block): lane == sliced, at least
-    /// 64 channels, no supervision, a word-granular window and a test
-    /// set limited to the cheap always-on tests (frequency, runs).
-    /// Leftover and ineligible channels ride the span lane instead.
+    /// the bit-sliced lane (hw::sliced_block): fused execution (the
+    /// tile pipeline is part of the fused model; the threaded rings are
+    /// per channel), lane == sliced, at least 64 channels, no
+    /// supervision, a word-granular window and a test set limited to
+    /// the cheap always-on tests (frequency, runs).  Leftover and
+    /// ineligible channels ride the span lane instead.
     bool uses_sliced_lane() const;
+
+    /// The lane this configuration *actually* runs, fallback included:
+    /// "word", "span", "per_bit", "sliced" (all groups of 64 sliced),
+    /// "sliced+span" (leftover channels on the span lane), or
+    /// "span (sliced fallback)" when lane == sliced but
+    /// uses_sliced_lane() is false -- the silent degradations, made
+    /// visible in the reports.
+    std::string lane_description() const;
 };
 
 /// \brief Telemetry of one channel after a fleet run.  Every field except
@@ -167,6 +206,18 @@ struct fleet_report {
     unsigned channels_escalated = 0;  ///< channels that escalated at all
     unsigned confirmed_escalations = 0; ///< offline battery agreed
     std::map<std::string, std::uint64_t> failures_by_test;
+    /// How the run executed: fleet_execution name ("fused"/"threaded"),
+    /// the lane actually used with fallbacks spelled out
+    /// (fleet_config::lane_description -- a silent sliced-to-span
+    /// degradation is visible here), and the thread budget it really
+    /// spent.  Deterministic given the configuration, but descriptive of
+    /// the execution rather than the data, so outside same_counters:
+    /// the determinism guarantee compares *across* executions and
+    /// thread counts.
+    std::string execution;
+    std::string lane;
+    unsigned worker_threads = 0;   ///< pool size after capping
+    unsigned producer_threads = 0; ///< word_producer threads spawned
     /// Wall-clock duration of the run (the only nondeterministic field).
     double seconds = 0.0;
 
@@ -176,8 +227,9 @@ struct fleet_report {
         return seconds > 0.0 ? static_cast<double>(bits) / seconds : 0.0;
     }
 
-    /// Everything except the wall clock -- what the determinism guarantee
-    /// ("same seeds, any thread count") covers.
+    /// Everything except the wall clock and the execution description --
+    /// what the determinism guarantee ("same seeds, any thread count,
+    /// either execution") covers.
     bool same_counters(const fleet_report& other) const;
 };
 
@@ -243,5 +295,46 @@ private:
     /// (supervised fleets only).
     std::optional<critical_values> cv_escalated_;
 };
+
+/// \brief Run one channel to completion on the calling thread and return
+/// its report.  This is the per-channel work unit fleet_monitor::run
+/// executes on its pool, exported so the population scheduler can run
+/// devices directly on its work-stealing workers without instantiating a
+/// fleet per shard.  Honors cfg.execution (fused inline loop or the
+/// threaded producer/ring/pump pipeline) and cfg.lane; supervision
+/// (cfg.escalated_block) works on both.
+/// \param cfg          a *validated* fleet configuration; channels /
+///        threads are ignored here
+/// \param cv           bounds for cfg.block at cfg.alpha
+/// \param cv_escalated bounds for cfg.escalated_block; required exactly
+///        when that design is set
+/// \param source       the channel's entropy source (borrowed)
+/// \param channel      channel id stamped into the report
+/// \param windows      windows to run (must be >= 1)
+/// \throws std::runtime_error when the source throws or runs dry; on the
+/// threaded lane the message carries the ring backpressure telemetry
+channel_report run_fleet_channel(
+    const fleet_config& cfg, const critical_values& cv,
+    const std::optional<critical_values>& cv_escalated,
+    trng::entropy_source& source, unsigned channel,
+    std::uint64_t windows);
+
+/// \brief Run one 64-channel bit-sliced group to completion on the
+/// calling thread: the 64x64-word tile pipeline (generate one tile,
+/// transpose once, feed all planes -- hw::sliced_block::feed_tile).
+/// cfg.uses_sliced_lane() must hold.  reports[i] receives channel
+/// `first_channel + i`'s outcome, bit-identical to the scalar lanes for
+/// the same seeds.
+/// \param cfg           a *validated* sliced-eligible configuration
+/// \param cv            bounds for cfg.block at cfg.alpha
+/// \param sources       64 non-null sources (borrowed), one per lane
+/// \param first_channel channel id of lane 0 (ids are consecutive)
+/// \param windows       windows to run per channel
+/// \param reports       destination for 64 channel reports
+void run_fleet_sliced_group(const fleet_config& cfg,
+                            const critical_values& cv,
+                            trng::entropy_source* const* sources,
+                            unsigned first_channel, std::uint64_t windows,
+                            channel_report* reports);
 
 } // namespace otf::core

@@ -1,6 +1,7 @@
 #include "core/population.hpp"
 
 #include "base/event_queue.hpp"
+#include "base/work_deque.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -8,6 +9,8 @@
 #include <cstdarg>
 #include <cstdio>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -67,6 +70,10 @@ void population_config::validate() const
         throw std::invalid_argument(
             "population_config: telemetry queue needs capacity >= 1");
     }
+    if (telemetry_flush_records == 0) {
+        throw std::invalid_argument(
+            "population_config: telemetry flush epoch needs >= 1 record");
+    }
     profile.validate();
     // The per-shard fleet config is the authoritative check for the
     // design point, alarm policy and supervision knobs.
@@ -89,6 +96,7 @@ fleet_config population_config::shard_fleet_config() const
     fc.offline_min_failures = offline_min_failures;
     fc.lane = lane;
     fc.ring_words = ring_words;
+    fc.execution = execution;
     return fc;
 }
 
@@ -140,13 +148,42 @@ population_monitor::population_monitor(population_config cfg)
     }
 }
 
+namespace {
+
+/// One schedulable batch: `count` consecutive devices of one shard,
+/// either a 64-wide bit-sliced group or a scalar run.  The deques carry
+/// indices into the unit table (one atomic word each).
+struct device_unit {
+    std::uint32_t first_device = 0;
+    std::uint32_t count = 0;
+    std::uint32_t shard = 0;
+    bool sliced = false;
+};
+
+/// Per-(worker, shard) partial sums, merged in fixed order after the
+/// join -- integer sums, so the steal schedule cannot reach the report.
+struct shard_partial {
+    std::uint64_t windows = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t bits = 0;
+    unsigned in_alarm = 0;
+    unsigned escalations = 0;
+    unsigned channels_escalated = 0;
+    unsigned confirmed_escalations = 0;
+    std::uint64_t producer_stalls = 0;
+    std::uint64_t consumer_stalls = 0;
+};
+
+} // namespace
+
 population_report population_monitor::run()
 {
     const auto start = std::chrono::steady_clock::now();
 
     // Profiles are pure functions of (master_seed, device): sampling them
-    // up front is equivalent to sampling inside any shard, so the shard
-    // layout cannot leak into the population.
+    // up front is equivalent to sampling inside any worker, so neither
+    // the shard layout nor the steal schedule can leak into the
+    // population.
     std::vector<trng::device_profile> profiles;
     profiles.reserve(cfg_.devices);
     for (std::uint32_t d = 0; d < cfg_.devices; ++d) {
@@ -168,6 +205,67 @@ population_report population_monitor::run()
         const unsigned hw = std::thread::hardware_concurrency();
         threads_per_shard = std::max(1u, hw / cfg_.shards);
     }
+    const std::uint64_t pool_budget =
+        std::uint64_t{threads_per_shard} * cfg_.shards;
+
+    // Device-batch granularity: big enough that a unit amortizes its
+    // scheduling, small enough that stealing can still balance (a
+    // handful of units per worker).  Sliced groups are always 64 wide
+    // (the tile width); batch size changes timing only, never data.
+    std::uint32_t batch = cfg_.steal_batch_devices;
+    if (batch == 0) {
+        const std::uint64_t target = pool_budget * 4;
+        const std::uint64_t auto_batch = cfg_.devices / target;
+        batch = static_cast<std::uint32_t>(
+            std::clamp<std::uint64_t>(auto_batch, 1, 64));
+    }
+
+    // The unit table: per shard, carve sliced-eligible 64-device groups
+    // off the front (mirroring fleet_monitor's grouping for a shard of
+    // that size), then batch the rest for the scalar lane.
+    const fleet_config fcfg = cfg_.shard_fleet_config();
+    std::vector<device_unit> units;
+    std::uint64_t sliced_units = 0;
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        const std::uint32_t count = first[s + 1] - first[s];
+        fleet_config probe = fcfg;
+        probe.channels = count;
+        std::uint32_t d = first[s];
+        if (probe.uses_sliced_lane()) {
+            constexpr std::uint32_t lanes = 64;
+            for (; d + lanes <= first[s + 1]; d += lanes) {
+                units.push_back(device_unit{d, lanes, s, true});
+                ++sliced_units;
+            }
+        }
+        while (d < first[s + 1]) {
+            const std::uint32_t take =
+                std::min(batch, first[s + 1] - d);
+            units.push_back(device_unit{d, take, s, false});
+            d += take;
+        }
+    }
+    const auto unit_count = static_cast<std::uint32_t>(units.size());
+
+    unsigned workers = static_cast<unsigned>(
+        std::min<std::uint64_t>(pool_budget, unit_count));
+    if (workers == 0) {
+        workers = 1;
+    }
+
+    // One Chase-Lev deque per worker, seeded round-robin with unit
+    // indices before any worker starts; no pushes afterwards, so an
+    // empty sweep across every deque is a termination proof.
+    std::vector<std::unique_ptr<base::work_deque<std::uint32_t>>> deques;
+    deques.reserve(workers);
+    const std::size_t per_worker = (unit_count + workers - 1) / workers;
+    for (unsigned w = 0; w < workers; ++w) {
+        deques.push_back(std::make_unique<base::work_deque<std::uint32_t>>(
+            per_worker));
+    }
+    for (std::uint32_t u = 0; u < unit_count; ++u) {
+        deques[u % workers]->push(u);
+    }
 
     base::event_queue<device_record> queue(cfg_.queue_records);
 
@@ -180,11 +278,11 @@ population_report population_monitor::run()
     }
     std::vector<std::uint64_t> latencies;
 
-    // The single aggregator drains records as channels finish, while the
-    // shards are still running.  All accumulation is order-independent
-    // (integer sums; the latency sample is sorted before the percentile
-    // cut), so arrival order -- the one thing scheduling controls --
-    // cannot reach the report.
+    // The single aggregator drains records as flush epochs land, while
+    // the workers are still running.  All accumulation is
+    // order-independent (integer sums; the latency sample is sorted
+    // before the percentile cut), so arrival order -- the one thing
+    // scheduling controls -- cannot reach the report.
     std::thread aggregator([&] {
         device_record rec;
         for (;;) {
@@ -234,104 +332,220 @@ population_report population_monitor::run()
         }
     });
 
-    // One thread per shard; each owns a full fleet_monitor (worker pool,
-    // channel pipelines) over its device range and re-uses the
-    // population-wide critical values.
-    std::vector<fleet_report> shard_results(cfg_.shards);
-    std::vector<std::exception_ptr> shard_errors(cfg_.shards);
-    std::vector<std::thread> shard_threads;
-    shard_threads.reserve(cfg_.shards);
-    for (unsigned s = 0; s < cfg_.shards; ++s) {
-        shard_threads.emplace_back([&, s] {
-            try {
-                fleet_config fcfg = cfg_.shard_fleet_config();
-                fcfg.channels = first[s + 1] - first[s];
-                fcfg.threads = threads_per_shard;
-                fleet_monitor fleet(std::move(fcfg), cv_, cv_escalated_);
-                const auto hook = [&](const channel_report& cr) {
-                    const trng::device_profile& p =
-                        profiles[first[s] + cr.channel];
-                    device_record rec;
-                    rec.device = p.device;
-                    rec.shard = s;
-                    rec.kind = p.kind;
-                    rec.attacked = p.attacked();
-                    rec.churned = p.churns;
-                    rec.alarm = cr.alarm;
-                    rec.onset_window = p.onset_window;
-                    rec.first_alarm_window = cr.first_alarm_window;
-                    rec.windows = cr.windows;
-                    rec.failures = cr.failures;
-                    rec.bits = cr.bits;
-                    rec.escalations = cr.escalations;
-                    rec.confirmed_escalations = cr.confirmed_escalations;
-                    rec.de_escalations = cr.de_escalations;
-                    rec.windows_escalated = cr.windows_escalated;
-                    rec.producer_stalls = cr.stream.producer_stalls;
-                    rec.consumer_stalls = cr.stream.consumer_stalls;
-                    while (!queue.try_push(rec)) {
-                        // Bounded queue full: the aggregator is behind;
-                        // yield until a slot frees (backpressure, never
-                        // loss -- capacity changes timing, not data).
-                        std::this_thread::yield();
-                    }
-                };
-                shard_results[s] = fleet.run(
-                    [&](unsigned c) {
-                        return trng::make_device_source(
-                            profiles[first[s] + c], cfg_.block.n());
-                    },
-                    cfg_.windows_per_device, hook);
-            } catch (...) {
-                shard_errors[s] = std::current_exception();
+    // Worker-local accumulators (partial shard sums, steal/flush
+    // counters, the failures-by-test merge input), folded together in
+    // fixed order after the join.
+    std::vector<std::vector<shard_partial>> partials(
+        workers, std::vector<shard_partial>(cfg_.shards));
+    std::vector<std::map<std::string, std::uint64_t>> fails_by_test(
+        workers);
+    std::vector<std::uint64_t> steal_counts(workers, 0);
+    std::vector<std::uint64_t> flush_counts(workers, 0);
+
+    std::atomic<bool> stop{false};
+    std::exception_ptr failure;
+    std::mutex failure_mutex;
+
+    const auto worker_main = [&](unsigned w) {
+        std::vector<device_record> pending;
+        pending.reserve(cfg_.telemetry_flush_records);
+        const auto flush = [&] {
+            if (pending.empty()) {
+                return;
             }
-        });
-    }
-    for (std::thread& t : shard_threads) {
-        t.join();
+            for (const device_record& rec : pending) {
+                while (!queue.try_push(rec)) {
+                    // Bounded queue full: the aggregator is behind;
+                    // yield until a slot frees (backpressure, never
+                    // loss -- capacity changes timing, not data).
+                    std::this_thread::yield();
+                }
+            }
+            pending.clear();
+            ++flush_counts[w];
+        };
+        const auto emit = [&](const device_unit& u,
+                              const channel_report& cr,
+                              const trng::device_profile& p) {
+            shard_partial& sp = partials[w][u.shard];
+            sp.windows += cr.windows;
+            sp.failures += cr.failures;
+            sp.bits += cr.bits;
+            sp.in_alarm += cr.alarm ? 1 : 0;
+            sp.escalations += cr.escalations;
+            sp.channels_escalated += cr.escalations > 0 ? 1 : 0;
+            sp.confirmed_escalations += cr.confirmed_escalations;
+            sp.producer_stalls += cr.stream.producer_stalls;
+            sp.consumer_stalls += cr.stream.consumer_stalls;
+            for (const auto& [name, count] : cr.failures_by_test) {
+                fails_by_test[w][name] += count;
+            }
+            device_record rec;
+            rec.device = p.device;
+            rec.shard = u.shard;
+            rec.kind = p.kind;
+            rec.attacked = p.attacked();
+            rec.churned = p.churns;
+            rec.alarm = cr.alarm;
+            rec.onset_window = p.onset_window;
+            rec.first_alarm_window = cr.first_alarm_window;
+            rec.windows = cr.windows;
+            rec.failures = cr.failures;
+            rec.bits = cr.bits;
+            rec.escalations = cr.escalations;
+            rec.confirmed_escalations = cr.confirmed_escalations;
+            rec.de_escalations = cr.de_escalations;
+            rec.windows_escalated = cr.windows_escalated;
+            rec.producer_stalls = cr.stream.producer_stalls;
+            rec.consumer_stalls = cr.stream.consumer_stalls;
+            pending.push_back(rec);
+            if (pending.size() >= cfg_.telemetry_flush_records) {
+                flush();
+            }
+        };
+        const auto run_unit = [&](const device_unit& u) {
+            try {
+                if (u.sliced) {
+                    constexpr unsigned lanes = 64;
+                    std::unique_ptr<trng::entropy_source> srcs[lanes];
+                    trng::entropy_source* raw[lanes];
+                    for (unsigned i = 0; i < lanes; ++i) {
+                        srcs[i] = trng::make_device_source(
+                            profiles[u.first_device + i], cfg_.block.n());
+                        raw[i] = srcs[i].get();
+                    }
+                    std::vector<channel_report> crs(lanes);
+                    try {
+                        run_fleet_sliced_group(
+                            fcfg, cv_, raw,
+                            u.first_device - first[u.shard],
+                            cfg_.windows_per_device, crs.data());
+                    } catch (const std::exception& e) {
+                        throw std::runtime_error(
+                            "devices "
+                            + std::to_string(u.first_device) + ".."
+                            + std::to_string(u.first_device + lanes - 1)
+                            + ": " + e.what());
+                    }
+                    for (unsigned i = 0; i < lanes; ++i) {
+                        emit(u, crs[i], profiles[u.first_device + i]);
+                    }
+                } else {
+                    for (std::uint32_t d = u.first_device;
+                         d < u.first_device + u.count; ++d) {
+                        auto src = trng::make_device_source(
+                            profiles[d], cfg_.block.n());
+                        channel_report cr;
+                        try {
+                            cr = run_fleet_channel(
+                                fcfg, cv_, cv_escalated_, *src,
+                                d - first[u.shard],
+                                cfg_.windows_per_device);
+                        } catch (const std::exception& e) {
+                            throw std::runtime_error(
+                                "device " + std::to_string(d)
+                                + " (source \"" + src->name() + "\"): "
+                                + e.what());
+                        }
+                        emit(u, cr, profiles[d]);
+                    }
+                }
+            } catch (const std::exception& e) {
+                throw std::runtime_error(
+                    "population_monitor: shard "
+                    + std::to_string(u.shard) + ": " + e.what());
+            }
+        };
+        try {
+            std::uint32_t idx = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                // Own work first (LIFO, cache-hot) ...
+                if (deques[w]->pop(idx)) {
+                    run_unit(units[idx]);
+                    continue;
+                }
+                // ... then steal the oldest unit from a busy peer.  A
+                // failed steal may be a lost race rather than an empty
+                // deque, so the sweep only terminates once every deque
+                // looks empty.
+                bool busy = false;
+                for (unsigned v = 1; v < workers && !busy; ++v) {
+                    base::work_deque<std::uint32_t>& victim =
+                        *deques[(w + v) % workers];
+                    if (victim.steal(idx)) {
+                        ++steal_counts[w];
+                        run_unit(units[idx]);
+                        busy = true;
+                    } else if (!victim.empty()) {
+                        busy = true; // lost a race; sweep again
+                    }
+                }
+                if (!busy) {
+                    break; // no pushes after seeding: done for good
+                }
+            }
+        } catch (...) {
+            {
+                const std::lock_guard<std::mutex> lock(failure_mutex);
+                if (!failure) {
+                    failure = std::current_exception();
+                }
+            }
+            stop.store(true); // drain the pool, stop the population
+        }
+        flush();
+    };
+
+    if (workers == 1) {
+        worker_main(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.emplace_back(worker_main, w);
+        }
+        for (std::thread& t : pool) {
+            t.join();
+        }
     }
     // All producers have quiesced; let the aggregator drain and finish.
     queue.close();
     aggregator.join();
 
-    for (unsigned s = 0; s < cfg_.shards; ++s) {
-        if (shard_errors[s]) {
-            try {
-                std::rethrow_exception(shard_errors[s]);
-            } catch (const std::exception& e) {
-                throw std::runtime_error("population_monitor: shard "
-                                         + std::to_string(s) + ": "
-                                         + e.what());
-            }
-        }
+    if (failure) {
+        std::rethrow_exception(failure);
     }
 
-    // Per-shard summaries and the failures-by-test merge come from the
-    // shard fleet_reports, folded in shard order (device_records carry no
-    // strings -- the queue payload stays trivially copyable).
+    // Per-shard summaries and the failures-by-test merge fold the
+    // worker-local partials in fixed (shard, worker) order
+    // (device_records carry no strings -- the queue payload stays
+    // trivially copyable).
     report.shard_reports.reserve(cfg_.shards);
     for (unsigned s = 0; s < cfg_.shards; ++s) {
-        const fleet_report& fr = shard_results[s];
         population_shard_report sr;
         sr.shard = s;
         sr.first_device = first[s];
         sr.device_count = first[s + 1] - first[s];
-        sr.windows = fr.windows;
-        sr.failures = fr.failures;
-        sr.bits = fr.bits;
-        sr.channels_in_alarm = fr.channels_in_alarm;
-        sr.escalations = fr.escalations;
-        sr.channels_escalated = fr.channels_escalated;
-        sr.confirmed_escalations = fr.confirmed_escalations;
-        sr.seconds = fr.seconds;
-        for (const channel_report& cr : fr.channels) {
-            sr.producer_stalls += cr.stream.producer_stalls;
-            sr.consumer_stalls += cr.stream.consumer_stalls;
+        for (unsigned w = 0; w < workers; ++w) {
+            const shard_partial& sp = partials[w][s];
+            sr.windows += sp.windows;
+            sr.failures += sp.failures;
+            sr.bits += sp.bits;
+            sr.channels_in_alarm += sp.in_alarm;
+            sr.escalations += sp.escalations;
+            sr.channels_escalated += sp.channels_escalated;
+            sr.confirmed_escalations += sp.confirmed_escalations;
+            sr.producer_stalls += sp.producer_stalls;
+            sr.consumer_stalls += sp.consumer_stalls;
         }
         report.shard_reports.push_back(std::move(sr));
-        for (const auto& [name, count] : fr.failures_by_test) {
+    }
+    for (unsigned w = 0; w < workers; ++w) {
+        for (const auto& [name, count] : fails_by_test[w]) {
             report.failures_by_test[name] += count;
         }
+        report.steals += steal_counts[w];
+        report.telemetry_flushes += flush_counts[w];
     }
 
     std::sort(latencies.begin(), latencies.end());
@@ -363,6 +577,17 @@ population_report population_monitor::run()
             report.false_alarm_rate_per_window * windows_per_day;
     }
 
+    report.execution = to_string(cfg_.execution);
+    if (cfg_.lane != ingest_lane::sliced) {
+        report.lane = fcfg.lane_description();
+    } else if (sliced_units == 0) {
+        report.lane = "span (sliced fallback)";
+    } else {
+        report.lane = sliced_units == unit_count ? "sliced"
+                                                 : "sliced+span";
+    }
+    report.worker_threads = workers;
+    report.steal_batch_devices = batch;
     report.queue_pushed = queue.total_pushed();
     report.queue_push_stalls = queue.push_stalls();
     report.queue_pop_stalls = queue.pop_stalls();
@@ -383,6 +608,13 @@ std::string format_population(const population_report& report)
         static_cast<unsigned long long>(report.failures),
         static_cast<double>(report.bits) / 1.0e6, report.seconds,
         report.bits_per_second() / 1.0e6);
+    out += format_line(
+        "execution: %s (%s lane), %u workers, steal batch %u devices, "
+        "%llu steals, %llu telemetry flushes\n",
+        report.execution.c_str(), report.lane.c_str(),
+        report.worker_threads, report.steal_batch_devices,
+        static_cast<unsigned long long>(report.steals),
+        static_cast<unsigned long long>(report.telemetry_flushes));
     out += format_line("%-18s %9s %9s %9s\n", "kind", "devices", "alarmed",
                        "detected");
     for (std::size_t k = 0; k < report.by_kind.size(); ++k) {
@@ -429,11 +661,11 @@ std::string format_population(const population_report& report)
     for (const population_shard_report& sr : report.shard_reports) {
         out += format_line(
             "shard %-3u devices [%u, %u): %llu windows, %llu failing, "
-            "%u in alarm, %u escalations, %.2fs\n",
+            "%u in alarm, %u escalations\n",
             sr.shard, sr.first_device, sr.first_device + sr.device_count,
             static_cast<unsigned long long>(sr.windows),
             static_cast<unsigned long long>(sr.failures),
-            sr.channels_in_alarm, sr.escalations, sr.seconds);
+            sr.channels_in_alarm, sr.escalations);
     }
     out += format_line(
         "queue: %llu records through %zu slots, high-water %zu, "

@@ -8,28 +8,37 @@
 // different operating point.  This layer answers that at simulation scale:
 //
 //   population_monitor
-//     ├── shard 0: fleet_monitor (own worker pool, devices [0, k))
-//     ├── shard 1: fleet_monitor (own worker pool, devices [k, 2k))
-//     │     ...                                          │
-//     │          finished-channel telemetry records      │
-//     └──────────────► base::event_queue ◄───────────────┘
+//     ├── worker 0: work_deque ◄─┐ steals  (device-batch units, all
+//     ├── worker 1: work_deque ◄─┤─────►    shards; fused generation
+//     │     ...                 ◄─┘         + testing on the worker)
+//     │     epoch-batched device_record flushes
+//     └──────────────► base::event_queue
 //                            │ (lock-free MPSC)
 //                       aggregator thread
 //                            │
 //                     population_report
 //
-// Each shard is an independent fleet_monitor over a contiguous device
-// range, with critical values inverted once for the whole population and
-// shared.  Devices are heterogeneous: trng::sample_device draws each
-// unit's bias point, attack model, severity and onset from the master
-// seed (a pure function of (master_seed, device id)), so the population is
-// identical under any shard layout or thread count.  Telemetry streams to
-// the single aggregator through the lock-free event queue as channels
-// finish -- the aggregate builds up while shards are still running,
-// instead of join-then-merge -- and every aggregate is accumulated
-// order-independently (integer sums; latencies sorted before the
-// percentile cut), so `same_counters` holds across {1, 2, N} threads and
-// any shard count, mirroring the fleet-level guarantee.
+// Devices still belong to contiguous per-shard ranges (shards are the
+// reporting granularity), but the *schedule* is a global work-stealing
+// pool: every worker owns a Chase-Lev deque (base/work_deque.hpp)
+// seeded with device batches, drains it LIFO, and steals FIFO from busy
+// peers once dry -- so a shard full of escalating devices no longer
+// strands the workers of the quiet shards.  Each worker runs its
+// devices through the fused fleet lanes (core/fleet_monitor.hpp:
+// run_fleet_channel / run_fleet_sliced_group), with critical values
+// inverted once for the whole population and shared.  Devices are
+// heterogeneous: trng::sample_device draws each unit's bias point,
+// attack model, severity and onset from the master seed (a pure
+// function of (master_seed, device id)), so the population is identical
+// under any shard layout, thread count, batch size or steal schedule.
+// Telemetry streams to the single aggregator through the lock-free
+// event queue in worker-local epochs (telemetry_flush_records per
+// flush, so per-device pushes stop contending) -- the aggregate builds
+// up while workers are still running, instead of join-then-merge -- and
+// every aggregate is accumulated order-independently (integer sums;
+// latencies sorted before the percentile cut), so `same_counters` holds
+// across {1, 2, N} threads and any shard count, mirroring the
+// fleet-level guarantee.
 #pragma once
 
 #include "core/critical_values.hpp"
@@ -118,15 +127,31 @@ struct population_config {
     unsigned offline_min_failures = 2;
     ingest_lane lane = ingest_lane::word;
     std::size_t ring_words = 0;
+    /// Execution model of the worker pool (fused by default; threaded
+    /// keeps the per-channel producer/ring pipeline selectable as the
+    /// differential oracle).  Never changes the report.
+    fleet_execution execution = fleet_execution::fused;
 
     /// Population shape.
     std::uint32_t devices = 1024;
-    /// Shards (independent fleets over contiguous device ranges).
+    /// Shards (contiguous device ranges -- the reporting granularity;
+    /// scheduling is population-wide work stealing).
     unsigned shards = 2;
     /// Worker threads per shard; 0 = hardware_concurrency / shards
-    /// (at least 1).  Thread count never changes the report.
+    /// (at least 1).  The pool is global (shards x this many workers,
+    /// capped at the number of work units); the per-shard phrasing is
+    /// kept so existing layouts keep their thread budget.  Thread count
+    /// never changes the report.
     unsigned threads_per_shard = 0;
     std::uint64_t windows_per_device = 16;
+    /// Work-stealing batch granularity in devices per unit (0 =
+    /// automatic).  Sliced-eligible groups always form 64-device units.
+    /// Batch size changes timing only, never the report.
+    std::uint32_t steal_batch_devices = 0;
+    /// Device records a worker buffers locally before one epoch flush
+    /// into the aggregator queue (>= 1).  Epoch size changes timing
+    /// only, never the report.
+    std::size_t telemetry_flush_records = 32;
 
     /// Per-device variation: the master seed and the distributions every
     /// device's parameters are drawn from.
@@ -146,7 +171,8 @@ struct population_config {
 
     /// \throws std::invalid_argument on an empty population, more shards
     /// than devices, a sub-word design (device variation needs word-
-    /// aligned windows), or invalid profile/fleet knobs
+    /// aligned windows), an empty flush epoch, or invalid profile/fleet
+    /// knobs
     void validate() const;
 
     /// The per-shard fleet configuration this implies (channel count
@@ -168,6 +194,10 @@ struct population_shard_report {
     unsigned channels_escalated = 0;
     unsigned confirmed_escalations = 0;
     /// Wall clock and backpressure (nondeterministic; excluded from ==).
+    /// Under the work-stealing scheduler a shard has no wall clock of
+    /// its own (its devices run interleaved across the whole pool), so
+    /// seconds stays 0; the stall counters are nonzero on the threaded
+    /// execution only.
     double seconds = 0.0;
     std::uint64_t producer_stalls = 0;
     std::uint64_t consumer_stalls = 0;
@@ -255,6 +285,22 @@ struct population_report {
     /// Every device's record, in device order (keep_device_records).
     std::vector<device_record> device_records;
 
+    /// How the run executed (deterministic given the configuration but
+    /// descriptive of the schedule, not the data -- outside
+    /// same_counters, which compares across executions and layouts):
+    /// fleet_execution name, the lane actually used (fallbacks spelled
+    /// out), the global worker-pool size and the resolved device-batch
+    /// granularity.
+    std::string execution;
+    std::string lane;
+    unsigned worker_threads = 0;
+    std::uint32_t steal_batch_devices = 0;
+    /// Work-stealing / flush telemetry (scheduling-dependent): units a
+    /// worker took from another worker's deque, and epoch flushes into
+    /// the aggregator queue.
+    std::uint64_t steals = 0;
+    std::uint64_t telemetry_flushes = 0;
+
     /// Wall clock and aggregation-queue telemetry (nondeterministic).
     double seconds = 0.0;
     std::uint64_t queue_pushed = 0;
@@ -282,8 +328,8 @@ struct population_report {
 /// rows and queue telemetry.
 std::string format_population(const population_report& report);
 
-/// \brief Runs a heterogeneous device population as sharded fleets with
-/// streaming aggregation.
+/// \brief Runs a heterogeneous device population over a work-stealing
+/// worker pool with streaming aggregation.
 ///
 /// Usage:
 ///   core::population_monitor pop(cfg);
@@ -291,15 +337,16 @@ std::string format_population(const population_report& report);
 class population_monitor {
 public:
     /// \brief Validate the configuration and invert critical values once
-    /// for every shard.
+    /// for the whole population.
     explicit population_monitor(population_config cfg);
 
     const population_config& config() const { return cfg_; }
 
-    /// \brief Sample the population, run every shard, aggregate.
+    /// \brief Sample the population, run every device, aggregate.
     /// Blocks until the population is done.
-    /// \throws std::runtime_error naming the shard of the first failing
-    /// channel (all shards drain and join before the rethrow)
+    /// \throws std::runtime_error naming the shard and device of the
+    /// first failing channel (the pool drains and joins before the
+    /// rethrow)
     population_report run();
 
 private:

@@ -247,6 +247,87 @@ void sliced_block::feed_words(const std::uint64_t channel_words[lanes])
     }
 }
 
+void sliced_block::feed_tile(const std::uint64_t* tile, std::size_t stride,
+                             std::size_t words_per_channel)
+{
+    if (words_per_channel > lanes) {
+        throw std::invalid_argument(
+            "sliced_block: a tile holds at most 64 words per channel "
+            "(got " + std::to_string(words_per_channel) + ")");
+    }
+    if (words_per_channel == 0) {
+        return;
+    }
+    const std::uint64_t tile_bits =
+        std::uint64_t{64} * words_per_channel;
+    if (window_bits_ + tile_bits > cfg_.n) {
+        throw std::logic_error(
+            "sliced_block: tile would overrun the window");
+    }
+    if (!cfg_.rct && !cfg_.apt) {
+        // The feed_words collapse, amortized across the whole tile: sum
+        // each channel's ones and transitions over all its words first
+        // (the per-word popcounts plus the seams between consecutive
+        // words), then transpose the packed sums *once* and ripple them
+        // into the vertical counters with one sliced add per statistic.
+        // Up to 64 words per channel the sums stay within 13 bits
+        // (ones <= 4096, transitions <= 4095), so the two addends pack
+        // into disjoint bit ranges of one 64-bit value per channel.
+        constexpr std::uint64_t body = ~std::uint64_t{0} >> 1;
+        std::uint64_t packed[lanes];
+        std::uint64_t first_plane = 0;
+        std::uint64_t last_plane = 0;
+        for (unsigned i = 0; i < lanes; ++i) {
+            const std::uint64_t* words = tile + std::size_t{i} * stride;
+            std::uint64_t prev = words[0];
+            auto ones = static_cast<std::uint64_t>(std::popcount(prev));
+            auto flips = static_cast<std::uint64_t>(
+                std::popcount((prev ^ (prev >> 1)) & body));
+            for (std::size_t k = 1; k < words_per_channel; ++k) {
+                const std::uint64_t x = words[k];
+                ones += static_cast<std::uint64_t>(std::popcount(x));
+                flips += static_cast<std::uint64_t>(
+                    std::popcount((x ^ (x >> 1)) & body));
+                // Seam between word k-1's closing bit and word k's
+                // opening bit -- the transition feed_words charges to
+                // its per-chunk seam plane.
+                flips += ((prev >> 63) ^ x) & std::uint64_t{1};
+                prev = x;
+            }
+            packed[i] = ones | (flips << 16);
+            first_plane |= (words[0] & std::uint64_t{1}) << i;
+            last_plane |= (prev >> 63) << i;
+        }
+        bits::transpose_64x64(packed);
+        add_sliced_values(ones_count_.data(), stat_width_, packed, 13);
+        add_sliced_values(runs_count_.data(), stat_width_, packed + 16,
+                          13);
+        // One seam plane for the whole tile: the tile's first bit opens
+        // run one on every channel the first time, afterwards only
+        // where it differs from the previous tile's closing bit.
+        const std::uint64_t seam =
+            runs_primed_ ? runs_prev_ ^ first_plane : ~std::uint64_t{0};
+        add_plane(runs_count_.data(), stat_width_, seam);
+        runs_prev_ = last_plane;
+        runs_primed_ = true;
+        window_bits_ += tile_bits;
+        total_bits_ += tile_bits;
+        return;
+    }
+    // Health tests watch every step: unroll the tile chunk by chunk
+    // (one transpose + 64 plane steps per word column).
+    std::uint64_t planes[lanes];
+    for (std::size_t k = 0; k < words_per_channel; ++k) {
+        for (unsigned i = 0; i < lanes; ++i) {
+            planes[i] = tile[std::size_t{i} * stride + k];
+        }
+        bits::transpose_64x64(planes);
+        for (unsigned t = 0; t < lanes; ++t) {
+            step(planes[t]);
+        }
+    }
+}
+
 void sliced_block::restart()
 {
     window_bits_ = 0;

@@ -75,6 +75,22 @@ public:
     /// \throws std::logic_error when 64 steps would overrun the window
     void feed_words(const std::uint64_t channel_words[lanes]);
 
+    /// \brief Feed a channel-major tile: `tile[i * stride + k]` holds
+    /// channel i's k-th word, for `words_per_channel` words per channel
+    /// (at most 64).  The fused fleet lane stages generation through a
+    /// cache-resident 64x64-word tile and hands it over in one call.
+    /// Without health tests the whole tile collapses into one
+    /// transpose and one sliced multi-bit add per statistic -- the
+    /// per-word popcounts are summed channel-side first, so the
+    /// transpose cost is amortized over up to 64 words per channel
+    /// instead of paid per word as in feed_words().  Bit-exact with
+    /// words_per_channel feed_words() calls (tests/test_kernel_oracle
+    /// .cpp pins it).
+    /// \throws std::invalid_argument when words_per_channel exceeds 64
+    /// \throws std::logic_error when the tile would overrun the window
+    void feed_tile(const std::uint64_t* tile, std::size_t stride,
+                   std::size_t words_per_channel);
+
     /// \brief Window boundary: clear the per-window statistics
     /// (frequency / runs).  The continuous health tests keep their state
     /// -- like the scalar engines, they live outside the window cycle.

@@ -279,13 +279,16 @@ TEST(fleet, configuration_is_validated)
 
 TEST(fleet, channel_stream_telemetry_is_populated)
 {
-    // Each channel is one producer → ring → pump pipeline; its report
-    // must carry the ring telemetry (words through the ring, capacity)
-    // even though those fields are excluded from the determinism
-    // comparison.
+    // Under threaded execution each channel is one producer → ring →
+    // pump pipeline; its report must carry the ring telemetry (words
+    // through the ring, capacity) even though those fields are excluded
+    // from the determinism comparison.  (The fused default never builds
+    // a ring, so this pins the threaded lane explicitly.)
     const std::uint64_t windows = 4;
-    const auto report = core::fleet_monitor(base_config(3, 2))
-                            .run(ideal_factory(), windows);
+    auto cfg = base_config(3, 2);
+    cfg.execution = core::fleet_execution::threaded;
+    const auto report =
+        core::fleet_monitor(cfg).run(ideal_factory(), windows);
     const std::uint64_t nwords = small_design().n() / 64;
     for (const auto& ch : report.channels) {
         EXPECT_EQ(ch.stream.words, windows * nwords)
@@ -301,11 +304,12 @@ TEST(fleet, channel_stream_telemetry_is_populated)
 TEST(fleet, ring_depth_never_changes_the_report)
 {
     const std::uint64_t windows = 5;
+    auto base_cfg = base_config(3, 2);
+    base_cfg.execution = core::fleet_execution::threaded;
     const auto baseline =
-        core::fleet_monitor(base_config(3, 2)).run(ideal_factory(),
-                                                   windows);
+        core::fleet_monitor(base_cfg).run(ideal_factory(), windows);
     for (const std::size_t ring_words : {64u, 1024u}) {
-        auto cfg = base_config(3, 2);
+        auto cfg = base_cfg;
         cfg.ring_words = ring_words;
         const auto report =
             core::fleet_monitor(cfg).run(ideal_factory(), windows);
@@ -390,7 +394,9 @@ TEST(fleet, failed_channel_error_carries_its_ring_telemetry)
         }
         return std::make_unique<trng::ideal_source>(fixture_seed(c));
     };
-    core::fleet_monitor fleet(base_config(2, 1));
+    auto cfg = base_config(2, 1);
+    cfg.execution = core::fleet_execution::threaded;
+    core::fleet_monitor fleet(cfg);
     try {
         (void)fleet.run(factory, 4);
         FAIL() << "expected the starvation to propagate";
@@ -425,6 +431,138 @@ TEST(fleet, null_source_factory_result_names_the_channel)
                   std::string::npos)
             << e.what();
     }
+}
+
+// --------------------------------------- fused vs threaded execution --
+
+TEST(fleet, fused_and_threaded_executions_are_bit_identical)
+{
+    // The fused worker lanes (generate + test inline on one core, no
+    // ring, no producer thread) must be indistinguishable from the
+    // threaded producer/ring pipeline in every deterministic report
+    // field -- for every ingest lane, at every thread count, against
+    // the per-bit oracle.
+    const std::uint64_t windows = 4;
+    const auto oracle =
+        core::fleet_monitor(base_config(4, 1, core::ingest_lane::per_bit))
+            .run(ideal_factory(), windows);
+    for (const core::ingest_lane lane :
+         {core::ingest_lane::word, core::ingest_lane::span}) {
+        for (const unsigned threads : {1u, 2u, 4u}) {
+            for (const core::fleet_execution execution :
+                 {core::fleet_execution::fused,
+                  core::fleet_execution::threaded}) {
+                auto cfg = base_config(4, threads, lane);
+                cfg.execution = execution;
+                const auto report =
+                    core::fleet_monitor(cfg).run(ideal_factory(),
+                                                 windows);
+                const std::string ctx =
+                    std::string(core::to_string(execution)) + " lane "
+                    + cfg.lane_description() + " threads "
+                    + std::to_string(threads);
+                EXPECT_TRUE(report.same_counters(oracle)) << ctx;
+                ASSERT_EQ(report.channels.size(), oracle.channels.size());
+                for (std::size_t c = 0; c < report.channels.size(); ++c) {
+                    EXPECT_EQ(report.channels[c], oracle.channels[c])
+                        << ctx << " channel " << c;
+                }
+            }
+        }
+    }
+}
+
+TEST(fleet, fused_tile_lane_matches_threaded_and_the_per_bit_oracle)
+{
+    // 66 channels: one full 64-wide group riding the 64x64 tile
+    // pipeline (fill_tile -> one transpose per tile -> feed_tile) plus
+    // two span leftovers.  The same config under threaded execution
+    // degrades to span-over-rings; the per-bit lane is the oracle.  All
+    // three must produce byte-identical channel reports at every thread
+    // count.
+    const unsigned channels = 66;
+    const std::uint64_t windows = 4;
+    const auto design = core::custom_design(
+        10, hw::test_set{}
+                .with(hw::test_id::frequency)
+                .with(hw::test_id::runs));
+    const auto make_cfg = [&](core::ingest_lane lane, unsigned threads) {
+        core::fleet_config cfg;
+        cfg.block = design;
+        cfg.alpha = 0.01;
+        cfg.channels = channels;
+        cfg.threads = threads;
+        cfg.lane = lane;
+        return cfg;
+    };
+    const auto oracle =
+        core::fleet_monitor(make_cfg(core::ingest_lane::per_bit, 2))
+            .run(ideal_factory(), windows);
+    // The sliced lane reports sw_cycles on its own scale (one sliced
+    // pass covers 64 channels), so the byte-identity guarantee covers
+    // every field except the two cycle counters.
+    const auto strip_cycles = [](core::channel_report ch) {
+        ch.sw_cycles = 0;
+        ch.worst_sw_cycles = 0;
+        return ch;
+    };
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        auto fused = make_cfg(core::ingest_lane::sliced, threads);
+        ASSERT_TRUE(fused.uses_sliced_lane());
+        EXPECT_EQ(fused.lane_description(), "sliced+span");
+        auto threaded = fused;
+        threaded.execution = core::fleet_execution::threaded;
+        EXPECT_FALSE(threaded.uses_sliced_lane())
+            << "the tile lane is part of the fused execution model";
+        for (const core::fleet_config& cfg : {fused, threaded}) {
+            const auto report =
+                core::fleet_monitor(cfg).run(ideal_factory(), windows);
+            const std::string ctx = report.execution + "/" + report.lane
+                + " threads " + std::to_string(threads);
+            EXPECT_EQ(report.windows, oracle.windows) << ctx;
+            EXPECT_EQ(report.failures, oracle.failures) << ctx;
+            EXPECT_EQ(report.bits, oracle.bits) << ctx;
+            EXPECT_EQ(report.channels_in_alarm, oracle.channels_in_alarm)
+                << ctx;
+            EXPECT_EQ(report.failures_by_test, oracle.failures_by_test)
+                << ctx;
+            ASSERT_EQ(report.channels.size(), oracle.channels.size());
+            for (std::size_t c = 0; c < report.channels.size(); ++c) {
+                EXPECT_EQ(strip_cycles(report.channels[c]),
+                          strip_cycles(oracle.channels[c]))
+                    << ctx << " channel " << c;
+            }
+        }
+    }
+}
+
+TEST(fleet, execution_and_lane_metadata_are_reported)
+{
+    // The report must say which execution model and ingest lane
+    // actually ran, and how many threads of each kind were spawned --
+    // in particular the sliced->span fallback that used to be silent.
+    const std::uint64_t windows = 2;
+    auto cfg = base_config(3, 2);
+    const auto fused =
+        core::fleet_monitor(cfg).run(ideal_factory(), windows);
+    EXPECT_EQ(fused.execution, "fused");
+    EXPECT_EQ(fused.lane, "word");
+    EXPECT_EQ(fused.worker_threads, 2u);
+    EXPECT_EQ(fused.producer_threads, 0u)
+        << "the fused execution must not spawn producer threads";
+
+    cfg.execution = core::fleet_execution::threaded;
+    const auto threaded =
+        core::fleet_monitor(cfg).run(ideal_factory(), windows);
+    EXPECT_EQ(threaded.execution, "threaded");
+    EXPECT_EQ(threaded.producer_threads, 3u)
+        << "one producer per streamed channel";
+
+    const auto fallback = base_config(3, 1, core::ingest_lane::sliced);
+    const auto degraded =
+        core::fleet_monitor(fallback).run(ideal_factory(), windows);
+    EXPECT_EQ(degraded.lane, "span (sliced fallback)")
+        << "too few channels for a tile group must be visible";
 }
 
 // ------------------------------------------- per-channel supervision --
@@ -566,6 +704,28 @@ TEST(fleet_supervision, mixed_outcomes_aggregate_channel_by_channel)
     EXPECT_GT(confirmed_report.confirmed_escalations, 0u);
     EXPECT_EQ(confirmed_report.escalations, report.escalations)
         << "the offline bar must not change the online trigger";
+}
+
+TEST(fleet_supervision, fused_and_threaded_executions_agree)
+{
+    // Supervision re-programs a channel mid-run (baseline -> escalated
+    // design); the fused path emulates the window_pump's barrier/tap
+    // contract, so the reframe must land on exactly the same window in
+    // both execution models.
+    auto cfg = supervised_config(3, 2);
+    const auto fused =
+        core::fleet_monitor(cfg).run(one_bad_channel(2), 24);
+    cfg.execution = core::fleet_execution::threaded;
+    const auto threaded =
+        core::fleet_monitor(cfg).run(one_bad_channel(2), 24);
+    EXPECT_TRUE(fused.same_counters(threaded));
+    ASSERT_EQ(fused.channels.size(), threaded.channels.size());
+    for (std::size_t c = 0; c < fused.channels.size(); ++c) {
+        EXPECT_EQ(fused.channels[c], threaded.channels[c])
+            << "channel " << c;
+    }
+    EXPECT_GT(fused.escalations, 0u)
+        << "the differential run must actually cross an escalation";
 }
 
 TEST(fleet, bits_per_second_handles_a_zero_duration_run)

@@ -521,6 +521,158 @@ TEST(kernel_oracle, sliced_batched_feed_matches_stepwise)
     }
 }
 
+// feed_tile is the fused fleet's ingest call: a channel-major tile of up
+// to 64 words per channel, one transpose per tile instead of one per
+// 64-bit chunk.  It must be bit-exact with the equivalent sequence of
+// feed_words calls -- across ragged tile widths, window restarts, run
+// seams between tiles, and with the health tests configured.
+TEST(kernel_oracle, feed_tile_matches_feed_words)
+{
+    constexpr unsigned lanes = hw::sliced_block::lanes;
+    constexpr std::uint64_t n = 6 * 64;
+    constexpr std::size_t stride = 8; // > words: the stride is honoured
+    hw::sliced_block tiled({.n = n});
+    hw::sliced_block worded({.n = n});
+    trng::xoshiro256ss rng(fixture_seed(0x7117eULL));
+    std::vector<std::uint64_t> tile(std::size_t{lanes} * stride);
+
+    for (std::uint64_t window = 0; window < 3; ++window) {
+        if (window != 0) {
+            tiled.restart();
+            worded.restart();
+        }
+        // 6 words per window, fed as ragged tiles of 1, 3 and 2 words:
+        // run seams land both inside a tile and between tiles.
+        for (const std::size_t words : {1u, 3u, 2u}) {
+            for (unsigned i = 0; i < lanes; ++i) {
+                for (std::size_t k = 0; k < words; ++k) {
+                    std::uint64_t w = 0;
+                    switch (i % 4) {
+                    case 0: w = rng.next(); break;
+                    case 1: w = 0; break;
+                    case 2: w = ~std::uint64_t{0}; break;
+                    default: w = 0xaaaaaaaaaaaaaaaaULL; break;
+                    }
+                    tile[std::size_t{i} * stride + k] = w;
+                }
+            }
+            tiled.feed_tile(tile.data(), stride, words);
+            std::uint64_t chunk[lanes];
+            for (std::size_t k = 0; k < words; ++k) {
+                for (unsigned i = 0; i < lanes; ++i) {
+                    chunk[i] = tile[std::size_t{i} * stride + k];
+                }
+                worded.feed_words(chunk);
+            }
+        }
+        for (unsigned c = 0; c < lanes; ++c) {
+            ASSERT_EQ(tiled.ones(c), worded.ones(c)) << "channel " << c;
+            ASSERT_EQ(tiled.n_runs(c), worded.n_runs(c)) << "channel " << c;
+            ASSERT_EQ(tiled.s_final(c), worded.s_final(c))
+                << "channel " << c;
+        }
+        EXPECT_EQ(tiled.window_bits(), worded.window_bits());
+        EXPECT_EQ(tiled.bits_consumed(), worded.bits_consumed());
+    }
+}
+
+TEST(kernel_oracle, full_width_feed_tile_matches_scalar_engines)
+{
+    // The fused fleet feeds whole 64x64 tiles (64 words = 4096 bits per
+    // channel per tile) with the health tests live; pin the tile path
+    // against per-bit scalar engines on the adversarial channel mix.
+    constexpr unsigned lanes = hw::sliced_block::lanes;
+    constexpr std::uint64_t window = 2 * 64 * 64;
+    constexpr std::uint64_t nwindows = 2;
+    constexpr unsigned rct_cutoff = 21;
+    constexpr unsigned apt_log2 = 10;
+    constexpr unsigned apt_cutoff = 700;
+
+    hw::sliced_config scfg;
+    scfg.n = window;
+    scfg.rct = true;
+    scfg.rct_cutoff = rct_cutoff;
+    scfg.apt = true;
+    scfg.apt_log2_window = apt_log2;
+    scfg.apt_cutoff = apt_cutoff;
+    hw::sliced_block group(scfg);
+
+    std::vector<std::unique_ptr<scalar_channel>> channels;
+    channels.reserve(lanes);
+    for (unsigned c = 0; c < lanes; ++c) {
+        channels.push_back(std::make_unique<scalar_channel>(
+            channel_stream(c, window * nwindows), rct_cutoff, apt_log2,
+            apt_cutoff));
+    }
+
+    constexpr std::size_t tile_words = 64;
+    std::vector<std::uint64_t> tile(std::size_t{lanes} * tile_words);
+    for (std::uint64_t w = 0; w < nwindows; ++w) {
+        if (w != 0) {
+            group.restart();
+        }
+        for (std::uint64_t base = 0; base < window / 64;
+             base += tile_words) {
+            for (unsigned c = 0; c < lanes; ++c) {
+                const auto words =
+                    pack_range(channels[c]->seq,
+                               w * window + base * 64, tile_words * 64);
+                for (std::size_t k = 0; k < tile_words; ++k) {
+                    tile[std::size_t{c} * tile_words + k] = words[k];
+                }
+            }
+            group.feed_tile(tile.data(), tile_words, tile_words);
+        }
+        for (unsigned c = 0; c < lanes; ++c) {
+            std::uint64_t ones = 0;
+            std::uint64_t runs = 0;
+            bool prev = false;
+            for (std::uint64_t i = 0; i < window; ++i) {
+                const std::uint64_t global = w * window + i;
+                const bool bit = channels[c]->seq[global];
+                channels[c]->rct.consume(bit, global);
+                channels[c]->apt.consume(bit, global);
+                ones += bit ? 1 : 0;
+                if (i == 0 || bit != prev) {
+                    ++runs;
+                }
+                prev = bit;
+            }
+            const std::string ctx = "channel " + std::to_string(c)
+                + " window " + std::to_string(w);
+            ASSERT_EQ(group.ones(c), ones) << ctx;
+            ASSERT_EQ(group.n_runs(c), runs) << ctx;
+            ASSERT_EQ(group.rct_alarm(c), channels[c]->rct.alarm()) << ctx;
+            ASSERT_EQ(group.rct_longest_run(c),
+                      channels[c]->rct.longest_run())
+                << ctx;
+            ASSERT_EQ(group.apt_alarm(c), channels[c]->apt.alarm()) << ctx;
+            ASSERT_EQ(group.apt_current_count(c),
+                      channels[c]->apt.current_count())
+                << ctx;
+        }
+    }
+    EXPECT_TRUE(group.rct_alarm(2)) << "sticky markov channel";
+    EXPECT_TRUE(group.apt_alarm(4)) << "stuck-at-one channel";
+}
+
+TEST(kernel_oracle, feed_tile_validates_width_and_overruns)
+{
+    hw::sliced_block group({.n = 128});
+    std::vector<std::uint64_t> tile(std::size_t{hw::sliced_block::lanes}
+                                    * 65,
+                                    0);
+    EXPECT_THROW(group.feed_tile(tile.data(), 65, 65),
+                 std::invalid_argument)
+        << "a tile wider than 64 words cannot be transposed in one pass";
+    group.feed_tile(tile.data(), 65, 0); // zero-width tile is a no-op
+    EXPECT_EQ(group.window_bits(), 0u);
+    group.feed_tile(tile.data(), 65, 2); // fills the 128-bit window
+    EXPECT_EQ(group.window_bits(), 128u);
+    EXPECT_THROW(group.feed_tile(tile.data(), 65, 1), std::logic_error)
+        << "feeding past the window must be refused";
+}
+
 TEST(kernel_oracle, sliced_software_pass_matches_software_runner)
 {
     const hw::block_config cfg = core::custom_design(

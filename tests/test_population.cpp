@@ -87,6 +87,113 @@ TEST(population, report_is_independent_of_shard_and_thread_layout)
     }
 }
 
+TEST(population, execution_batch_and_flush_epoch_never_change_the_report)
+{
+    // The work-stealing scheduler's knobs -- execution model, steal
+    // batch granularity, telemetry flush epoch -- move work between
+    // threads and batch queue traffic; none of them may reach the
+    // report, down to the per-device records.
+    const core::population_report baseline =
+        core::population_monitor(small_config()).run();
+    EXPECT_EQ(baseline.execution, "fused");
+
+    std::vector<core::population_config> variants;
+    {
+        core::population_config cfg = small_config();
+        cfg.execution = core::fleet_execution::threaded;
+        variants.push_back(cfg);
+    }
+    for (const std::uint32_t batch : {1u, 7u, 64u}) {
+        core::population_config cfg = small_config();
+        cfg.steal_batch_devices = batch;
+        variants.push_back(cfg);
+    }
+    for (const std::size_t epoch : {std::size_t{1}, std::size_t{1000}}) {
+        core::population_config cfg = small_config();
+        cfg.telemetry_flush_records = epoch;
+        variants.push_back(cfg);
+    }
+    for (const core::population_config& cfg : variants) {
+        const core::population_report report =
+            core::population_monitor(cfg).run();
+        const std::string ctx = report.execution + " batch "
+            + std::to_string(report.steal_batch_devices) + " epoch "
+            + std::to_string(cfg.telemetry_flush_records);
+        EXPECT_TRUE(baseline.same_counters(report)) << ctx;
+        ASSERT_EQ(report.device_records.size(), baseline.devices) << ctx;
+        for (std::uint32_t d = 0; d < baseline.devices; ++d) {
+            ASSERT_EQ(baseline.device_records[d], report.device_records[d])
+                << ctx << " device " << d;
+        }
+    }
+}
+
+TEST(population, sliced_lane_agrees_across_executions_and_layouts)
+{
+    // A sliced-eligible population (>= 64 devices per shard) rides the
+    // fused 64x64 tile lane; smaller shards and the threaded execution
+    // degrade to the span lane.  All of it must land on the same
+    // numbers.
+    const auto run_with = [](unsigned shards, core::fleet_execution exe) {
+        core::population_config cfg = small_config();
+        // Only the cheap always-on pair rides the sliced verdict path.
+        cfg.block = core::custom_design(7, hw::test_set{}
+                                               .with(hw::test_id::frequency)
+                                               .with(hw::test_id::runs));
+        cfg.devices = 128;
+        cfg.shards = shards;
+        cfg.lane = core::ingest_lane::sliced;
+        cfg.execution = exe;
+        return core::population_monitor(cfg).run();
+    };
+    const core::population_report baseline =
+        run_with(1, core::fleet_execution::fused);
+    EXPECT_EQ(baseline.lane, "sliced")
+        << "128 devices in one shard must fill two whole tile groups";
+    const struct {
+        unsigned shards;
+        core::fleet_execution exe;
+    } layouts[] = {{2, core::fleet_execution::fused},
+                   {4, core::fleet_execution::fused},
+                   {1, core::fleet_execution::threaded},
+                   {3, core::fleet_execution::fused}};
+    for (const auto& l : layouts) {
+        const core::population_report report = run_with(l.shards, l.exe);
+        EXPECT_TRUE(baseline.same_counters(report))
+            << l.shards << " shards, " << report.execution << "/"
+            << report.lane;
+        for (std::uint32_t d = 0; d < baseline.devices; ++d) {
+            ASSERT_EQ(baseline.device_records[d], report.device_records[d])
+                << "device " << d << " at " << l.shards << " shards "
+                << report.execution;
+        }
+    }
+    EXPECT_EQ(run_with(1, core::fleet_execution::threaded).lane,
+              "span (sliced fallback)")
+        << "the threaded execution cannot claim the tile lane";
+}
+
+TEST(population, scheduler_telemetry_is_reported)
+{
+    core::population_config cfg = small_config();
+    cfg.shards = 4;
+    cfg.threads_per_shard = 1;
+    cfg.steal_batch_devices = 2;
+    cfg.telemetry_flush_records = 4;
+    const core::population_report report =
+        core::population_monitor(cfg).run();
+    EXPECT_EQ(report.execution, "fused");
+    EXPECT_FALSE(report.lane.empty());
+    EXPECT_GT(report.worker_threads, 0u);
+    EXPECT_LE(report.worker_threads, 4u);
+    EXPECT_EQ(report.steal_batch_devices, 2u);
+    EXPECT_GT(report.telemetry_flushes, 0u);
+    // 64 devices in batches of 2 through 4 workers flushing every 4
+    // records: at least ceil(64 / 4) = 16 epochs fleet-wide.
+    EXPECT_GE(report.telemetry_flushes, 16u);
+    EXPECT_EQ(report.queue_pushed, report.devices);
+}
+
 TEST(population, aggregates_match_the_shard_reports_and_device_records)
 {
     const core::population_report report =
@@ -272,6 +379,11 @@ TEST(population, configuration_is_validated)
     {
         core::population_config cfg = small_config();
         cfg.profile.attacked_fraction = 2.0;
+        EXPECT_THROW(core::population_monitor{cfg}, std::invalid_argument);
+    }
+    {
+        core::population_config cfg = small_config();
+        cfg.telemetry_flush_records = 0;
         EXPECT_THROW(core::population_monitor{cfg}, std::invalid_argument);
     }
 }

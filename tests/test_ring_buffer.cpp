@@ -211,6 +211,109 @@ TEST(ring_buffer, spans_clip_at_buffer_end_never_wrap)
     EXPECT_TRUE(ring.empty());
 }
 
+TEST(ring_buffer, span_round_trips_across_every_seam_offset)
+{
+    // Regression sweep for the wrap seam: from every index position
+    // relative to the physical end, a full-capacity fill and drain
+    // through the span API must deliver every word in order -- clipping
+    // at the seam, resuming contiguous from slot 0, and never handing
+    // out a span that wraps.
+    constexpr std::size_t cap = 8;
+    for (std::size_t offset = 0; offset < cap; ++offset) {
+        ring_buffer ring(cap);
+        std::uint64_t scratch[cap];
+        for (std::size_t i = 0; i < offset; ++i) {
+            scratch[i] = i;
+        }
+        ASSERT_EQ(ring.try_push(scratch, offset), offset);
+        ASSERT_EQ(ring.try_pop(scratch, offset), offset);
+
+        std::uint64_t value = 0;
+        std::size_t filled = 0;
+        std::size_t write_rounds = 0;
+        while (filled < cap) {
+            std::uint64_t* wspan = nullptr;
+            const std::size_t got = ring.reserve(wspan, cap - filled);
+            ASSERT_GT(got, 0u) << "offset " << offset;
+            ASSERT_LE(got, cap - filled) << "offset " << offset;
+            // A span never crosses the seam: the first round from a
+            // rotated start clips at the physical end of the buffer.
+            ASSERT_LE((offset + filled) % cap + got, cap)
+                << "offset " << offset << " handed out a wrapping span";
+            for (std::size_t i = 0; i < got; ++i) {
+                wspan[i] = value++;
+            }
+            ring.commit(got);
+            filled += got;
+            ++write_rounds;
+        }
+        EXPECT_LE(write_rounds, 2u) << "offset " << offset;
+        EXPECT_EQ(ring.size(), cap);
+        std::uint64_t* wspan = nullptr;
+        EXPECT_EQ(ring.reserve(wspan, 1), 0u)
+            << "a full ring must refuse a reservation";
+
+        std::uint64_t expect = 0;
+        std::size_t drained = 0;
+        std::size_t read_rounds = 0;
+        while (drained < cap) {
+            const std::uint64_t* rspan = nullptr;
+            const std::size_t got = ring.peek(rspan, cap);
+            ASSERT_GT(got, 0u) << "offset " << offset;
+            ASSERT_LE((offset + drained) % cap + got, cap)
+                << "offset " << offset << " peeked a wrapping span";
+            for (std::size_t i = 0; i < got; ++i) {
+                EXPECT_EQ(rspan[i], expect++)
+                    << "offset " << offset << " word " << drained + i;
+            }
+            ring.consume(got);
+            drained += got;
+            ++read_rounds;
+        }
+        EXPECT_LE(read_rounds, 2u) << "offset " << offset;
+        EXPECT_TRUE(ring.empty());
+    }
+}
+
+TEST(ring_buffer, partial_consume_at_the_seam_resumes_from_slot_zero)
+{
+    // A consumer that takes only part of a seam-clipped span must see
+    // the remainder before the seam on the next peek, then continue
+    // contiguous from slot 0 -- the exact access pattern of a window
+    // pump whose window boundary lands just before the seam.
+    ring_buffer ring(8);
+    std::uint64_t scratch[5] = {0, 1, 2, 3, 4};
+    ASSERT_EQ(ring.try_push(scratch, 5), 5u);
+    ASSERT_EQ(ring.try_pop(scratch, 5), 5u);
+
+    // Write 6 words across the seam: 3 before it, 3 after.
+    std::uint64_t* wspan = nullptr;
+    ASSERT_EQ(ring.reserve(wspan, 6), 3u);
+    wspan[0] = 10;
+    wspan[1] = 11;
+    wspan[2] = 12;
+    ring.commit(3);
+    ASSERT_EQ(ring.reserve(wspan, 3), 3u);
+    wspan[0] = 13;
+    wspan[1] = 14;
+    wspan[2] = 15;
+    ring.commit(3);
+
+    const std::uint64_t* rspan = nullptr;
+    ASSERT_EQ(ring.peek(rspan, 8), 3u); // clipped at the seam
+    EXPECT_EQ(rspan[0], 10u);
+    ring.consume(2); // partial: one word left before the seam
+    ASSERT_EQ(ring.peek(rspan, 8), 1u);
+    EXPECT_EQ(rspan[0], 12u);
+    ring.consume(1);
+    ASSERT_EQ(ring.peek(rspan, 8), 3u); // contiguous from slot 0
+    EXPECT_EQ(rspan[0], 13u);
+    EXPECT_EQ(rspan[1], 14u);
+    EXPECT_EQ(rspan[2], 15u);
+    ring.consume(3);
+    EXPECT_TRUE(ring.empty());
+}
+
 TEST(ring_buffer, partial_commit_and_partial_consume)
 {
     // Committing fewer words than reserved (source ran dry) and
